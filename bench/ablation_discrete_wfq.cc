@@ -1,0 +1,133 @@
+// Ablation (§8): replace exact STFQ with "a small set of queues with
+// different weights" (quantized DRR bands) and measure the impact on
+// convergence in the semi-dynamic scenario.
+//
+// Weight quantization directly caps the achievable allocation precision: a
+// grid with ratio r between bands mis-serves flows by up to ~r, so coarse
+// bands cannot settle within the paper's 10% convergence margin at all.  We
+// report both the strict 10% margin and a looser 25% margin to show where
+// each quantization level lands.
+#include <cstdio>
+#include <string>
+
+#include "bench_util.h"
+#include "exp/semi_dynamic.h"
+#include "net/routing.h"
+#include "net/topology.h"
+#include "num/utility.h"
+#include "stats/summary.h"
+#include "transport/receiver.h"
+
+using namespace numfabric;
+
+namespace {
+
+/// Mechanism fidelity: two flows with 1:3 weighted utilities on a dumbbell;
+/// prints the realized split (ideal 2.5 / 7.5 Gbps).
+void weighted_split(int bands) {
+  sim::Simulator sim;
+  transport::FabricOptions fabric_options;
+  fabric_options.scheme = transport::Scheme::kNumFabric;
+  fabric_options.discrete_wfq_bands = bands;
+  fabric_options.numfabric.min_weight = 10.0;
+  fabric_options.numfabric.max_weight = 1e5;
+  transport::Fabric fabric(sim, fabric_options);
+  net::Topology topo(sim);
+  const net::Dumbbell dumbbell = net::build_dumbbell(
+      topo, 2, 40e9, 10e9, sim::micros(2), fabric.queue_factory());
+  fabric.attach_agents(topo);
+  num::AlphaFairUtility weight1(1.0, 1.0), weight3(1.0, 3.0);
+  std::vector<transport::Flow*> flows;
+  for (int i = 0; i < 2; ++i) {
+    transport::FlowSpec spec;
+    spec.src = dumbbell.senders[static_cast<std::size_t>(i)];
+    spec.dst = dumbbell.receivers[static_cast<std::size_t>(i)];
+    spec.size_bytes = 0;
+    spec.utility = i == 0 ? &weight1 : &weight3;
+    spec.path = net::all_shortest_paths(topo, spec.src, spec.dst).front();
+    flows.push_back(fabric.add_flow(std::move(spec)));
+  }
+  sim.run_until(sim::millis(8));
+  std::printf("  %-6s -> %.2f / %.2f Gbps\n",
+              bands == 0 ? "exact" : std::to_string(bands).c_str(),
+              flows[0]->receiver().rate_bps() / 1e9,
+              flows[1]->receiver().rate_bps() / 1e9);
+}
+
+struct Row {
+  double median_us = -1;
+  double converged = 0;
+};
+
+Row run(int bands, double margin, const exp::Scale& scale) {
+  exp::SemiDynamicOptions options;
+  options.scheme = transport::Scheme::kNumFabric;
+  options.topology.hosts_per_leaf = scale.hosts_per_leaf;
+  options.topology.num_leaves = scale.leaves;
+  options.topology.num_spines = scale.spines;
+  options.num_paths = scale.num_paths / 2;
+  options.initial_active = scale.initial_active / 2;
+  options.flows_per_event = scale.flows_per_event / 2;
+  options.num_events = scale.full ? 20 : 3;
+  options.min_active = scale.min_active / 2;
+  options.max_active = scale.max_active / 2;
+  options.convergence.timeout = scale.convergence_timeout;
+  options.convergence.margin = margin;
+  options.fabric.discrete_wfq_bands = bands;
+  // Band the operational weight range (10 Mbps .. 100 Gbps) rather than the
+  // full numeric guard range; the guard range would waste bands on weights
+  // no flow ever uses.
+  options.fabric.numfabric.min_weight = 10.0;
+  options.fabric.numfabric.max_weight = 1e5;
+  options.seed = 31;
+  const auto result = exp::run_semi_dynamic(options);
+  Row row;
+  row.converged = result.events_measured > 0
+                      ? static_cast<double>(result.events_converged) /
+                            result.events_measured
+                      : 0.0;
+  if (!result.convergence_times_us.empty()) {
+    row.median_us = stats::percentile(result.convergence_times_us, 50);
+  }
+  return row;
+}
+
+void print_cell(const Row& row) {
+  if (row.median_us < 0) {
+    std::printf(" %10s %9.0f%%", "-", 100 * row.converged);
+  } else {
+    std::printf(" %10.0f %9.0f%%", row.median_us, 100 * row.converged);
+  }
+}
+
+}  // namespace
+
+int main() {
+  const exp::Scale scale = bench::announce(
+      "Ablation", "exact STFQ vs discrete multi-queue WFQ approximation");
+
+  std::printf("Mechanism check: 1:3 weighted split on a dumbbell "
+              "(ideal 2.50 / 7.50):\n");
+  for (int bands : {0, 16, 64}) weighted_split(bands);
+
+  std::printf("\nSemi-dynamic convergence (the paper's §6.1 criterion):\n");
+  std::printf("%8s | %10s %10s | %10s %10s\n", "bands", "med(10%)", "conv",
+              "med(25%)", "conv");
+  for (int bands : {0, 16, 64}) {
+    const std::string label = bands == 0 ? "exact" : std::to_string(bands);
+    std::printf("%8s |", label.c_str());
+    print_cell(run(bands, 0.10, scale));
+    std::printf(" |");
+    print_cell(run(bands, 0.25, scale));
+    std::printf("\n");
+  }
+  std::printf(
+      "\n(The banded scheduler realizes weighted sharing faithfully in the\n"
+      " controlled two-flow case, but weight quantization — grid ratio\n"
+      " ~1.85/1.35/1.16 at 16/32/64 bands — plus flows hopping between\n"
+      " adjacent bands as prices move keeps the large dynamic scenario from\n"
+      " holding 95%% of flows inside tight margins for 5 ms.  Exact STFQ\n"
+      " (bands = 'exact') is what NUMFabric's convergence results need —\n"
+      " quantifying the cost of the simpler switch design suggested in §8.)\n");
+  return 0;
+}

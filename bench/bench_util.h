@@ -1,0 +1,18 @@
+// Shared helpers for the bench mains: banner printing and scale reporting.
+#pragma once
+
+#include <cstdio>
+
+#include "exp/common.h"
+
+namespace numfabric::bench {
+
+inline exp::Scale announce(const char* figure, const char* description) {
+  const exp::Scale scale = exp::scale_from_env();
+  std::printf("=== %s — %s ===\n", figure, description);
+  std::printf("scale: %s%s\n\n", scale.label,
+              scale.full ? "" : "  (set NUMFABRIC_FULL=1 for paper scale)");
+  return scale;
+}
+
+}  // namespace numfabric::bench

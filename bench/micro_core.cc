@@ -1,0 +1,131 @@
+// Micro-benchmarks (google-benchmark) of the substrate primitives that bound
+// simulation scale: event queue ops, WFQ enqueue/dequeue, the NUM oracle and
+// the water-filler.  These are the "how fast can the simulator go" numbers
+// quoted in README.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "net/wfq_queue.h"
+#include "num/num_solver.h"
+#include "num/utility.h"
+#include "num/waterfill.h"
+#include "num/xwi_fluid.h"
+#include "sim/event_queue.h"
+#include "sim/random.h"
+#include "sim/simulator.h"
+
+namespace {
+
+using namespace numfabric;
+
+void BM_EventQueuePushPop(benchmark::State& state) {
+  sim::EventQueue queue;
+  sim::TimeNs t = 0;
+  int sink = 0;
+  for (auto _ : state) {
+    for (int i = 0; i < 64; ++i) queue.push(t += 7, [&sink] { ++sink; });
+    while (!queue.empty()) queue.pop().second();
+  }
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_EventQueuePushPop);
+
+void BM_SimulatorSelfScheduling(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator sim;
+    int remaining = 4096;
+    std::function<void()> tick = [&] {
+      if (--remaining > 0) sim.schedule_in(10, tick);
+    };
+    sim.schedule_in(10, tick);
+    sim.run();
+    benchmark::DoNotOptimize(remaining);
+  }
+  state.SetItemsProcessed(state.iterations() * 4096);
+}
+BENCHMARK(BM_SimulatorSelfScheduling);
+
+void BM_WfqEnqueueDequeue(benchmark::State& state) {
+  const int num_flows = static_cast<int>(state.range(0));
+  net::WfqQueue queue(1 << 30);
+  std::uint64_t seq = 0;
+  for (auto _ : state) {
+    for (int i = 0; i < num_flows; ++i) {
+      net::Packet p;
+      p.flow = static_cast<net::FlowId>(i);
+      p.type = net::PacketType::kData;
+      p.size = 1500;
+      p.seq = seq++;
+      p.virtual_packet_len = 1500.0 / (1.0 + i);
+      queue.enqueue(std::move(p));
+    }
+    for (int i = 0; i < num_flows; ++i) benchmark::DoNotOptimize(queue.dequeue());
+  }
+  state.SetItemsProcessed(state.iterations() * num_flows * 2);
+}
+BENCHMARK(BM_WfqEnqueueDequeue)->Arg(16)->Arg(256);
+
+num::NumProblem make_problem(int flows, int links, sim::Rng& rng,
+                             std::vector<std::unique_ptr<num::AlphaFairUtility>>& store) {
+  num::NumProblem problem;
+  problem.capacities.resize(static_cast<std::size_t>(links));
+  for (auto& c : problem.capacities) c = rng.uniform(1'000.0, 40'000.0);
+  for (int i = 0; i < flows; ++i) {
+    store.push_back(std::make_unique<num::AlphaFairUtility>(1.0));
+    problem.utilities.push_back(store.back().get());
+    std::vector<int> path;
+    const int hops = static_cast<int>(rng.uniform_int(2, 4));
+    for (int h = 0; h < hops; ++h) {
+      const int link = static_cast<int>(rng.index(static_cast<std::size_t>(links)));
+      if (std::find(path.begin(), path.end(), link) == path.end()) {
+        path.push_back(link);
+      }
+    }
+    problem.flow_links.push_back(std::move(path));
+  }
+  return problem;
+}
+
+void BM_NumSolver(benchmark::State& state) {
+  sim::Rng rng(1);
+  std::vector<std::unique_ptr<num::AlphaFairUtility>> store;
+  const auto problem = make_problem(static_cast<int>(state.range(0)),
+                                    static_cast<int>(state.range(0)) / 3 + 2, rng,
+                                    store);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(num::solve_num(problem));
+  }
+}
+BENCHMARK(BM_NumSolver)->Arg(50)->Arg(400);
+
+void BM_Waterfill(benchmark::State& state) {
+  sim::Rng rng(2);
+  std::vector<std::unique_ptr<num::AlphaFairUtility>> store;
+  const auto num_problem = make_problem(static_cast<int>(state.range(0)),
+                                        static_cast<int>(state.range(0)) / 3 + 2,
+                                        rng, store);
+  num::WaterfillProblem problem;
+  problem.flow_links = num_problem.flow_links;
+  problem.capacities = num_problem.capacities;
+  problem.weights.assign(num_problem.utilities.size(), 1.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(num::weighted_max_min(problem));
+  }
+}
+BENCHMARK(BM_Waterfill)->Arg(50)->Arg(400);
+
+void BM_XwiFluid(benchmark::State& state) {
+  sim::Rng rng(3);
+  std::vector<std::unique_ptr<num::AlphaFairUtility>> store;
+  const auto problem = make_problem(100, 30, rng, store);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(num::xwi_fluid_solve(problem));
+  }
+}
+BENCHMARK(BM_XwiFluid);
+
+}  // namespace
+
+BENCHMARK_MAIN();

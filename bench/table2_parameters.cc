@@ -1,0 +1,11 @@
+// Table 2: default parameter settings — rendered from the live config
+// structs so the printed table cannot drift from the code.
+#include <cstdio>
+
+#include "exp/config.h"
+
+int main() {
+  std::printf("=== Table 2 — Default parameter settings in simulations ===\n\n");
+  std::printf("%s\n", numfabric::exp::table2_text().c_str());
+  return 0;
+}

@@ -1,0 +1,84 @@
+// Example: multipath resource pooling on the Fig. 10 topology.
+//
+// Flow 1 owns a 5 Gbps link, flow 2 a 3 Gbps link, and both can also use a
+// shared 5 Gbps middle link.  With the pooling (aggregate) utility the
+// three links behave like one pool; the demo also steps the middle link to
+// 17 Gbps mid-run and shows the allocation chasing the new optimum.
+#include <cstdio>
+
+#include "net/topology.h"
+#include "num/utility.h"
+#include "transport/fabric.h"
+#include "transport/receiver.h"
+
+using namespace numfabric;
+
+int main() {
+  sim::Simulator sim;
+  transport::FabricOptions options;
+  options.scheme = transport::Scheme::kNumFabric;
+  options.numfabric.resource_pooling = true;
+  transport::Fabric fabric(sim, options);
+  net::Topology topo(sim);
+  net::Fig10Topology fig10 =
+      net::build_fig10(topo, /*middle_rate_bps=*/5e9, sim::micros(2),
+                       fabric.queue_factory());
+  fabric.attach_agents(topo);
+
+  // Proportional fairness over each flow's *aggregate* rate: sub-flows of a
+  // flow share a group id and split the flow-level weight by throughput.
+  const num::AlphaFairUtility aggregate_log_utility(1.0);
+  auto egress_to = [&](net::Host* dst) -> net::Link* {
+    for (net::Link* link : topo.outgoing(fig10.out)) {
+      if (link->dst() == dst) return link;
+    }
+    return nullptr;
+  };
+  auto add_subflow = [&](net::Host* src, net::Host* dst, net::Link* core,
+                         std::uint64_t group) {
+    transport::FlowSpec spec;
+    spec.src = src;
+    spec.dst = dst;
+    spec.size_bytes = 0;
+    spec.utility = &aggregate_log_utility;
+    spec.group = group;
+    spec.path.links = {topo.outgoing(src).front(), core, egress_to(dst)};
+    return fabric.add_flow(std::move(spec));
+  };
+
+  std::vector<transport::Flow*> flow1 = {
+      add_subflow(fig10.src1, fig10.dst1, fig10.top, 1),
+      add_subflow(fig10.src1, fig10.dst1, fig10.middle, 1)};
+  std::vector<transport::Flow*> flow2 = {
+      add_subflow(fig10.src2, fig10.dst2, fig10.bottom, 2),
+      add_subflow(fig10.src2, fig10.dst2, fig10.middle, 2)};
+
+  auto aggregate_gbps = [](const std::vector<transport::Flow*>& subflows) {
+    double total = 0;
+    for (const transport::Flow* flow : subflows) {
+      total += flow->receiver().rate_bps();
+    }
+    return total / 1e9;
+  };
+
+  // Step the middle link 5 -> 17 Gbps at t = 10 ms.
+  sim.schedule_at(sim::millis(10), [&] {
+    fig10.middle->set_rate_bps(17e9);
+    fig10.middle->twin()->set_rate_bps(17e9);
+    std::printf("   --- middle link stepped to 17 Gbps ---\n");
+  });
+
+  std::printf("Aggregate throughput with pooling (13 Gbps total capacity,\n"
+              "then 25 Gbps after the step):\n\n");
+  std::printf("time(ms)  flow1(Gbps)  flow2(Gbps)\n");
+  for (int ms = 2; ms <= 20; ms += 2) {
+    sim.run_until(sim::millis(ms));
+    std::printf("%7d %12.2f %12.2f\n", ms, aggregate_gbps(flow1),
+                aggregate_gbps(flow2));
+  }
+  std::printf(
+      "\n(Proportional fairness over aggregates equalizes where feasible:\n"
+      " pool 13G -> ~6.5 / ~6.5; pool 25G -> ~12.5 / ~12.5.  The pool is\n"
+      " fully used in both phases -- no capacity stranded on any link.)\n");
+  return 0;
+}

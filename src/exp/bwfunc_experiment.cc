@@ -1,0 +1,195 @@
+#include "exp/bwfunc_experiment.h"
+
+#include <memory>
+
+#include "exp/common.h"
+#include "net/routing.h"
+#include "net/topology.h"
+#include "num/bandwidth_function.h"
+#include "num/bwe_waterfill.h"
+#include "transport/receiver.h"
+
+namespace numfabric::exp {
+namespace {
+
+double gbps(double bps) { return bps / 1e9; }
+
+BwFuncSweepResult::Row run_sweep_point(double capacity_gbps,
+                                       const BwFuncSweepOptions& options) {
+  sim::Simulator sim;
+  transport::FabricOptions fabric_options = options.fabric;
+  fabric_options.scheme = transport::Scheme::kNumFabric;
+  fabric_options.numfabric = fabric_options.numfabric.slowed_down(options.slowdown);
+  transport::Fabric fabric(sim, fabric_options);
+  net::Topology topo(sim);
+  // Two senders, one shared bottleneck of the swept capacity.
+  const net::Dumbbell dumbbell =
+      net::build_dumbbell(topo, 2, /*edge_bps=*/100e9, capacity_gbps * 1e9,
+                          options.link_delay, fabric.queue_factory());
+  fabric.attach_agents(topo);
+
+  const num::BandwidthFunction b1 = num::fig2_flow1();
+  const num::BandwidthFunction b2 = num::fig2_flow2();
+  const num::BandwidthFunctionUtility u1(b1, options.alpha);
+  const num::BandwidthFunctionUtility u2(b2, options.alpha);
+
+  std::vector<const transport::Flow*> flows;
+  for (int i = 0; i < 2; ++i) {
+    transport::FlowSpec spec;
+    spec.src = dumbbell.senders[static_cast<std::size_t>(i)];
+    spec.dst = dumbbell.receivers[static_cast<std::size_t>(i)];
+    spec.size_bytes = 0;
+    spec.start_time = 0;
+    spec.utility = i == 0 ? static_cast<const num::UtilityFunction*>(&u1)
+                          : static_cast<const num::UtilityFunction*>(&u2);
+    const auto paths = net::all_shortest_paths(topo, spec.src, spec.dst);
+    spec.path = paths.front();
+    flows.push_back(fabric.add_flow(std::move(spec)));
+  }
+
+  std::uint64_t start1 = 0, start2 = 0;
+  sim.schedule_at(options.warmup, [&] {
+    start1 = flows[0]->receiver().total_bytes();
+    start2 = flows[1]->receiver().total_bytes();
+  });
+  sim.run_until(options.warmup + options.measure);
+
+  BwFuncSweepResult::Row row;
+  row.capacity_gbps = capacity_gbps;
+  row.flow1_gbps = gbps(window_rate_bps(
+      start1, flows[0]->receiver().total_bytes(), options.measure));
+  row.flow2_gbps = gbps(window_rate_bps(
+      start2, flows[1]->receiver().total_bytes(), options.measure));
+
+  // Expected allocation: BwE water-filling on the single bottleneck.
+  num::BweProblem bwe;
+  bwe.functions = {&b1, &b2};
+  bwe.flow_links = {{0}, {0}};
+  bwe.capacities = {capacity_gbps * 1000.0};  // Mbps
+  const num::BweResult expected = num::bwe_waterfill(bwe);
+  row.expected1_gbps = expected.rates[0] / 1000.0;
+  row.expected2_gbps = expected.rates[1] / 1000.0;
+  return row;
+}
+
+}  // namespace
+
+BwFuncSweepResult run_bwfunc_sweep(const BwFuncSweepOptions& options) {
+  BwFuncSweepResult result;
+  for (double capacity : options.capacities_gbps) {
+    result.rows.push_back(run_sweep_point(capacity, options));
+  }
+  return result;
+}
+
+BwFuncPoolingResult run_bwfunc_pooling(const BwFuncPoolingOptions& options) {
+  sim::Simulator sim;
+  transport::FabricOptions fabric_options = options.fabric;
+  fabric_options.scheme = transport::Scheme::kNumFabric;
+  fabric_options.numfabric.resource_pooling = true;
+  fabric_options.numfabric = fabric_options.numfabric.slowed_down(options.slowdown);
+  transport::Fabric fabric(sim, fabric_options);
+  net::Topology topo(sim);
+  net::Fig10Topology fig10 =
+      net::build_fig10(topo, options.middle_before_gbps * 1e9,
+                       options.link_delay, fabric.queue_factory());
+  fabric.attach_agents(topo);
+
+  const num::BandwidthFunction b1 = num::fig2_flow1();
+  const num::BandwidthFunction b2 = num::fig2_flow2();
+  const num::BandwidthFunctionUtility u1(b1, options.alpha);
+  const num::BandwidthFunctionUtility u2(b2, options.alpha);
+
+  // Flow 1: sub-flows over {top, middle}; flow 2: over {bottom, middle}.
+  // Sub-flow paths are built explicitly (source routing).
+  auto egress_to = [&](net::Host* dst) -> net::Link* {
+    for (net::Link* link : topo.outgoing(fig10.out)) {
+      if (link->dst() == dst) return link;
+    }
+    throw std::logic_error("fig10: no egress link to destination");
+  };
+  auto make_subflow = [&](net::Host* src, net::Host* dst, net::Link* core,
+                          const num::UtilityFunction* utility,
+                          std::uint64_t group) {
+    transport::FlowSpec spec;
+    spec.src = src;
+    spec.dst = dst;
+    spec.size_bytes = 0;
+    spec.start_time = 0;
+    spec.utility = utility;
+    spec.group = group;
+    spec.path.links = {topo.outgoing(src).front(), core, egress_to(dst)};
+    return fabric.add_flow(std::move(spec));
+  };
+
+  std::vector<const transport::Flow*> flow1 = {
+      make_subflow(fig10.src1, fig10.dst1, fig10.top, &u1, 1),
+      make_subflow(fig10.src1, fig10.dst1, fig10.middle, &u1, 1)};
+  std::vector<const transport::Flow*> flow2 = {
+      make_subflow(fig10.src2, fig10.dst2, fig10.bottom, &u2, 2),
+      make_subflow(fig10.src2, fig10.dst2, fig10.middle, &u2, 2)};
+
+  BwFuncPoolingResult result;
+  auto aggregate_rate = [](const std::vector<const transport::Flow*>& subflows) {
+    double total = 0;
+    for (const transport::Flow* flow : subflows) {
+      total += flow->receiver().rate_bps();
+    }
+    return total;
+  };
+
+  // Periodic sampling of the aggregate rates.
+  auto sampler = std::make_shared<std::function<void()>>();
+  *sampler = [&, sampler] {
+    result.series.emplace_back(sim::to_millis(sim.now()), aggregate_rate(flow1),
+                               aggregate_rate(flow2));
+    if (sim.now() + options.sample_interval <= options.end_time) {
+      sim.schedule_in(options.sample_interval, *sampler);
+    }
+  };
+  sim.schedule_in(options.sample_interval, *sampler);
+
+  // Capacity step on the middle link (both directions).
+  sim.schedule_at(options.switch_time, [&] {
+    fig10.middle->set_rate_bps(options.middle_after_gbps * 1e9);
+    fig10.middle->twin()->set_rate_bps(options.middle_after_gbps * 1e9);
+  });
+
+  // Steady-state windows: the tail 40% of each phase, measured by byte
+  // counters.
+  const sim::TimeNs before_start =
+      options.switch_time - options.switch_time * 2 / 5;
+  const sim::TimeNs after_phase = options.end_time - options.switch_time;
+  const sim::TimeNs after_start = options.switch_time + after_phase * 3 / 5;
+
+  std::uint64_t f1_before = 0, f2_before = 0, f1_after = 0, f2_after = 0;
+  auto total_bytes = [](const std::vector<const transport::Flow*>& subflows) {
+    std::uint64_t total = 0;
+    for (const transport::Flow* flow : subflows) {
+      total += flow->receiver().total_bytes();
+    }
+    return total;
+  };
+  sim.schedule_at(before_start, [&] {
+    f1_before = total_bytes(flow1);
+    f2_before = total_bytes(flow2);
+  });
+  sim.run_until(options.switch_time);
+  result.flow1_before_gbps = gbps(window_rate_bps(
+      f1_before, total_bytes(flow1), options.switch_time - before_start));
+  result.flow2_before_gbps = gbps(window_rate_bps(
+      f2_before, total_bytes(flow2), options.switch_time - before_start));
+
+  sim.schedule_at(after_start, [&] {
+    f1_after = total_bytes(flow1);
+    f2_after = total_bytes(flow2);
+  });
+  sim.run_until(options.end_time);
+  result.flow1_after_gbps = gbps(window_rate_bps(
+      f1_after, total_bytes(flow1), options.end_time - after_start));
+  result.flow2_after_gbps = gbps(window_rate_bps(
+      f2_after, total_bytes(flow2), options.end_time - after_start));
+  return result;
+}
+
+}  // namespace numfabric::exp

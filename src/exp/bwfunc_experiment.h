@@ -1,0 +1,72 @@
+// Bandwidth-function experiments — Fig. 9 and Fig. 10.
+//
+// Fig. 9: the two Fig. 2 flows share one bottleneck whose capacity sweeps
+// 5..35 Gbps; NUMFabric runs the derived utility (Table 1 last row, alpha=5)
+// and the measured split is compared with the BwE water-filling allocation.
+//
+// Fig. 10: bandwidth functions composed with resource pooling on the
+// three-link topology; the middle link steps from 5 to 17 Gbps mid-run and
+// the aggregate allocations should move (10, 3) -> (15, 10) Gbps.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "transport/fabric.h"
+
+namespace numfabric::exp {
+
+struct BwFuncSweepOptions {
+  transport::FabricOptions fabric;
+  std::vector<double> capacities_gbps = {5, 10, 15, 20, 25, 30, 35};
+  double alpha = 5.0;  // §6.3: alpha ~ 5 approximates the BwE allocation well
+  /// §6.2's recipe for extreme alphas: slow the control loops so the rate
+  /// estimator smooths over enough samples (alpha = 5 is steep; noise in
+  /// R_hat otherwise biases the min-residual and stalls prices early).
+  double slowdown = 4.0;
+  sim::TimeNs warmup = sim::millis(10);
+  sim::TimeNs measure = sim::millis(10);
+  sim::TimeNs link_delay = sim::micros(2);
+};
+
+struct BwFuncSweepResult {
+  struct Row {
+    double capacity_gbps = 0;
+    double flow1_gbps = 0;  // measured
+    double flow2_gbps = 0;
+    double expected1_gbps = 0;  // BwE water-filling
+    double expected2_gbps = 0;
+  };
+  std::vector<Row> rows;
+};
+
+BwFuncSweepResult run_bwfunc_sweep(const BwFuncSweepOptions& options);
+
+struct BwFuncPoolingOptions {
+  transport::FabricOptions fabric;
+  double alpha = 5.0;
+  /// See BwFuncSweepOptions::slowdown.
+  double slowdown = 4.0;
+  double middle_before_gbps = 5.0;
+  double middle_after_gbps = 17.0;
+  sim::TimeNs switch_time = sim::millis(10);
+  sim::TimeNs end_time = sim::millis(20);
+  sim::TimeNs sample_interval = sim::micros(100);
+  sim::TimeNs link_delay = sim::micros(2);
+};
+
+struct BwFuncPoolingResult {
+  /// (time ms, flow1 aggregate bps, flow2 aggregate bps).
+  std::vector<std::tuple<double, double, double>> series;
+  /// Steady-state measurements over the tail of each phase.
+  double flow1_before_gbps = 0, flow2_before_gbps = 0;
+  double flow1_after_gbps = 0, flow2_after_gbps = 0;
+  /// Paper-stated expectations: (10, 3) then (15, 10) Gbps.
+  double expected1_before_gbps = 10, expected2_before_gbps = 3;
+  double expected1_after_gbps = 15, expected2_after_gbps = 10;
+};
+
+BwFuncPoolingResult run_bwfunc_pooling(const BwFuncPoolingOptions& options);
+
+}  // namespace numfabric::exp

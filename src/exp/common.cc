@@ -1,0 +1,84 @@
+#include "exp/common.h"
+
+#include <cstdlib>
+#include <stdexcept>
+
+#include "num/utility.h"
+
+namespace numfabric::exp {
+
+LinkIndexer::LinkIndexer(const net::Topology& topo) {
+  int next = 0;
+  for (const auto& link : topo.links()) {
+    index_[link.get()] = next++;
+    capacities_.push_back(num::to_rate_units(link->rate_bps()));
+  }
+}
+
+int LinkIndexer::index(const net::Link* link) const {
+  auto it = index_.find(link);
+  if (it == index_.end()) throw std::invalid_argument("LinkIndexer: unknown link");
+  return it->second;
+}
+
+std::vector<int> LinkIndexer::path_indices(const net::Path& path) const {
+  std::vector<int> out;
+  out.reserve(path.links.size());
+  for (const net::Link* link : path.links) out.push_back(index(link));
+  return out;
+}
+
+num::NumProblem make_num_problem(
+    const LinkIndexer& indexer, const std::vector<const transport::Flow*>& flows) {
+  num::NumProblem problem;
+  problem.capacities = indexer.capacities();
+  problem.utilities.reserve(flows.size());
+  problem.flow_links.reserve(flows.size());
+  for (const transport::Flow* flow : flows) {
+    if (flow->spec().utility == nullptr) {
+      throw std::invalid_argument("make_num_problem: flow without utility");
+    }
+    problem.utilities.push_back(flow->spec().utility);
+    problem.flow_links.push_back(indexer.path_indices(flow->spec().path));
+  }
+  return problem;
+}
+
+double window_rate_bps(std::uint64_t start_bytes, std::uint64_t end_bytes,
+                       sim::TimeNs window) {
+  if (window <= 0) throw std::invalid_argument("window_rate_bps: empty window");
+  return static_cast<double>(end_bytes - start_bytes) * 8.0 / sim::to_seconds(window);
+}
+
+Scale quick_scale() { return Scale{}; }
+
+Scale full_scale() {
+  Scale scale;
+  scale.full = true;
+  scale.label = "full";
+  scale.hosts_per_leaf = 16;
+  scale.leaves = 8;
+  scale.spines = 4;
+  scale.num_paths = 1000;
+  scale.initial_active = 400;
+  scale.flows_per_event = 100;
+  scale.num_events = 100;
+  scale.min_active = 300;
+  scale.max_active = 500;
+  scale.convergence_timeout = sim::millis(50);
+  scale.dynamic_flow_count = 10'000;
+  scale.pooling_leaves = 8;
+  scale.pooling_spines = 16;
+  scale.pooling_hosts_per_leaf = 16;
+  scale.warmup = sim::millis(10);
+  scale.measure = sim::millis(20);
+  return scale;
+}
+
+Scale scale_from_env() {
+  const char* env = std::getenv("NUMFABRIC_FULL");
+  if (env != nullptr && env[0] != '\0' && env[0] != '0') return full_scale();
+  return quick_scale();
+}
+
+}  // namespace numfabric::exp

@@ -1,0 +1,86 @@
+// Shared experiment plumbing: link indexing for oracle problems, throughput
+// measurement windows, and the quick/full scale switch.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "net/topology.h"
+#include "num/num_solver.h"
+#include "sim/simulator.h"
+#include "transport/flow.h"
+
+namespace numfabric::exp {
+
+/// Maps every link of a topology to a dense index and exposes capacities in
+/// NUM rate units — the glue between the packet world and the fluid oracles.
+class LinkIndexer {
+ public:
+  explicit LinkIndexer(const net::Topology& topo);
+
+  int index(const net::Link* link) const;
+  std::vector<int> path_indices(const net::Path& path) const;
+
+  /// Per-link capacity in rate units (Mbps), same order as the indices.
+  const std::vector<double>& capacities() const { return capacities_; }
+
+ private:
+  std::unordered_map<const net::Link*, int> index_;
+  std::vector<double> capacities_;
+};
+
+/// Builds the NUM problem for a set of active flows (shared utility objects
+/// live in the caller).
+num::NumProblem make_num_problem(const LinkIndexer& indexer,
+                                 const std::vector<const transport::Flow*>& flows);
+
+/// Average goodput of a flow (receiver bytes delta / window), in bps.
+/// Snapshot `start` with flow.receiver().total_bytes() at window start.
+double window_rate_bps(std::uint64_t start_bytes, std::uint64_t end_bytes,
+                       sim::TimeNs window);
+
+/// Experiment scale.  Benches default to a laptop-quick configuration and
+/// switch to the paper's full scale when NUMFABRIC_FULL=1 is set.
+struct Scale {
+  bool full = false;
+  const char* label = "quick";
+
+  // Leaf-spine size (paper: 16 x 8 leaves, 4 spines).
+  int hosts_per_leaf = 8;
+  int leaves = 4;
+  int spines = 2;
+
+  // Semi-dynamic scenario (paper: 1000 paths, 100x flows per event,
+  // 100 events, 300-500 active).
+  int num_paths = 240;
+  int initial_active = 100;
+  int flows_per_event = 25;
+  int num_events = 8;
+  int min_active = 75;
+  int max_active = 125;
+  /// Per-event convergence verdict timeout (paper-scale runs use 50 ms;
+  /// quick runs cut losses earlier).
+  sim::TimeNs convergence_timeout = sim::millis(20);
+
+  // Dynamic workloads.
+  int dynamic_flow_count = 1200;
+
+  // Resource pooling (paper: 8 leaves, 16 spines, 64 pairs).
+  int pooling_leaves = 4;
+  int pooling_spines = 8;
+  int pooling_hosts_per_leaf = 8;
+
+  // Steady-state measurement window for throughput experiments.
+  sim::TimeNs warmup = sim::millis(8);
+  sim::TimeNs measure = sim::millis(12);
+};
+
+/// Reads NUMFABRIC_FULL from the environment.
+Scale scale_from_env();
+
+Scale quick_scale();
+Scale full_scale();
+
+}  // namespace numfabric::exp

@@ -1,0 +1,56 @@
+#include "exp/config.h"
+
+#include <iomanip>
+#include <sstream>
+
+namespace numfabric::exp {
+namespace {
+
+std::string us(sim::TimeNs t) {
+  std::ostringstream out;
+  out << sim::to_micros(t) << " us";
+  return out.str();
+}
+
+std::string num_str(double v) {
+  std::ostringstream out;
+  out << v;
+  return out.str();
+}
+
+}  // namespace
+
+std::vector<ParameterRow> table2_rows() {
+  const transport::DgdConfig dgd;
+  const transport::RcpConfig rcp;
+  const transport::NumFabricConfig numfabric;
+
+  return {
+      {"DGD [Eq. 14]", "priceUpdateInterval", us(dgd.price_update_interval)},
+      {"DGD [Eq. 14]", "a", num_str(dgd.a) + " Mbps^-1"},
+      {"DGD [Eq. 14]", "b", num_str(dgd.b) + " B^-1"},
+      {"RCP* [Eq. 15]", "rateUpdateInterval", us(rcp.rate_update_interval)},
+      {"RCP* [Eq. 15]", "a", num_str(rcp.a)},
+      {"RCP* [Eq. 15]", "b", num_str(rcp.b)},
+      {"NUMFabric [Sec. 5]", "ewmaTime", us(numfabric.ewma_time)},
+      {"NUMFabric [Sec. 5]", "dt", us(numfabric.dt_slack)},
+      {"NUMFabric [Sec. 5]", "priceUpdateInterval",
+       us(numfabric.price_update_interval)},
+      {"NUMFabric [Sec. 5]", "eta [Eq. 10]", num_str(numfabric.eta)},
+      {"NUMFabric [Sec. 5]", "beta [Eq. 11]", num_str(numfabric.beta)},
+  };
+}
+
+std::string table2_text() {
+  std::ostringstream out;
+  out << std::left << std::setw(22) << "Scheme" << std::setw(24) << "Parameter"
+      << "Value\n";
+  out << std::string(60, '-') << "\n";
+  for (const ParameterRow& row : table2_rows()) {
+    out << std::left << std::setw(22) << row.scheme << std::setw(24) << row.name
+        << row.value << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace numfabric::exp

@@ -1,0 +1,25 @@
+// Table 2 ("Default parameter settings in simulations") as data, printable
+// by bench/table2_parameters and reusable by tests that pin the defaults.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "transport/fabric.h"
+
+namespace numfabric::exp {
+
+struct ParameterRow {
+  std::string scheme;
+  std::string name;
+  std::string value;
+};
+
+/// The reproduction's default parameters, rendered from the live config
+/// structs (so the table can never drift from the code).
+std::vector<ParameterRow> table2_rows();
+
+/// Formats the rows as an aligned text table.
+std::string table2_text();
+
+}  // namespace numfabric::exp

@@ -1,0 +1,46 @@
+// FCT minimization: NUMFabric (FCT-min utility) vs pFabric — Fig. 7.
+//
+// Web-search workload swept over loads.  NUMFabric runs the Table 1 row-3
+// utility (weight 1/size, exponent epsilon = 0.125) with the paper's two
+// accommodations: the system slowed down 2x (small alpha is noise-sensitive,
+// §6.2) and an initial window of one BDP (mimicking pFabric, footnote 7).
+// FCTs are normalized by the best possible FCT for the flow's size on an
+// idle path.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/topology.h"
+#include "transport/fabric.h"
+#include "workload/size_distribution.h"
+
+namespace numfabric::exp {
+
+struct FctExperimentOptions {
+  net::LeafSpineOptions topology;
+  transport::FabricOptions fabric;
+  std::vector<double> loads = {0.2, 0.4, 0.6, 0.8};
+  int flow_count = 2000;
+  double epsilon = 0.125;
+  double slowdown = 2.0;
+  std::uint64_t seed = 1;
+  sim::TimeNs horizon = sim::seconds(30);
+};
+
+struct FctExperimentResult {
+  struct Row {
+    double load = 0;
+    double numfabric_mean_norm_fct = 0;
+    double pfabric_mean_norm_fct = 0;
+    int numfabric_completed = 0;
+    int pfabric_completed = 0;
+    int numfabric_incomplete = 0;
+    int pfabric_incomplete = 0;
+  };
+  std::vector<Row> rows;
+};
+
+FctExperimentResult run_fct_experiment(const FctExperimentOptions& options);
+
+}  // namespace numfabric::exp

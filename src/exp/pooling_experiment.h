@@ -1,0 +1,44 @@
+// Resource pooling (multipath) experiment — Fig. 8.
+//
+// Permutation traffic on an all-10G leaf-spine (paper: 128 hosts, 8 leaves,
+// 16 spines).  Each source-destination pair splits into k sub-flows hashed
+// onto random paths.  With the pooling utility (proportional fairness over
+// the *aggregate* rate, Table 1 row 4) throughput approaches the full
+// bisection as k grows and the per-flow allocation is nearly uniform; with
+// per-sub-flow utilities ("no resource pooling") collisions leave capacity
+// stranded and the allocation is skewed.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/topology.h"
+#include "transport/fabric.h"
+
+namespace numfabric::exp {
+
+struct PoolingOptions {
+  net::LeafSpineOptions topology;  // set all links to the same speed
+  transport::FabricOptions fabric;
+  std::vector<int> subflow_counts = {1, 2, 3, 4, 5, 6, 7, 8};
+  bool resource_pooling = true;
+  sim::TimeNs warmup = sim::millis(8);
+  sim::TimeNs measure = sim::millis(12);
+  std::uint64_t seed = 1;
+};
+
+struct PoolingResult {
+  struct Row {
+    int subflows = 0;
+    /// Aggregate goodput as a fraction of the optimum (#pairs * NIC rate).
+    double total_throughput_fraction = 0;
+    /// Per logical flow (src-dst pair) goodput fraction of the NIC rate,
+    /// sorted ascending (Fig. 8b's rank plot).
+    std::vector<double> per_flow_fraction;
+  };
+  std::vector<Row> rows;
+};
+
+PoolingResult run_pooling_experiment(const PoolingOptions& options);
+
+}  // namespace numfabric::exp

@@ -1,0 +1,109 @@
+#include "net/discrete_wfq_queue.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+namespace numfabric::net {
+namespace {
+// DRR quantum granted to the *highest-weight* band per visit; lower bands
+// receive proportionally less (accumulating deficit across visits).  The
+// quantum must be normalized this way: weights are rate-scaled (Mbps) and
+// granting kQuantum * weight bytes directly would serve megabyte bursts per
+// visit, turning the scheduler into a slow round-robin of giant turns.
+constexpr double kMaxBandQuantumBytes = 1500.0;
+}  // namespace
+
+DiscreteWfqQueue::DiscreteWfqQueue(std::size_t capacity_bytes, int num_bands,
+                                   double min_weight, double max_weight)
+    : Queue(capacity_bytes), min_weight_(min_weight) {
+  if (num_bands < 1) throw std::invalid_argument("DiscreteWfqQueue: num_bands < 1");
+  if (!(0 < min_weight && min_weight < max_weight)) {
+    throw std::invalid_argument("DiscreteWfqQueue: need 0 < min_weight < max_weight");
+  }
+  const double ratio =
+      num_bands == 1 ? 2.0
+                     : std::pow(max_weight / min_weight, 1.0 / (num_bands - 1));
+  log_ratio_ = std::log(ratio);
+  bands_.resize(static_cast<std::size_t>(num_bands));
+  for (int b = 0; b < num_bands; ++b) {
+    bands_[static_cast<std::size_t>(b)].weight =
+        min_weight * std::exp(log_ratio_ * b);
+  }
+}
+
+int DiscreteWfqQueue::band_for_weight(double weight) const {
+  if (weight <= min_weight_) return 0;
+  const int band =
+      static_cast<int>(std::lround(std::log(weight / min_weight_) / log_ratio_));
+  return std::clamp(band, 0, num_bands() - 1);
+}
+
+bool DiscreteWfqQueue::enqueue(Packet&& p) {
+  if (would_overflow(p)) {
+    account_drop();
+    return false;
+  }
+  // Control packets (virtual_packet_len == 0) ride in the highest band, as
+  // they do implicitly in exact STFQ.
+  int band;
+  if (p.virtual_packet_len <= 0.0) {
+    band = num_bands() - 1;
+  } else {
+    FlowState& state = flow_state_[p.flow];
+    if (state.queued_packets == 0) {
+      state.band = band_for_weight(p.size / p.virtual_packet_len);
+    }
+    band = state.band;  // sticky while the flow has a backlog here
+    ++state.queued_packets;
+  }
+  account_push(p);
+  bands_[static_cast<std::size_t>(band)].fifo.push_back(std::move(p));
+  return true;
+}
+
+std::optional<Packet> DiscreteWfqQueue::dequeue() {
+  if (empty()) return std::nullopt;
+  // Deficit round robin: on arriving at a band, grant its quantum once;
+  // serve packets while the deficit covers them; then move to the next band
+  // (carrying any leftover deficit).  Bounded: repeated visits accumulate
+  // deficit, so every non-empty band eventually transmits.
+  for (;;) {
+    Band& band = bands_[next_band_];
+    if (band.fifo.empty()) {
+      band.deficit = 0.0;
+      advance_band();
+      continue;
+    }
+    if (!quantum_granted_) {
+      band.deficit +=
+          kMaxBandQuantumBytes * band.weight / bands_.back().weight;
+      quantum_granted_ = true;
+    }
+    if (band.deficit >= band.fifo.front().size) {
+      Packet p = std::move(band.fifo.front());
+      band.fifo.pop_front();
+      band.deficit -= p.size;
+      account_pop(p);
+      if (p.virtual_packet_len > 0.0) {
+        auto it = flow_state_.find(p.flow);
+        if (it != flow_state_.end() && --it->second.queued_packets <= 0) {
+          flow_state_.erase(it);
+        }
+      }
+      if (band.fifo.empty() || band.deficit < band.fifo.front().size) {
+        advance_band();
+      }
+      return p;
+    }
+    advance_band();
+  }
+}
+
+void DiscreteWfqQueue::advance_band() {
+  next_band_ = (next_band_ + 1) % bands_.size();
+  quantum_granted_ = false;
+}
+
+}  // namespace numfabric::net

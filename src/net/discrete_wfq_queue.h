@@ -1,0 +1,61 @@
+// Ablation: approximate WFQ with a small set of FIFO queues ("bands").
+//
+// §8 of the paper suggests "practical approximations of WFQ such as a small
+// set of queues with different weights" as a simpler switch design.  This
+// queue quantizes each packet's implied weight (L / virtual_packet_len) onto
+// a logarithmic grid of N bands and serves the bands with byte-based deficit
+// round robin, each band's quantum proportional to its representative
+// weight.  Flows mapped to the same band share it FIFO.
+//
+// bench/ablation_discrete_wfq compares this against exact STFQ.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "net/queue.h"
+
+namespace numfabric::net {
+
+class DiscreteWfqQueue : public Queue {
+ public:
+  /// Bands cover weights [min_weight, max_weight] on a geometric grid.
+  DiscreteWfqQueue(std::size_t capacity_bytes, int num_bands, double min_weight,
+                   double max_weight);
+
+  bool enqueue(Packet&& p) override;
+  std::optional<Packet> dequeue() override;
+
+  int num_bands() const { return static_cast<int>(bands_.size()); }
+
+  /// Band a given weight maps to (exposed for tests).
+  int band_for_weight(double weight) const;
+
+ private:
+  struct Band {
+    std::deque<Packet> fifo;
+    double weight = 1.0;   // representative weight of the band
+    double deficit = 0.0;  // DRR deficit counter, in bytes
+  };
+
+  void advance_band();
+
+  struct FlowState {
+    int band = 0;
+    int queued_packets = 0;
+  };
+
+  std::vector<Band> bands_;
+  double min_weight_;
+  double log_ratio_;  // log of grid spacing
+  std::size_t next_band_ = 0;
+  bool quantum_granted_ = false;  // quantum already granted this visit
+  // A flow is pinned to one band while it has packets queued; re-banding a
+  // flow with a backlog would let DRR serve its packets out of order, which
+  // the go-back-N transports punish with full timeouts.
+  std::unordered_map<FlowId, FlowState> flow_state_;
+};
+
+}  // namespace numfabric::net

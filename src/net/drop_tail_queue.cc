@@ -1,0 +1,28 @@
+#include "net/drop_tail_queue.h"
+
+#include <utility>
+
+namespace numfabric::net {
+
+bool DropTailQueue::enqueue(Packet&& p) {
+  if (would_overflow(p)) {
+    account_drop();
+    return false;
+  }
+  if (ecn_threshold_bytes_ > 0 && p.ecn_capable && bytes() >= ecn_threshold_bytes_) {
+    p.ecn_marked = true;
+  }
+  account_push(p);
+  fifo_.push_back(std::move(p));
+  return true;
+}
+
+std::optional<Packet> DropTailQueue::dequeue() {
+  if (fifo_.empty()) return std::nullopt;
+  Packet p = std::move(fifo_.front());
+  fifo_.pop_front();
+  account_pop(p);
+  return p;
+}
+
+}  // namespace numfabric::net

@@ -1,0 +1,27 @@
+// FIFO tail-drop queue, with optional DCTCP-style ECN marking.
+#pragma once
+
+#include <deque>
+
+#include "net/queue.h"
+
+namespace numfabric::net {
+
+class DropTailQueue : public Queue {
+ public:
+  /// `ecn_threshold_bytes` == 0 disables marking.  With marking enabled, a
+  /// packet arriving to a backlog >= threshold gets its CE bit set if it is
+  /// ECN-capable — DCTCP's instantaneous single-threshold marking.
+  explicit DropTailQueue(std::size_t capacity_bytes,
+                         std::size_t ecn_threshold_bytes = 0)
+      : Queue(capacity_bytes), ecn_threshold_bytes_(ecn_threshold_bytes) {}
+
+  bool enqueue(Packet&& p) override;
+  std::optional<Packet> dequeue() override;
+
+ private:
+  std::deque<Packet> fifo_;
+  std::size_t ecn_threshold_bytes_;
+};
+
+}  // namespace numfabric::net

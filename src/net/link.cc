@@ -1,0 +1,52 @@
+#include "net/link.h"
+
+#include <stdexcept>
+#include <utility>
+
+#include "net/node.h"
+
+namespace numfabric::net {
+
+Link::Link(sim::Simulator& sim, std::string name, double rate_bps,
+           sim::TimeNs delay, std::unique_ptr<Queue> queue, Node* dst)
+    : sim_(sim),
+      name_(std::move(name)),
+      rate_bps_(rate_bps),
+      delay_(delay),
+      queue_(std::move(queue)),
+      dst_(dst) {
+  if (rate_bps_ <= 0) throw std::invalid_argument("Link: rate must be > 0");
+  if (!queue_) throw std::invalid_argument("Link: queue must not be null");
+  if (dst_ == nullptr) throw std::invalid_argument("Link: dst must not be null");
+}
+
+void Link::set_rate_bps(double rate_bps) {
+  if (rate_bps <= 0) throw std::invalid_argument("Link: rate must be > 0");
+  rate_bps_ = rate_bps;
+}
+
+void Link::send(Packet&& packet) {
+  if (agent_) agent_->on_enqueue(packet);
+  if (!queue_->enqueue(std::move(packet))) return;  // dropped; stats in Queue
+  try_start_tx();
+}
+
+void Link::try_start_tx() {
+  if (busy_) return;
+  auto next = queue_->dequeue();
+  if (!next) return;
+  busy_ = true;
+  if (agent_) agent_->on_dequeue(*next);
+  bytes_sent_ += next->size;
+  const sim::TimeNs tx = sim::transmission_time(next->size, rate_bps_);
+  // Serialization finishes at +tx: free the transmitter and continue.
+  sim_.schedule_in(tx, [this] {
+    busy_ = false;
+    try_start_tx();
+  });
+  // The packet reaches the peer a propagation delay after serialization.
+  sim_.schedule_in(tx + delay_,
+                   [this, p = std::move(*next)]() mutable { dst_->receive(std::move(p)); });
+}
+
+}  // namespace numfabric::net

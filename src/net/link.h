@@ -1,0 +1,82 @@
+// A unidirectional link: queue + serializer + propagation delay.
+//
+// Store-and-forward: a packet occupies the transmitter for size*8/rate, then
+// arrives at the peer node `delay` later.  Per-link protocol state (xWI
+// prices, DGD prices, RCP* fair-share rates) hangs off the link as a
+// LinkAgent, mirroring how the paper attaches per-egress-port computation to
+// switches (Fig. 3).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "net/packet.h"
+#include "net/queue.h"
+#include "sim/simulator.h"
+
+namespace numfabric::net {
+
+class Node;
+
+/// Per-link hook for scheme-specific state machines.
+class LinkAgent {
+ public:
+  virtual ~LinkAgent() = default;
+
+  /// Called before the packet is offered to the queue.
+  virtual void on_enqueue(const Packet& packet) { (void)packet; }
+
+  /// Called when the packet begins serialization (may stamp header fields).
+  virtual void on_dequeue(Packet& packet) { (void)packet; }
+};
+
+class Link {
+ public:
+  Link(sim::Simulator& sim, std::string name, double rate_bps,
+       sim::TimeNs delay, std::unique_ptr<Queue> queue, Node* dst);
+
+  Link(const Link&) = delete;
+  Link& operator=(const Link&) = delete;
+
+  /// Offers a packet to this link's queue and starts transmitting if idle.
+  void send(Packet&& packet);
+
+  const std::string& name() const { return name_; }
+  double rate_bps() const { return rate_bps_; }
+
+  /// Changes the link speed at runtime (Fig. 10 varies a link's capacity
+  /// mid-experiment).  Applies from the next serialized packet on; a packet
+  /// already in flight finishes at the old rate.
+  void set_rate_bps(double rate_bps);
+  sim::TimeNs delay() const { return delay_; }
+  Node* dst() const { return dst_; }
+  Queue& queue() { return *queue_; }
+  const Queue& queue() const { return *queue_; }
+
+  /// The opposite-direction link of the same cable (set by Topology).
+  Link* twin() const { return twin_; }
+  void set_twin(Link* twin) { twin_ = twin; }
+
+  void set_agent(std::unique_ptr<LinkAgent> agent) { agent_ = std::move(agent); }
+  LinkAgent* agent() const { return agent_.get(); }
+
+  /// Total bytes serialized since construction (for utilization metrics).
+  std::uint64_t bytes_sent() const { return bytes_sent_; }
+
+ private:
+  void try_start_tx();
+
+  sim::Simulator& sim_;
+  std::string name_;
+  double rate_bps_;
+  sim::TimeNs delay_;
+  std::unique_ptr<Queue> queue_;
+  Node* dst_;
+  Link* twin_ = nullptr;
+  std::unique_ptr<LinkAgent> agent_;
+  bool busy_ = false;
+  std::uint64_t bytes_sent_ = 0;
+};
+
+}  // namespace numfabric::net

@@ -1,0 +1,41 @@
+#include "net/node.h"
+
+#include <stdexcept>
+#include <utility>
+
+#include "net/link.h"
+
+namespace numfabric::net {
+
+void Switch::receive(Packet&& packet) {
+  if (packet.path == nullptr) {
+    throw std::logic_error("Switch::receive: packet without a path");
+  }
+  const std::uint32_t next_hop = packet.hop + 1;
+  if (next_hop >= packet.path->links.size()) {
+    throw std::logic_error("Switch::receive: path ends at a switch (" + name() + ")");
+  }
+  packet.hop = next_hop;
+  Link* out = packet.path->links[next_hop];
+  out->send(std::move(packet));
+}
+
+void Host::receive(Packet&& packet) {
+  auto it = handlers_.find(packet.flow);
+  if (it == handlers_.end()) {
+    ++stray_packets_;
+    return;
+  }
+  it->second(std::move(packet));
+}
+
+void Host::register_flow(FlowId flow, PacketHandler handler) {
+  if (!handler) throw std::invalid_argument("Host::register_flow: null handler");
+  if (!handlers_.emplace(flow, std::move(handler)).second) {
+    throw std::logic_error("Host::register_flow: duplicate flow id on " + name());
+  }
+}
+
+void Host::unregister_flow(FlowId flow) { handlers_.erase(flow); }
+
+}  // namespace numfabric::net

@@ -1,0 +1,66 @@
+// Nodes: switches forward along the packet's source route; hosts terminate
+// flows and dispatch packets to the transport endpoint registered for the
+// flow id.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+
+#include "net/packet.h"
+
+namespace numfabric::net {
+
+using NodeId = std::uint32_t;
+
+class Node {
+ public:
+  Node(NodeId id, std::string name) : id_(id), name_(std::move(name)) {}
+  virtual ~Node() = default;
+
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  /// Called by a Link when a packet arrives at this node.
+  virtual void receive(Packet&& packet) = 0;
+
+  NodeId id() const { return id_; }
+  const std::string& name() const { return name_; }
+
+ private:
+  NodeId id_;
+  std::string name_;
+};
+
+class Switch : public Node {
+ public:
+  using Node::Node;
+
+  /// Forwards along the packet's path: the packet arrived over
+  /// path->links[hop]; it leaves over path->links[hop + 1].
+  void receive(Packet&& packet) override;
+};
+
+class Host : public Node {
+ public:
+  using Node::Node;
+
+  using PacketHandler = std::function<void(Packet&&)>;
+
+  /// Dispatches to the handler registered for packet.flow.  Packets for
+  /// unknown flows (e.g. late ACKs after a flow finished) are counted and
+  /// discarded.
+  void receive(Packet&& packet) override;
+
+  void register_flow(FlowId flow, PacketHandler handler);
+  void unregister_flow(FlowId flow);
+
+  std::uint64_t stray_packets() const { return stray_packets_; }
+
+ private:
+  std::unordered_map<FlowId, PacketHandler> handlers_;
+  std::uint64_t stray_packets_ = 0;
+};
+
+}  // namespace numfabric::net

@@ -1,0 +1,6 @@
+#include "net/packet.h"
+
+// Packet is a passive value type; this translation unit exists to anchor the
+// module in the build and to host any future out-of-line helpers.
+
+namespace numfabric::net {}  // namespace numfabric::net

@@ -1,0 +1,51 @@
+#include "net/pfabric_queue.h"
+
+#include <utility>
+
+namespace numfabric::net {
+
+bool PFabricQueue::enqueue(Packet&& p) {
+  while (would_overflow(p)) {
+    // Evict the least urgent packet; if that is the incoming packet itself,
+    // drop it.  Control packets (ACKs) are never evicted — they are tiny and
+    // losing them costs retransmission timeouts.
+    auto worst = packets_.end();
+    for (auto it = packets_.begin(); it != packets_.end(); ++it) {
+      if (!it->packet.is_data()) continue;
+      if (worst == packets_.end() || it->packet.priority > worst->packet.priority) {
+        worst = it;
+      }
+    }
+    if (worst == packets_.end() || (p.is_data() && worst->packet.priority <= p.priority)) {
+      account_drop();
+      return false;
+    }
+    account_pop(worst->packet);
+    account_drop();
+    packets_.erase(worst);
+  }
+  account_push(p);
+  packets_.push_back(Entry{arrival_seq_++, std::move(p)});
+  return true;
+}
+
+std::optional<Packet> PFabricQueue::dequeue() {
+  if (packets_.empty()) return std::nullopt;
+  // Find the most urgent packet ...
+  auto best = packets_.begin();
+  for (auto it = packets_.begin(); it != packets_.end(); ++it) {
+    if (it->packet.priority < best->packet.priority) best = it;
+  }
+  // ... then serve the earliest packet of that flow to preserve ordering.
+  auto serve = packets_.end();
+  for (auto it = packets_.begin(); it != packets_.end(); ++it) {
+    if (it->packet.flow != best->packet.flow) continue;
+    if (serve == packets_.end() || it->seq < serve->seq) serve = it;
+  }
+  Packet p = std::move(serve->packet);
+  packets_.erase(serve);
+  account_pop(p);
+  return p;
+}
+
+}  // namespace numfabric::net

@@ -1,0 +1,37 @@
+// pFabric switch queue: priority scheduling + priority dropping.
+//
+// Packets carry `priority` = the flow's remaining size at send time (smaller
+// is more urgent).  Service: find the packet with the minimum priority, then
+// dequeue the *earliest* queued packet of that packet's flow — pFabric's
+// trick to keep per-flow delivery in order.  Drop: when full, evict the
+// packet with the maximum priority (the incoming packet itself if it is the
+// least urgent).
+//
+// Scans are linear; pFabric queues are intentionally tiny (a couple of BDPs)
+// so this matches the reference implementation's complexity argument.
+#pragma once
+
+#include <cstdint>
+#include <list>
+
+#include "net/queue.h"
+
+namespace numfabric::net {
+
+class PFabricQueue : public Queue {
+ public:
+  explicit PFabricQueue(std::size_t capacity_bytes) : Queue(capacity_bytes) {}
+
+  bool enqueue(Packet&& p) override;
+  std::optional<Packet> dequeue() override;
+
+ private:
+  struct Entry {
+    std::uint64_t seq;  // arrival order
+    Packet packet;
+  };
+  std::list<Entry> packets_;
+  std::uint64_t arrival_seq_ = 0;
+};
+
+}  // namespace numfabric::net

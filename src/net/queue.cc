@@ -1,0 +1,3 @@
+#include "net/queue.h"
+
+namespace numfabric::net {}  // namespace numfabric::net

@@ -1,0 +1,59 @@
+// Abstract per-port packet queue.
+//
+// A Link owns exactly one Queue.  Scheme-specific scheduling (WFQ for
+// NUMFabric, priority for pFabric, FIFO+ECN for DCTCP/DGD/RCP*) is chosen by
+// instantiating the right subclass; the Link drains whatever the queue's
+// `dequeue` yields next.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "net/packet.h"
+
+namespace numfabric::net {
+
+class Queue {
+ public:
+  /// `capacity_bytes` bounds the queue's total backlog; enqueue drops when
+  /// it would be exceeded (which packet is dropped is up to the subclass).
+  explicit Queue(std::size_t capacity_bytes) : capacity_bytes_(capacity_bytes) {}
+  virtual ~Queue() = default;
+
+  Queue(const Queue&) = delete;
+  Queue& operator=(const Queue&) = delete;
+
+  /// Admits the packet or drops (returns false).
+  virtual bool enqueue(Packet&& p) = 0;
+
+  /// Next packet to serialize, or nullopt if empty.
+  virtual std::optional<Packet> dequeue() = 0;
+
+  bool empty() const { return packets_ == 0; }
+  std::size_t bytes() const { return bytes_; }
+  std::size_t packets() const { return packets_; }
+  std::size_t capacity_bytes() const { return capacity_bytes_; }
+  std::uint64_t drops() const { return drops_; }
+
+ protected:
+  bool would_overflow(const Packet& p) const {
+    return bytes_ + p.size > capacity_bytes_;
+  }
+  void account_push(const Packet& p) {
+    bytes_ += p.size;
+    ++packets_;
+  }
+  void account_pop(const Packet& p) {
+    bytes_ -= p.size;
+    --packets_;
+  }
+  void account_drop() { ++drops_; }
+
+ private:
+  std::size_t capacity_bytes_;
+  std::size_t bytes_ = 0;
+  std::size_t packets_ = 0;
+  std::uint64_t drops_ = 0;
+};
+
+}  // namespace numfabric::net

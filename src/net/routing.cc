@@ -1,0 +1,99 @@
+#include "net/routing.h"
+
+#include <queue>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace numfabric::net {
+namespace {
+
+/// BFS distances (in hops) from every node TO `dst`, following links forward.
+std::unordered_map<const Node*, std::uint32_t> distances_to(const Topology& topo,
+                                                            const Node* dst) {
+  // BFS on the reverse graph: dist(n) = 1 + min over outgoing(n) of
+  // dist(link->dst).
+  std::unordered_map<const Node*, std::uint32_t> dist;
+  std::queue<const Node*> frontier;
+  dist[dst] = 0;
+  frontier.push(dst);
+  // Precompute reverse adjacency from every node's outgoing links.
+  std::unordered_map<const Node*, std::vector<const Node*>> preds;
+  auto collect = [&](const Node* node) {
+    for (const Link* link : topo.outgoing(node)) {
+      preds[link->dst()].push_back(node);
+    }
+  };
+  for (const Host* h : topo.hosts()) collect(h);
+  for (const Switch* s : topo.switches()) collect(s);
+
+  while (!frontier.empty()) {
+    const Node* node = frontier.front();
+    frontier.pop();
+    auto it = preds.find(node);
+    if (it == preds.end()) continue;
+    for (const Node* pred : it->second) {
+      if (dist.contains(pred)) continue;
+      dist[pred] = dist[node] + 1;
+      frontier.push(pred);
+    }
+  }
+  return dist;
+}
+
+void enumerate(const Topology& topo,
+               const std::unordered_map<const Node*, std::uint32_t>& dist,
+               const Node* at, const Node* dst, std::vector<Link*>& stack,
+               std::vector<Path>& out, std::size_t max_paths) {
+  if (out.size() >= max_paths) return;
+  if (at == dst) {
+    out.push_back(Path{stack});
+    return;
+  }
+  const auto here = dist.find(at);
+  if (here == dist.end()) return;
+  for (Link* link : topo.outgoing(at)) {
+    const auto next = dist.find(link->dst());
+    if (next == dist.end() || next->second + 1 != here->second) continue;
+    stack.push_back(link);
+    enumerate(topo, dist, link->dst(), dst, stack, out, max_paths);
+    stack.pop_back();
+  }
+}
+
+}  // namespace
+
+std::vector<Path> all_shortest_paths(const Topology& topo, const Node* src,
+                                     const Node* dst, std::size_t max_paths) {
+  if (src == dst) throw std::invalid_argument("all_shortest_paths: src == dst");
+  const auto dist = distances_to(topo, dst);
+  std::vector<Path> paths;
+  if (!dist.contains(src)) return paths;  // unreachable
+  std::vector<Link*> stack;
+  enumerate(topo, dist, src, dst, stack, paths, max_paths);
+  return paths;
+}
+
+Path reverse_path(const Path& path) {
+  Path rev;
+  rev.links.reserve(path.links.size());
+  for (auto it = path.links.rbegin(); it != path.links.rend(); ++it) {
+    Link* twin = (*it)->twin();
+    if (twin == nullptr) {
+      throw std::logic_error("reverse_path: link without a twin: " + (*it)->name());
+    }
+    rev.links.push_back(twin);
+  }
+  return rev;
+}
+
+const Path& ecmp_pick(const std::vector<Path>& paths, FlowId flow) {
+  if (paths.empty()) throw std::invalid_argument("ecmp_pick: no paths");
+  // SplitMix64: avalanche the flow id so consecutive ids spread well.
+  std::uint64_t h = flow + 0x9e3779b97f4a7c15ULL;
+  h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  h = (h ^ (h >> 27)) * 0x94d049bb133111ebULL;
+  h ^= h >> 31;
+  return paths[h % paths.size()];
+}
+
+}  // namespace numfabric::net

@@ -1,0 +1,30 @@
+// Path enumeration and ECMP selection.
+//
+// Flows are source-routed: at flow start a path is picked among all
+// equal-cost shortest paths (by hop count), either by hash (per-flow ECMP) or
+// uniformly at random (how the MPTCP experiment of Fig. 8 maps sub-flows to
+// paths).  See DESIGN.md §5 for why this is equivalent to per-hop ECMP in the
+// paper's setting.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/packet.h"
+#include "net/topology.h"
+
+namespace numfabric::net {
+
+/// All shortest paths (fewest links) from src to dst, up to `max_paths`.
+/// Deterministic order (by link creation order) so path selection is
+/// reproducible.
+std::vector<Path> all_shortest_paths(const Topology& topo, const Node* src,
+                                     const Node* dst, std::size_t max_paths = 64);
+
+/// Builds the reverse of `path` out of twin links (dst back to src).
+Path reverse_path(const Path& path);
+
+/// Deterministic ECMP pick: hash the flow id over the path set.
+const Path& ecmp_pick(const std::vector<Path>& paths, FlowId flow);
+
+}  // namespace numfabric::net

@@ -1,0 +1,63 @@
+// Weighted fair queueing via Start-Time Fair Queueing (STFQ).
+//
+// This is the switch scheduler NUMFabric's Swift layer relies on (§4.1, §5).
+// Following the paper's hardware sketch (Eq. 12–13):
+//
+//   S(p_i^k) = max(V, F(p_i^{k-1}))
+//   F(p_i^k) = S(p_i^k) + L(p_i^k) / w_i
+//
+// packets are served in ascending order of virtual start time S, and V is the
+// virtual start time of the packet currently in service.  Crucially, the
+// switch never learns w_i: the sender ships L/w pre-divided in the
+// `virtual_packet_len` header field, which lets weights change on a
+// packet-by-packet basis — the property xWI depends on.
+//
+// Control packets carry virtual_packet_len == 0, so they consume no virtual
+// time (S == F) and effectively ride for free, as in the paper.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "net/queue.h"
+
+namespace numfabric::net {
+
+class WfqQueue : public Queue {
+ public:
+  explicit WfqQueue(std::size_t capacity_bytes) : Queue(capacity_bytes) {}
+
+  bool enqueue(Packet&& p) override;
+  std::optional<Packet> dequeue() override;
+
+  /// Current virtual time (exposed for tests).
+  double virtual_time() const { return virtual_time_; }
+
+  /// Number of flows with scheduler state (exposed for GC tests).
+  std::size_t tracked_flows() const { return last_finish_.size(); }
+
+ private:
+  struct Entry {
+    double start;       // virtual start time S
+    std::uint64_t seq;  // arrival order; breaks ties deterministically
+    Packet packet;
+  };
+  // Inverted so the std:: heap algorithms yield a min-heap on (start, seq).
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.start != b.start) return a.start > b.start;
+      return a.seq > b.seq;
+    }
+  };
+
+  void garbage_collect_idle_flows();
+
+  std::vector<Entry> heap_;  // std::push_heap / std::pop_heap
+  std::unordered_map<FlowId, double> last_finish_;  // F(p_i^{k-1}) per flow
+  double virtual_time_ = 0.0;
+  std::uint64_t arrival_seq_ = 0;
+  std::uint64_t pops_since_gc_ = 0;
+};
+
+}  // namespace numfabric::net

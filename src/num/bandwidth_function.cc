@@ -1,0 +1,136 @@
+#include "num/bandwidth_function.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace numfabric::num {
+
+BandwidthFunction::BandwidthFunction(std::vector<Point> points)
+    : points_(std::move(points)) {
+  if (points_.size() < 2) {
+    throw std::invalid_argument("BandwidthFunction: need at least 2 points");
+  }
+  if (points_.front().fair_share != 0.0 || points_.front().bandwidth != 0.0) {
+    throw std::invalid_argument("BandwidthFunction: must start at (0, 0)");
+  }
+  for (std::size_t i = 1; i < points_.size(); ++i) {
+    if (points_[i].fair_share <= points_[i - 1].fair_share) {
+      throw std::invalid_argument("BandwidthFunction: fair shares must increase");
+    }
+    if (points_[i].bandwidth < points_[i - 1].bandwidth) {
+      throw std::invalid_argument("BandwidthFunction: bandwidth must not decrease");
+    }
+  }
+  const Point& a = points_[points_.size() - 2];
+  const Point& b = points_.back();
+  tail_slope_ = (b.bandwidth - a.bandwidth) / (b.fair_share - a.fair_share);
+}
+
+double BandwidthFunction::bandwidth(double fair_share) const {
+  if (fair_share <= 0.0) return 0.0;
+  if (fair_share >= points_.back().fair_share) {
+    return points_.back().bandwidth +
+           tail_slope_ * (fair_share - points_.back().fair_share);
+  }
+  // Binary search for the segment containing fair_share.
+  auto it = std::upper_bound(
+      points_.begin(), points_.end(), fair_share,
+      [](double f, const Point& p) { return f < p.fair_share; });
+  const Point& hi = *it;
+  const Point& lo = *(it - 1);
+  const double t = (fair_share - lo.fair_share) / (hi.fair_share - lo.fair_share);
+  return lo.bandwidth + t * (hi.bandwidth - lo.bandwidth);
+}
+
+double BandwidthFunction::fair_share(double bw) const {
+  if (bw <= 0.0) return 0.0;
+  if (bw >= points_.back().bandwidth) {
+    if (tail_slope_ <= 0.0) return points_.back().fair_share;
+    return points_.back().fair_share +
+           (bw - points_.back().bandwidth) / tail_slope_;
+  }
+  auto it = std::upper_bound(points_.begin(), points_.end(), bw,
+                             [](double b, const Point& p) { return b < p.bandwidth; });
+  // `it` is the first point with bandwidth > bw; the segment [it-1, it]
+  // contains bw.  On flat segments upper_bound already lands us past all
+  // points with bandwidth == bw, giving the leftmost fair share of the rise.
+  const Point& hi = *it;
+  const Point& lo = *(it - 1);
+  if (hi.bandwidth == lo.bandwidth) return lo.fair_share;
+  const double t = (bw - lo.bandwidth) / (hi.bandwidth - lo.bandwidth);
+  return lo.fair_share + t * (hi.fair_share - lo.fair_share);
+}
+
+BandwidthFunction BandwidthFunction::strictified(double min_slope) const {
+  if (min_slope <= 0) throw std::invalid_argument("strictified: min_slope <= 0");
+  std::vector<Point> fixed = points_;
+  for (std::size_t i = 1; i < fixed.size(); ++i) {
+    const double df = fixed[i].fair_share - fixed[i - 1].fair_share;
+    const double min_rise = min_slope * df;
+    if (fixed[i].bandwidth < fixed[i - 1].bandwidth + min_rise) {
+      fixed[i].bandwidth = fixed[i - 1].bandwidth + min_rise;
+    }
+  }
+  BandwidthFunction result(std::move(fixed));
+  result.tail_slope_ = std::max(tail_slope_, min_slope);
+  return result;
+}
+
+BandwidthFunction BandwidthFunction::capped(double tail_slope) const {
+  if (tail_slope < 0) throw std::invalid_argument("capped: tail_slope < 0");
+  BandwidthFunction result(points_);
+  result.tail_slope_ = tail_slope;
+  return result;
+}
+
+BandwidthFunctionUtility::BandwidthFunctionUtility(BandwidthFunction function,
+                                                   double alpha)
+    : function_(std::move(function)), alpha_(alpha) {
+  if (alpha <= 0) throw std::invalid_argument("BandwidthFunctionUtility: alpha <= 0");
+}
+
+double BandwidthFunctionUtility::marginal(double x) const {
+  const double f = std::max(function_.fair_share(std::max(x, kMinRate)),
+                            1e-6);  // F(0+) on the initial rise
+  return std::pow(f, -alpha_);
+}
+
+double BandwidthFunctionUtility::marginal_inverse(double price) const {
+  price = std::max(price, kMinPrice);
+  // U'(x) = F(x)^-alpha = p  =>  x = B(p^{-1/alpha}).
+  const double rate = function_.bandwidth(std::pow(price, -1.0 / alpha_));
+  if (!std::isfinite(rate)) return kMaxRate;
+  return std::clamp(rate, kMinRate, kMaxRate);
+}
+
+double BandwidthFunctionUtility::utility(double x) const {
+  // Trapezoidal integration of F(tau)^-alpha; only used for reporting.
+  const int steps = 512;
+  const double h = std::max(x, kMinRate) / steps;
+  double sum = 0.0;
+  for (int i = 0; i < steps; ++i) {
+    const double a = marginal(i * h);
+    const double b = marginal((i + 1) * h);
+    sum += 0.5 * (a + b) * h;
+  }
+  return sum;
+}
+
+BandwidthFunction fig2_flow1() {
+  // Strict priority up to 10 Gbps as f goes 0 -> 2, then slope 10 Gbps per
+  // fair-share unit up to (2.5, 15 Gbps); the tail continues at that slope
+  // ("and so on").  Bandwidths in rate units (Mbps).
+  return BandwidthFunction({{0.0, 0.0}, {2.0, 10'000.0}, {2.5, 15'000.0}});
+}
+
+BandwidthFunction fig2_flow2() {
+  // Nothing until f = 2, then slope 20 Gbps/unit (twice flow 1's) up to
+  // (2.5, 10 Gbps), capped there.  Strictify the flat head so the inverse
+  // exists, and give the cap a near-flat tail.
+  return BandwidthFunction({{0.0, 0.0}, {2.0, 0.0}, {2.5, 10'000.0}})
+      .strictified(1.0)
+      .capped(1.0);
+}
+
+}  // namespace numfabric::num

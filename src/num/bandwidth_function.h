@@ -1,0 +1,87 @@
+// Bandwidth functions (BwE [35]) and their induced utility functions (§2).
+//
+// A bandwidth function B(f) maps the dimensionless "fair share" f to the
+// bandwidth a flow should receive.  Allocation on a link picks the largest f
+// with sum_i B_i(f) <= C (water-filling).  The paper derives the utility
+//
+//   U(x) = integral_0^x F(tau)^-alpha dtau,   F = B^{-1}
+//
+// whose NUM solution approximates that allocation for large alpha (~5).
+//
+// Representation: piecewise-linear, starting at (0, 0), with non-decreasing
+// bandwidth.  Flat segments are permitted when *constructing* (Fig. 2's
+// flow 2 is flat at zero until f = 2); `strictified` adds a small slope so
+// the inverse exists, as the paper's "technical convenience" assumption
+// requires.  Beyond the last breakpoint the function continues with the
+// final segment's slope (Fig. 2's "and so on"); use `capped` to end with an
+// almost-flat tail instead.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "num/utility.h"
+
+namespace numfabric::num {
+
+class BandwidthFunction {
+ public:
+  struct Point {
+    double fair_share;  // f
+    double bandwidth;   // B(f), in rate units (Mbps)
+  };
+
+  /// Breakpoints must start at f = 0, have strictly increasing fair shares
+  /// and non-decreasing bandwidths.  B(0) must be 0.
+  explicit BandwidthFunction(std::vector<Point> points);
+
+  /// B(f).  Beyond the last breakpoint the final slope continues.
+  double bandwidth(double fair_share) const;
+
+  /// F(x) = B^{-1}(x): the fair share at which the flow is allocated x.
+  /// On flat segments (not strictly increasing) returns the leftmost f.
+  double fair_share(double bandwidth) const;
+
+  /// A copy with all zero-slope segments (and a zero-slope tail) replaced by
+  /// slope `min_slope`, making the function strictly increasing.
+  BandwidthFunction strictified(double min_slope = 1e-2) const;
+
+  /// A copy whose continuation beyond the last breakpoint has slope
+  /// `tail_slope` (near-flat: the flow is "satisfied" past that point).
+  BandwidthFunction capped(double tail_slope = 1e-2) const;
+
+  const std::vector<Point>& points() const { return points_; }
+  double max_defined_fair_share() const { return points_.back().fair_share; }
+  double max_defined_bandwidth() const { return points_.back().bandwidth; }
+
+ private:
+  std::vector<Point> points_;
+  double tail_slope_;  // slope beyond the last breakpoint
+};
+
+/// U(x) = integral_0^x F(tau)^-alpha dtau (Table 1, last row).  alpha ~ 5
+/// makes the NUM allocation approximate the water-filled one (§6.3).
+class BandwidthFunctionUtility : public UtilityFunction {
+ public:
+  BandwidthFunctionUtility(BandwidthFunction function, double alpha);
+
+  double utility(double x) const override;        // numeric integral
+  double marginal(double x) const override;       // F(x)^-alpha
+  double marginal_inverse(double price) const override;  // B(price^-1/alpha)
+
+  const BandwidthFunction& function() const { return function_; }
+  double alpha() const { return alpha_; }
+
+ private:
+  BandwidthFunction function_;
+  double alpha_;
+};
+
+/// The two bandwidth functions of Fig. 2.  Flow 1: strict priority for the
+/// first 10 Gbps (f in [0,2]), then slope 10 to 15 Gbps at f = 2.5,
+/// continuing.  Flow 2: nothing until f = 2, then twice flow 1's slope up to
+/// 10 Gbps at f = 2.5, then capped.
+BandwidthFunction fig2_flow1();
+BandwidthFunction fig2_flow2();
+
+}  // namespace numfabric::num

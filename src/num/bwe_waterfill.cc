@@ -1,0 +1,123 @@
+#include "num/bwe_waterfill.h"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace numfabric::num {
+namespace {
+
+/// Total demand of the active flows on link l at common fair share f.
+double active_demand(const BweProblem& problem, const std::vector<int>& flows,
+                     const std::vector<bool>& active, double f) {
+  double demand = 0.0;
+  for (int i : flows) {
+    if (active[static_cast<std::size_t>(i)]) {
+      demand += problem.functions[static_cast<std::size_t>(i)]->bandwidth(f);
+    }
+  }
+  return demand;
+}
+
+}  // namespace
+
+BweResult bwe_waterfill(const BweProblem& problem, double max_fair_share) {
+  const std::size_t num_flows = problem.functions.size();
+  const std::size_t num_links = problem.capacities.size();
+  if (problem.flow_links.size() != num_flows) {
+    throw std::invalid_argument("bwe_waterfill: functions/flow_links mismatch");
+  }
+  for (const auto* fn : problem.functions) {
+    if (fn == nullptr) throw std::invalid_argument("bwe_waterfill: null function");
+  }
+
+  std::vector<std::vector<int>> flows_on_link(num_links);
+  for (std::size_t i = 0; i < num_flows; ++i) {
+    if (problem.flow_links[i].empty()) {
+      throw std::invalid_argument("bwe_waterfill: empty path");
+    }
+    for (int l : problem.flow_links[i]) {
+      if (l < 0 || static_cast<std::size_t>(l) >= num_links) {
+        throw std::invalid_argument("bwe_waterfill: bad link index");
+      }
+      flows_on_link[static_cast<std::size_t>(l)].push_back(static_cast<int>(i));
+    }
+  }
+
+  BweResult result;
+  result.rates.assign(num_flows, 0.0);
+  result.fair_shares.assign(num_flows, 0.0);
+  std::vector<bool> active(num_flows, true);
+  std::vector<double> frozen(num_links, 0.0);  // capacity used by frozen flows
+  std::size_t remaining = num_flows;
+  double level = 0.0;
+
+  while (remaining > 0) {
+    // For each link, the fair share at which it would saturate, given the
+    // currently active flows: smallest f with demand(f) >= c - frozen.
+    double next_level = max_fair_share;
+    for (std::size_t l = 0; l < num_links; ++l) {
+      bool has_active = false;
+      for (int i : flows_on_link[l]) {
+        has_active = has_active || active[static_cast<std::size_t>(i)];
+      }
+      if (!has_active) continue;
+      const double headroom = problem.capacities[l] - frozen[l];
+      if (active_demand(problem, flows_on_link[l], active, max_fair_share) <
+          headroom) {
+        continue;  // this link never saturates within the search bound
+      }
+      double lo = level;
+      double hi = max_fair_share;
+      for (int iter = 0; iter < 200; ++iter) {
+        const double mid = 0.5 * (lo + hi);
+        if (active_demand(problem, flows_on_link[l], active, mid) < headroom) {
+          lo = mid;
+        } else {
+          hi = mid;
+        }
+      }
+      next_level = std::min(next_level, hi);
+    }
+    level = next_level;
+
+    // Freeze flows on saturated links (or all flows at the search bound).
+    bool froze_any = false;
+    for (std::size_t l = 0; l < num_links; ++l) {
+      const double headroom = problem.capacities[l] - frozen[l];
+      const double demand = active_demand(problem, flows_on_link[l], active, level);
+      const bool saturated =
+          demand >= headroom * (1.0 - 1e-9) || level >= max_fair_share;
+      if (!saturated) continue;
+      for (int fi : flows_on_link[l]) {
+        const auto i = static_cast<std::size_t>(fi);
+        if (!active[i]) continue;
+        active[i] = false;
+        froze_any = true;
+        --remaining;
+        result.fair_shares[i] = level;
+        result.rates[i] = problem.functions[i]->bandwidth(level);
+        for (int k : problem.flow_links[i]) {
+          frozen[static_cast<std::size_t>(k)] += result.rates[i];
+        }
+      }
+    }
+    if (level >= max_fair_share) {
+      // Remaining flows are unconstrained: satisfied at the bound.
+      for (std::size_t i = 0; i < num_flows; ++i) {
+        if (!active[i]) continue;
+        active[i] = false;
+        --remaining;
+        result.fair_shares[i] = max_fair_share;
+        result.rates[i] = problem.functions[i]->bandwidth(max_fair_share);
+      }
+      break;
+    }
+    if (!froze_any) {
+      throw std::logic_error("bwe_waterfill: no progress (numeric issue)");
+    }
+  }
+  return result;
+}
+
+}  // namespace numfabric::num

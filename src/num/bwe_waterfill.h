@@ -1,0 +1,36 @@
+// Multi-link bandwidth-function allocation (BwE [35] §2).
+//
+// Given flows with bandwidth functions B_i(f) and fixed single paths, the
+// allocation raises every flow's fair share f together; when a link
+// saturates, the flows crossing it freeze at the current share and the rest
+// keep rising (a max-min over fair shares).  Each flow ends with its own
+// fair share f_i and allocation B_i(f_i).
+//
+// This is the ground truth for Fig. 9 (one link, capacity swept) and for the
+// bandwidth-function tests.  The multipath variant used in Fig. 10 has its
+// expected allocations stated in the paper itself; see exp/bwfunc_experiment.
+#pragma once
+
+#include <vector>
+
+#include "num/bandwidth_function.h"
+
+namespace numfabric::num {
+
+struct BweProblem {
+  /// Non-owning; caller keeps the functions alive.
+  std::vector<const BandwidthFunction*> functions;
+  std::vector<std::vector<int>> flow_links;
+  std::vector<double> capacities;
+};
+
+struct BweResult {
+  std::vector<double> rates;        // B_i(f_i)
+  std::vector<double> fair_shares;  // f_i
+};
+
+/// `max_fair_share` bounds the search; flows still unconstrained there are
+/// frozen at that share (their functions are effectively capped).
+BweResult bwe_waterfill(const BweProblem& problem, double max_fair_share = 1e6);
+
+}  // namespace numfabric::num

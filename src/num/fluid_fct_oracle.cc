@@ -1,0 +1,99 @@
+#include "num/fluid_fct_oracle.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+
+namespace numfabric::num {
+
+FluidFctResult fluid_fct_oracle(const std::vector<FluidFlow>& flows,
+                                const std::vector<double>& capacities,
+                                const NumSolverOptions& solver_options) {
+  for (const FluidFlow& f : flows) {
+    if (f.size_bytes <= 0) throw std::invalid_argument("fluid_fct_oracle: size <= 0");
+    if (f.utility == nullptr) throw std::invalid_argument("fluid_fct_oracle: null utility");
+    if (f.links.empty()) throw std::invalid_argument("fluid_fct_oracle: empty path");
+  }
+
+  // Process arrivals in time order but report results in input order.
+  std::vector<std::size_t> order(flows.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return flows[a].arrival_seconds < flows[b].arrival_seconds;
+  });
+
+  FluidFctResult result;
+  result.fct_seconds.assign(flows.size(), 0.0);
+  result.ideal_rate.assign(flows.size(), 0.0);
+
+  std::vector<std::size_t> active;          // indices into `flows`
+  std::vector<double> remaining_bits(flows.size(), 0.0);
+  std::size_t next_arrival = 0;
+  double now = 0.0;
+  NumSolverOptions warm = solver_options;
+
+  while (next_arrival < order.size() || !active.empty()) {
+    // Admit all flows arriving now.
+    if (active.empty() && next_arrival < order.size()) {
+      now = std::max(now, flows[order[next_arrival]].arrival_seconds);
+    }
+    while (next_arrival < order.size() &&
+           flows[order[next_arrival]].arrival_seconds <= now + 1e-15) {
+      const std::size_t id = order[next_arrival++];
+      active.push_back(id);
+      remaining_bits[id] = flows[id].size_bytes * 8.0;
+    }
+
+    // Optimal allocation for the active set.
+    NumProblem problem;
+    problem.capacities = capacities;
+    problem.utilities.reserve(active.size());
+    problem.flow_links.reserve(active.size());
+    for (std::size_t id : active) {
+      problem.utilities.push_back(flows[id].utility);
+      problem.flow_links.push_back(flows[id].links);
+    }
+    warm.initial_prices.clear();  // active set changed; restart prices
+    const NumSolution solution = solve_num(problem, warm);
+    ++result.solves;
+
+    // Advance to the next event: first completion or next arrival.
+    double dt = std::numeric_limits<double>::infinity();
+    if (next_arrival < order.size()) {
+      dt = flows[order[next_arrival]].arrival_seconds - now;
+    }
+    for (std::size_t k = 0; k < active.size(); ++k) {
+      const double rate_bps = solution.rates[k] * kRateUnitBps;
+      if (rate_bps <= 0) continue;
+      dt = std::min(dt, remaining_bits[active[k]] / rate_bps);
+    }
+    if (!std::isfinite(dt)) {
+      throw std::logic_error("fluid_fct_oracle: stalled (all rates zero)");
+    }
+    dt = std::max(dt, 0.0);
+    now += dt;
+    for (std::size_t k = 0; k < active.size(); ++k) {
+      remaining_bits[active[k]] -= solution.rates[k] * kRateUnitBps * dt;
+    }
+
+    // Retire completed flows.
+    for (std::size_t k = 0; k < active.size();) {
+      const std::size_t id = active[k];
+      if (remaining_bits[id] <= 1e-6) {
+        const double fct = now - flows[id].arrival_seconds;
+        result.fct_seconds[id] = fct;
+        result.ideal_rate[id] =
+            flows[id].size_bytes * 8.0 / std::max(fct, 1e-12) / kRateUnitBps;
+        active[k] = active.back();
+        active.pop_back();
+      } else {
+        ++k;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace numfabric::num

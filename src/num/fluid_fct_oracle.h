@@ -1,0 +1,42 @@
+// Event-driven fluid simulation: the paper's "ideal Oracle" for dynamic
+// workloads (§6.1).
+//
+// Flows arrive with a size; at every arrival or completion the oracle
+// recomputes the optimal NUM allocation for the currently active set
+// (instantaneous convergence) and advances remaining sizes fluidly until the
+// next event.  The resulting completion times define idealRate = size / FCT,
+// the denominator of Fig. 5's normalized rate deviation, and the ideal FCTs
+// for Fig. 7.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "num/num_solver.h"
+#include "num/utility.h"
+
+namespace numfabric::num {
+
+struct FluidFlow {
+  double arrival_seconds = 0.0;
+  double size_bytes = 0.0;
+  std::vector<int> links;                       // path (link indices)
+  const UtilityFunction* utility = nullptr;     // non-owning
+};
+
+struct FluidFctResult {
+  /// Completion time (seconds since arrival) per flow, same order as input.
+  std::vector<double> fct_seconds;
+  /// size / fct, in rate units (Mbps).
+  std::vector<double> ideal_rate;
+  /// Number of allocation recomputations performed (perf reporting).
+  int solves = 0;
+};
+
+/// Simulates the fluid system.  `capacities` are in rate units (Mbps).
+/// Complexity: O(events * solver); intended for oracle use, not scale.
+FluidFctResult fluid_fct_oracle(const std::vector<FluidFlow>& flows,
+                                const std::vector<double>& capacities,
+                                const NumSolverOptions& solver_options = {});
+
+}  // namespace numfabric::num

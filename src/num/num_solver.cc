@@ -1,0 +1,163 @@
+#include "num/num_solver.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace numfabric::num {
+namespace {
+
+void validate(const NumProblem& problem) {
+  const std::size_t num_flows = problem.utilities.size();
+  if (problem.flow_links.size() != num_flows) {
+    throw std::invalid_argument("solve_num: utilities/flow_links size mismatch");
+  }
+  for (const auto* u : problem.utilities) {
+    if (u == nullptr) throw std::invalid_argument("solve_num: null utility");
+  }
+  for (double c : problem.capacities) {
+    if (c <= 0) throw std::invalid_argument("solve_num: capacity <= 0");
+  }
+  for (const auto& links : problem.flow_links) {
+    if (links.empty()) throw std::invalid_argument("solve_num: empty path");
+    for (int l : links) {
+      if (l < 0 || static_cast<std::size_t>(l) >= problem.capacities.size()) {
+        throw std::invalid_argument("solve_num: bad link index");
+      }
+    }
+  }
+}
+
+}  // namespace
+
+NumSolution solve_num(const NumProblem& problem, const NumSolverOptions& options) {
+  validate(problem);
+  const std::size_t num_flows = problem.utilities.size();
+  const std::size_t num_links = problem.capacities.size();
+
+  // flows_on_link[l]: which flows cross link l.
+  std::vector<std::vector<int>> flows_on_link(num_links);
+  for (std::size_t i = 0; i < num_flows; ++i) {
+    for (int l : problem.flow_links[i]) {
+      flows_on_link[static_cast<std::size_t>(l)].push_back(static_cast<int>(i));
+    }
+  }
+
+  std::vector<double> prices = options.initial_prices;
+  if (prices.empty()) {
+    prices.assign(num_links, 1.0);
+  } else if (prices.size() != num_links) {
+    throw std::invalid_argument("solve_num: initial_prices size mismatch");
+  }
+
+  // path_price[i] = sum of prices along flow i's path, kept incrementally.
+  std::vector<double> path_price(num_flows, 0.0);
+  for (std::size_t i = 0; i < num_flows; ++i) {
+    for (int l : problem.flow_links[i]) {
+      path_price[i] += prices[static_cast<std::size_t>(l)];
+    }
+  }
+
+  auto link_load = [&](std::size_t l, double candidate_price,
+                       const std::vector<double>& base) {
+    double load = 0.0;
+    for (int i : flows_on_link[l]) {
+      load += problem.utilities[static_cast<std::size_t>(i)]->marginal_inverse(
+          base[static_cast<std::size_t>(i)] + candidate_price);
+    }
+    return load;
+  };
+
+  NumSolution solution;
+  std::vector<double> base(num_flows);  // path price minus this link's price
+  for (int sweep = 0; sweep < options.max_sweeps; ++sweep) {
+    double max_price_change = 0.0;
+    for (std::size_t l = 0; l < num_links; ++l) {
+      if (flows_on_link[l].empty()) {
+        prices[l] = 0.0;
+        continue;
+      }
+      for (int i : flows_on_link[l]) {
+        base[static_cast<std::size_t>(i)] =
+            path_price[static_cast<std::size_t>(i)] - prices[l];
+      }
+      const double capacity = problem.capacities[l];
+      double new_price;
+      if (link_load(l, 0.0, base) <= capacity) {
+        new_price = 0.0;  // under-loaded even for free: complementary slackness
+      } else {
+        // Bracket: load decreases in price; double until under capacity.
+        double lo = 0.0;
+        double hi = std::max(prices[l], 1e-6);
+        while (link_load(l, hi, base) > capacity) {
+          lo = hi;
+          hi *= 2.0;
+          if (hi > 1e30) throw std::logic_error("solve_num: price diverged");
+        }
+        for (int iter = 0; iter < 100; ++iter) {
+          const double mid = 0.5 * (lo + hi);
+          if (link_load(l, mid, base) > capacity) {
+            lo = mid;
+          } else {
+            hi = mid;
+          }
+        }
+        new_price = 0.5 * (lo + hi);
+      }
+      max_price_change = std::max(max_price_change, std::abs(new_price - prices[l]));
+      for (int i : flows_on_link[l]) {
+        path_price[static_cast<std::size_t>(i)] =
+            base[static_cast<std::size_t>(i)] + new_price;
+      }
+      prices[l] = new_price;
+    }
+    solution.sweeps = sweep + 1;
+    if (max_price_change < options.tolerance) {
+      solution.converged = true;
+      break;
+    }
+  }
+
+  solution.prices = prices;
+  solution.rates.resize(num_flows);
+  for (std::size_t i = 0; i < num_flows; ++i) {
+    solution.rates[i] = problem.utilities[i]->marginal_inverse(path_price[i]);
+  }
+  // Feasibility check on saturated links.
+  for (std::size_t l = 0; l < num_links; ++l) {
+    double load = 0.0;
+    for (int i : flows_on_link[l]) load += solution.rates[static_cast<std::size_t>(i)];
+    const double violation = (load - problem.capacities[l]) / problem.capacities[l];
+    solution.max_violation = std::max(solution.max_violation, violation);
+  }
+  return solution;
+}
+
+double kkt_residual(const NumProblem& problem, const std::vector<double>& rates,
+                    const std::vector<double>& prices) {
+  double residual = 0.0;
+  for (std::size_t i = 0; i < problem.utilities.size(); ++i) {
+    double path_price = 0.0;
+    for (int l : problem.flow_links[i]) path_price += prices[static_cast<std::size_t>(l)];
+    const double marginal = problem.utilities[i]->marginal(rates[i]);
+    residual = std::max(residual, std::abs(marginal - path_price) /
+                                      std::max(marginal, kMinPrice));
+  }
+  for (std::size_t l = 0; l < problem.capacities.size(); ++l) {
+    double load = 0.0;
+    for (std::size_t i = 0; i < problem.flow_links.size(); ++i) {
+      for (int k : problem.flow_links[i]) {
+        if (static_cast<std::size_t>(k) == l) load += rates[i];
+      }
+    }
+    const double slack = problem.capacities[l] - load;
+    // Complementary slackness: p_l * slack ~ 0 (normalized).
+    residual = std::max(residual, prices[l] * std::max(slack, 0.0) /
+                                      problem.capacities[l]);
+    // Feasibility.
+    residual = std::max(residual, -slack / problem.capacities[l]);
+  }
+  return residual;
+}
+
+}  // namespace numfabric::num

@@ -1,0 +1,48 @@
+#include "num/utility.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace numfabric::num {
+
+AlphaFairUtility::AlphaFairUtility(double alpha, double weight)
+    : alpha_(alpha), weight_(weight) {
+  if (alpha < 0) throw std::invalid_argument("AlphaFairUtility: alpha must be >= 0");
+  if (weight <= 0) throw std::invalid_argument("AlphaFairUtility: weight must be > 0");
+}
+
+double AlphaFairUtility::utility(double x) const {
+  x = std::max(x, kMinRate);
+  if (alpha_ == 1.0) return weight_ * std::log(x);
+  return weight_ * std::pow(x, 1.0 - alpha_) / (1.0 - alpha_);
+}
+
+double AlphaFairUtility::marginal(double x) const {
+  x = std::max(x, kMinRate);
+  return weight_ * std::pow(x, -alpha_);
+}
+
+double AlphaFairUtility::marginal_inverse(double price) const {
+  price = std::max(price, kMinPrice);
+  if (alpha_ == 0.0) {
+    // Linear utility: marginal is constant; the inverse is degenerate.
+    throw std::logic_error(
+        "AlphaFairUtility: marginal_inverse undefined for alpha == 0; "
+        "use a small positive alpha (see Table 1 footnote)");
+  }
+  const double rate = std::pow(price / weight_, -1.0 / alpha_);
+  if (!std::isfinite(rate)) return kMaxRate;
+  return std::min(rate, kMaxRate);
+}
+
+std::unique_ptr<AlphaFairUtility> make_fct_utility(double size_bytes,
+                                                   double epsilon) {
+  if (size_bytes <= 0) throw std::invalid_argument("make_fct_utility: size <= 0");
+  // Weight 1/size; size expressed in MB keeps weights O(1e-2..1e2) across
+  // the web-search range (10 KB .. 30 MB).
+  const double size_mb = size_bytes / 1e6;
+  return std::make_unique<AlphaFairUtility>(epsilon, 1.0 / std::max(size_mb, 1e-6));
+}
+
+}  // namespace numfabric::num

@@ -1,0 +1,82 @@
+// Utility functions for the NUM framework (Table 1 of the paper).
+//
+// A utility function U(x) encodes a flow's benefit at rate x.  The transports
+// and solvers only ever need three operations: U(x) (reporting), U'(x)
+// (residual computation, Eq. 9) and U'^{-1}(p) (weight/rate computation,
+// Eq. 3/7).
+//
+// Rate unit convention: throughout the num/ module rates are expressed in
+// Mbps (`kRateUnitBps` bps per unit).  Mbps is what the paper's Table 2
+// constants assume (DGD's a is stated in Mbps^-1), and it keeps powers
+// x^-alpha well inside double range even for alpha ~ 5 (bandwidth function
+// utilities).
+#pragma once
+
+#include <memory>
+
+namespace numfabric::num {
+
+/// Bits per second per NUM rate unit (rates in this module are Mbps).
+inline constexpr double kRateUnitBps = 1e6;
+
+/// Converts between wire rates (bps) and NUM rate units.
+constexpr double to_rate_units(double bps) { return bps / kRateUnitBps; }
+constexpr double to_bps(double rate_units) { return rate_units * kRateUnitBps; }
+
+/// Floors preventing 0^-alpha / division blowups at start-up transients.
+/// kMinPrice only guards against literal zero/negative prices; legitimate
+/// marginals can be astronomically small at large alpha (x^-8 at 10 Gbps is
+/// ~1e-37), so the floor must sit near the bottom of double range.
+inline constexpr double kMinRate = 1e-9;
+inline constexpr double kMinPrice = 1e-300;
+/// Inverse-marginal results are capped here (1e12 Mbps = 1 Pbps): harmless
+/// for any real allocation, prevents overflow to inf at vanishing prices.
+inline constexpr double kMaxRate = 1e12;
+
+class UtilityFunction {
+ public:
+  virtual ~UtilityFunction() = default;
+
+  /// U(x); x in rate units.  Used only for reporting/objective values.
+  virtual double utility(double x) const = 0;
+
+  /// Marginal utility U'(x).
+  virtual double marginal(double x) const = 0;
+
+  /// Inverse marginal U'^{-1}(p): the rate at which the marginal utility
+  /// equals price p.  Monotonically non-increasing in p.
+  virtual double marginal_inverse(double price) const = 0;
+};
+
+/// Weighted alpha-fair utilities (Table 1, rows 1-3):
+///
+///   U(x) = w * x^(1-alpha) / (1-alpha)      (alpha != 1)
+///   U(x) = w * log(x)                       (alpha == 1)
+///
+/// alpha = 0 maximizes throughput, alpha = 1 is proportional fairness,
+/// alpha -> inf approaches max-min.  Row 3 (minimize FCT) is the special
+/// case alpha = epsilon (~0.125), w = 1/flow_size: see `make_fct_utility`.
+class AlphaFairUtility : public UtilityFunction {
+ public:
+  explicit AlphaFairUtility(double alpha, double weight = 1.0);
+
+  double utility(double x) const override;
+  double marginal(double x) const override;
+  double marginal_inverse(double price) const override;
+
+  double alpha() const { return alpha_; }
+  double weight() const { return weight_; }
+
+ private:
+  double alpha_;
+  double weight_;
+};
+
+/// The paper's FCT-minimizing utility (Table 1 row 3 with the footnote-2
+/// epsilon fix): U(x) = (1/size) * x^(1-eps) / (1-eps).  `size_bytes` is the
+/// flow's size; the weight uses size in MB so weights stay O(1) across the
+/// web-search size range.
+std::unique_ptr<AlphaFairUtility> make_fct_utility(double size_bytes,
+                                                   double epsilon = 0.125);
+
+}  // namespace numfabric::num

@@ -1,0 +1,102 @@
+#include "num/waterfill.h"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace numfabric::num {
+
+WaterfillResult weighted_max_min(const WaterfillProblem& problem) {
+  const std::size_t num_flows = problem.weights.size();
+  const std::size_t num_links = problem.capacities.size();
+  if (problem.flow_links.size() != num_flows) {
+    throw std::invalid_argument("weighted_max_min: weights/flow_links size mismatch");
+  }
+  for (double w : problem.weights) {
+    if (w <= 0) throw std::invalid_argument("weighted_max_min: weight <= 0");
+  }
+  for (double c : problem.capacities) {
+    if (c <= 0) throw std::invalid_argument("weighted_max_min: capacity <= 0");
+  }
+  for (const auto& links : problem.flow_links) {
+    if (links.empty()) throw std::invalid_argument("weighted_max_min: empty path");
+    for (int l : links) {
+      if (l < 0 || static_cast<std::size_t>(l) >= num_links) {
+        throw std::invalid_argument("weighted_max_min: bad link index");
+      }
+    }
+  }
+
+  WaterfillResult result;
+  result.rates.assign(num_flows, 0.0);
+  result.fill_level.assign(num_flows, 0.0);
+  result.bottleneck.assign(num_links, false);
+
+  std::vector<bool> active(num_flows, true);
+  // Integer counts decide which links still matter; the float weight sums
+  // accumulate rounding residue as flows freeze, and must not be trusted for
+  // the "does this link have active flows?" question.
+  std::vector<int> active_count(num_links, 0);
+  std::vector<double> active_weight(num_links, 0.0);  // sum of weights of active flows
+  std::vector<double> frozen_bytes(num_links, 0.0);   // allocation of frozen flows
+  for (std::size_t i = 0; i < num_flows; ++i) {
+    for (int l : problem.flow_links[i]) {
+      active_weight[static_cast<std::size_t>(l)] += problem.weights[i];
+      ++active_count[static_cast<std::size_t>(l)];
+    }
+  }
+
+  std::size_t remaining = num_flows;
+  double level = 0.0;  // current water level t
+  while (remaining > 0) {
+    // The next link to saturate bounds the common level t:
+    //   frozen_l + t * active_weight_l = c_l.
+    double next_level = std::numeric_limits<double>::infinity();
+    for (std::size_t l = 0; l < num_links; ++l) {
+      if (active_count[l] == 0) continue;
+      const double t = (problem.capacities[l] - frozen_bytes[l]) / active_weight[l];
+      next_level = std::min(next_level, std::max(t, level));
+    }
+    if (!std::isfinite(next_level)) {
+      throw std::logic_error("weighted_max_min: active flow crosses no capacitated link");
+    }
+    level = next_level;
+
+    // Freeze every active flow crossing a link that is now saturated.
+    for (std::size_t l = 0; l < num_links; ++l) {
+      if (active_count[l] == 0) continue;
+      const double slack =
+          problem.capacities[l] - frozen_bytes[l] - level * active_weight[l];
+      if (slack <= 1e-9 * problem.capacities[l]) result.bottleneck[l] = true;
+    }
+    bool froze_any = false;
+    for (std::size_t i = 0; i < num_flows; ++i) {
+      if (!active[i]) continue;
+      bool bottlenecked = false;
+      for (int l : problem.flow_links[i]) {
+        if (result.bottleneck[static_cast<std::size_t>(l)]) {
+          bottlenecked = true;
+          break;
+        }
+      }
+      if (!bottlenecked) continue;
+      active[i] = false;
+      froze_any = true;
+      --remaining;
+      const double rate = problem.weights[i] * level;
+      result.rates[i] = rate;
+      result.fill_level[i] = level;
+      for (int l : problem.flow_links[i]) {
+        active_weight[static_cast<std::size_t>(l)] -= problem.weights[i];
+        --active_count[static_cast<std::size_t>(l)];
+        frozen_bytes[static_cast<std::size_t>(l)] += rate;
+      }
+    }
+    if (!froze_any) {
+      throw std::logic_error("weighted_max_min: no progress (numeric issue)");
+    }
+  }
+  return result;
+}
+
+}  // namespace numfabric::num

@@ -1,0 +1,33 @@
+// Weighted max-min fair allocation by progressive filling.
+//
+// This is the exact fluid model of what Swift (WFQ + rate control) achieves
+// in the network (§4.1): every flow i gets x_i = w_i * t_i where t_i is the
+// water level of its bottleneck link, levels rising until every flow crosses
+// a saturated link.  Used as the inner allocation step of the fluid xWI
+// iteration and as a ground-truth oracle in tests.
+#pragma once
+
+#include <vector>
+
+namespace numfabric::num {
+
+struct WaterfillProblem {
+  /// Per-flow positive weights.
+  std::vector<double> weights;
+  /// Per-flow list of link indices the flow traverses (non-empty).
+  std::vector<std::vector<int>> flow_links;
+  /// Per-link capacity, in rate units.
+  std::vector<double> capacities;
+};
+
+struct WaterfillResult {
+  std::vector<double> rates;       // per flow
+  std::vector<double> fill_level;  // per flow: its bottleneck water level t_i
+  std::vector<bool> bottleneck;    // per link: saturated during filling
+};
+
+/// Computes the weighted max-min allocation.  Throws std::invalid_argument on
+/// malformed input (empty paths, non-positive weights/capacities).
+WaterfillResult weighted_max_min(const WaterfillProblem& problem);
+
+}  // namespace numfabric::num

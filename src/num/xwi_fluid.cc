@@ -1,0 +1,112 @@
+#include "num/xwi_fluid.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "num/waterfill.h"
+
+namespace numfabric::num {
+
+XwiFluidResult xwi_fluid_solve(const NumProblem& problem,
+                               const XwiFluidOptions& options,
+                               const std::vector<double>& reference_rates) {
+  const std::size_t num_flows = problem.utilities.size();
+  const std::size_t num_links = problem.capacities.size();
+  if (!reference_rates.empty() && reference_rates.size() != num_flows) {
+    throw std::invalid_argument("xwi_fluid_solve: reference size mismatch");
+  }
+
+  std::vector<std::vector<int>> flows_on_link(num_links);
+  for (std::size_t i = 0; i < num_flows; ++i) {
+    for (int l : problem.flow_links[i]) {
+      flows_on_link[static_cast<std::size_t>(l)].push_back(static_cast<int>(i));
+    }
+  }
+
+  std::vector<double> prices(num_links, options.initial_price);
+  XwiFluidResult result;
+
+  WaterfillProblem swift;
+  swift.flow_links = problem.flow_links;
+  swift.capacities = problem.capacities;
+  swift.weights.assign(num_flows, 1.0);
+
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    // Eq. 7: weights from path prices.
+    std::vector<double> path_price(num_flows, 0.0);
+    for (std::size_t i = 0; i < num_flows; ++i) {
+      for (int l : problem.flow_links[i]) {
+        path_price[i] += prices[static_cast<std::size_t>(l)];
+      }
+      swift.weights[i] =
+          std::max(problem.utilities[i]->marginal_inverse(path_price[i]), kMinRate);
+    }
+
+    // Eq. 8: Swift's weighted max-min allocation.
+    const WaterfillResult allocation = weighted_max_min(swift);
+
+    if (!reference_rates.empty()) {
+      double err = 0.0;
+      for (std::size_t i = 0; i < num_flows; ++i) {
+        err = std::max(err, std::abs(allocation.rates[i] - reference_rates[i]) /
+                                std::max(reference_rates[i], kMinRate));
+      }
+      result.error_trace.push_back(err);
+    }
+
+    // Eq. 9-11: price updates.  Convergence is judged by the change
+    // relative to the overall price scale: under-utilized links' prices
+    // decay geometrically toward zero and would never settle in a per-link
+    // relative metric.
+    double price_scale = 0.0;
+    for (double p : prices) price_scale = std::max(price_scale, p);
+    price_scale = std::max(price_scale, kMinPrice);
+    double max_change = 0.0;
+    std::vector<double> new_prices(num_links);
+    for (std::size_t l = 0; l < num_links; ++l) {
+      double min_residual = std::numeric_limits<double>::infinity();
+      double load = 0.0;
+      for (int fi : flows_on_link[l]) {
+        const auto i = static_cast<std::size_t>(fi);
+        const double residual =
+            (problem.utilities[i]->marginal(allocation.rates[i]) - path_price[i]) /
+            static_cast<double>(problem.flow_links[i].size());
+        min_residual = std::min(min_residual, residual);
+        load += allocation.rates[i];
+      }
+      if (!std::isfinite(min_residual)) min_residual = 0.0;  // idle link
+      const double utilization =
+          std::min(load / problem.capacities[l], 1.0);
+      const double p_res = prices[l] + min_residual;
+      const double p_new =
+          std::max(p_res - options.eta * (1.0 - utilization) * prices[l], 0.0);
+      new_prices[l] = options.beta * prices[l] + (1.0 - options.beta) * p_new;
+      max_change =
+          std::max(max_change, std::abs(new_prices[l] - prices[l]) / price_scale);
+    }
+    prices = std::move(new_prices);
+    result.iterations = iter + 1;
+    if (max_change < options.tolerance) {
+      result.converged = true;
+      break;
+    }
+  }
+
+  // Final allocation at the settled prices.
+  std::vector<double> path_price(num_flows, 0.0);
+  for (std::size_t i = 0; i < num_flows; ++i) {
+    for (int l : problem.flow_links[i]) {
+      path_price[i] += prices[static_cast<std::size_t>(l)];
+    }
+    swift.weights[i] =
+        std::max(problem.utilities[i]->marginal_inverse(path_price[i]), kMinRate);
+  }
+  result.rates = weighted_max_min(swift).rates;
+  result.weights = swift.weights;
+  result.prices = std::move(prices);
+  return result;
+}
+
+}  // namespace numfabric::num

@@ -1,0 +1,57 @@
+// Fluid-level xWI iteration (§4.2, Eqs. 7-11).
+//
+// This runs the exact xWI dynamical system with an idealized Swift layer
+// (the weighted max-min water-filler) substituted for the packet-level
+// transport:
+//
+//   w_i   = U_i'^{-1}( sum_l p_l )                    (Eq. 7)
+//   x     = weighted-max-min(w)                       (Eq. 8, Swift)
+//   res_l = min_i (U_i'(x_i) - path_price_i) / |L_i|  (Eq. 9)
+//   p~_l  = [ p_l + res_l - eta (1 - u_l) p_l ]_+     (Eq. 10)
+//   p_l  <- beta p_l + (1 - beta) p~_l                (Eq. 11)
+//
+// Two uses: (1) it validates the algorithm's fixed point against the NUM
+// oracle independent of packet-level noise (the paper proves the fixed point
+// is the NUM optimum); (2) it is a fast standalone NUM solver in its own
+// right, converging in tens of iterations.
+#pragma once
+
+#include <vector>
+
+#include "num/num_solver.h"
+#include "num/utility.h"
+
+namespace numfabric::num {
+
+struct XwiFluidOptions {
+  double eta = 5.0;    // under-utilization gain (Table 2)
+  double beta = 0.5;   // price averaging (Table 2)
+  double initial_price = 1.0;
+  int max_iterations = 10'000;
+  /// Stop when the max price change (relative to the price scale) falls
+  /// below this.  Note: the xWI iteration reaches the optimum geometrically
+  /// but then hovers in a tiny limit cycle (~1e-8 relative) as Eq. 9's min
+  /// switches between flows — consistent with the paper's §8 note that
+  /// asymptotic convergence is not proven.  The default sits above that
+  /// cycle.
+  double tolerance = 1e-7;
+};
+
+struct XwiFluidResult {
+  std::vector<double> rates;
+  std::vector<double> weights;
+  std::vector<double> prices;
+  int iterations = 0;
+  bool converged = false;
+  /// Per-iteration max relative rate error vs the NUM optimum, if a
+  /// reference solution was supplied (for convergence-speed plots).
+  std::vector<double> error_trace;
+};
+
+/// Runs the xWI iteration on `problem`.  If `reference_rates` is non-empty,
+/// records the per-iteration deviation trace against it.
+XwiFluidResult xwi_fluid_solve(const NumProblem& problem,
+                               const XwiFluidOptions& options = {},
+                               const std::vector<double>& reference_rates = {});
+
+}  // namespace numfabric::num

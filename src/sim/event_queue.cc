@@ -1,0 +1,46 @@
+#include "sim/event_queue.h"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+namespace numfabric::sim {
+
+EventId EventQueue::push(TimeNs at, std::function<void()> action) {
+  const EventId id = next_id_++;
+  heap_.push_back(Entry{at, id, std::move(action)});
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
+  live_.insert(id);
+  return id;
+}
+
+void EventQueue::cancel(EventId id) {
+  // A cancelled entry stays in the heap as a tombstone (absent from live_)
+  // and is skipped lazily when it reaches the head.
+  live_.erase(id);
+}
+
+void EventQueue::drop_cancelled_head() {
+  while (!heap_.empty() && live_.find(heap_.front().id) == live_.end()) {
+    std::pop_heap(heap_.begin(), heap_.end(), Later{});
+    heap_.pop_back();
+  }
+}
+
+TimeNs EventQueue::next_time() {
+  drop_cancelled_head();
+  assert(!heap_.empty());
+  return heap_.front().at;
+}
+
+std::pair<TimeNs, std::function<void()>> EventQueue::pop() {
+  drop_cancelled_head();
+  assert(!heap_.empty());
+  std::pop_heap(heap_.begin(), heap_.end(), Later{});
+  Entry entry = std::move(heap_.back());
+  heap_.pop_back();
+  live_.erase(entry.id);
+  return {entry.at, std::move(entry.action)};
+}
+
+}  // namespace numfabric::sim

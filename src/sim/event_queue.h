@@ -1,0 +1,65 @@
+// A cancellable priority queue of timed events.
+//
+// Events that fire at the same instant run in the order they were scheduled
+// (FIFO tie-break via a monotonically increasing sequence number); this makes
+// simulations reproducible independent of heap internals.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace numfabric::sim {
+
+/// Handle returned by `push`, usable with `cancel`.
+using EventId = std::uint64_t;
+
+class EventQueue {
+ public:
+  /// Schedules `action` at absolute time `at`.  Returns a handle that can be
+  /// passed to `cancel` as long as the event has not fired.
+  EventId push(TimeNs at, std::function<void()> action);
+
+  /// Cancels a pending event.  Cancelling an already-fired (or already
+  /// cancelled) event is a harmless no-op.
+  void cancel(EventId id);
+
+  /// True if no runnable (non-cancelled) event remains.
+  bool empty() const { return live_.empty(); }
+
+  /// Number of runnable events.
+  std::size_t size() const { return live_.size(); }
+
+  /// Time of the earliest runnable event.  Precondition: !empty().
+  TimeNs next_time();
+
+  /// Pops and returns the earliest runnable event (time, action).
+  /// Precondition: !empty().
+  std::pair<TimeNs, std::function<void()>> pop();
+
+ private:
+  struct Entry {
+    TimeNs at;
+    EventId id;
+    std::function<void()> action;
+  };
+  // Comparator inverted so the std:: heap algorithms yield a min-heap on
+  // (time, id).
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.id > b.id;
+    }
+  };
+
+  void drop_cancelled_head();
+
+  std::vector<Entry> heap_;             // std::push_heap / std::pop_heap
+  std::unordered_set<EventId> live_;    // scheduled and not cancelled/fired
+  EventId next_id_ = 1;
+};
+
+}  // namespace numfabric::sim

@@ -1,0 +1,42 @@
+// Deterministic randomness for workloads and scenarios.
+//
+// One seeded engine per scenario keeps experiments reproducible; helpers
+// cover the distributions the workloads need (uniform, exponential for
+// Poisson processes, permutations for traffic matrices).
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace numfabric::sim {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(seed) {}
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [lo, hi] (inclusive).
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Exponential variate with the given mean (> 0).
+  double exponential(double mean);
+
+  /// A uniformly random permutation of {0, 1, ..., n-1}.
+  std::vector<std::size_t> permutation(std::size_t n);
+
+  /// Picks an index in [0, n) uniformly.  Precondition: n > 0.
+  std::size_t index(std::size_t n);
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace numfabric::sim

@@ -1,0 +1,55 @@
+// The discrete-event simulator facade: a clock plus an event queue.
+//
+// This replaces ns-3 used by the paper.  All network components hold a
+// reference to one Simulator and drive themselves by scheduling callbacks.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <stdexcept>
+
+#include "sim/event_queue.h"
+#include "sim/time.h"
+
+namespace numfabric::sim {
+
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current simulation time.
+  TimeNs now() const { return now_; }
+
+  /// Schedules `action` to run `delay` from now.  Negative delays are an
+  /// error (they would rewind the clock).
+  EventId schedule_in(TimeNs delay, std::function<void()> action);
+
+  /// Schedules `action` at the absolute time `at` (must be >= now()).
+  EventId schedule_at(TimeNs at, std::function<void()> action);
+
+  void cancel(EventId id) { queue_.cancel(id); }
+
+  /// Runs events until the queue drains or `stop()` is called.
+  void run();
+
+  /// Runs events with time <= `until`, then sets the clock to `until`.
+  void run_until(TimeNs until);
+
+  /// Makes `run`/`run_until` return after the current event completes.
+  void stop() { stopped_ = true; }
+
+  /// Number of events executed so far (for perf reporting).
+  std::uint64_t events_executed() const { return events_executed_; }
+
+  bool pending() const { return !queue_.empty(); }
+
+ private:
+  EventQueue queue_;
+  TimeNs now_ = 0;
+  bool stopped_ = false;
+  std::uint64_t events_executed_ = 0;
+};
+
+}  // namespace numfabric::sim

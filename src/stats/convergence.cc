@@ -1,0 +1,68 @@
+#include "stats/convergence.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace numfabric::stats {
+
+ConvergenceDetector::ConvergenceDetector(
+    std::vector<double> targets_bps,
+    std::function<std::vector<double>()> rates_bps, ConvergenceOptions options)
+    : targets_(std::move(targets_bps)),
+      rates_(std::move(rates_bps)),
+      options_(options) {
+  if (targets_.empty()) {
+    throw std::invalid_argument("ConvergenceDetector: no flows to track");
+  }
+  if (!rates_) throw std::invalid_argument("ConvergenceDetector: null rate source");
+}
+
+bool ConvergenceDetector::close_enough() const {
+  const std::vector<double> rates = rates_();
+  if (rates.size() != targets_.size()) {
+    throw std::logic_error("ConvergenceDetector: rate vector size changed");
+  }
+  std::size_t close = 0;
+  for (std::size_t i = 0; i < rates.size(); ++i) {
+    const double target = targets_[i];
+    if (target <= 0) {
+      ++close;  // a flow entitled to ~nothing is vacuously converged
+      continue;
+    }
+    if (std::abs(rates[i] - target) <= options_.margin * target) ++close;
+  }
+  return static_cast<double>(close) >=
+         options_.fraction * static_cast<double>(targets_.size());
+}
+
+bool ConvergenceDetector::sample(sim::TimeNs now) {
+  if (finished_) return true;
+  if (first_sample_ < 0) first_sample_ = now;
+
+  if (close_enough()) {
+    if (!in_band_since_) in_band_since_ = now;
+    if (now - *in_band_since_ >= options_.hold) {
+      finished_ = true;
+      converged_ = true;
+      converged_at_ = *in_band_since_;
+      return true;
+    }
+  } else {
+    in_band_since_.reset();
+  }
+  if (now - first_sample_ >= options_.timeout) {
+    finished_ = true;
+    converged_ = false;
+    return true;
+  }
+  return false;
+}
+
+sim::TimeNs ConvergenceDetector::convergence_time(sim::TimeNs event_time) const {
+  if (!converged_) throw std::logic_error("ConvergenceDetector: not converged");
+  const sim::TimeNs raw = converged_at_ - event_time;
+  return std::max<sim::TimeNs>(raw - options_.filter_rise_time, 0);
+}
+
+}  // namespace numfabric::stats

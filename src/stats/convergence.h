@@ -1,0 +1,60 @@
+// Convergence-time measurement (§6.1, semi-dynamic scenario).
+//
+// After a network event, an event "converges" at the first time T such that
+// at least `fraction` (95%) of the tracked flows have measured rates within
+// `margin` (10%) of their target (oracle) rates continuously for `hold`
+// (5 ms).  The reported convergence time additionally subtracts the rate
+// filter's rise time (~185 us for the 80 us EWMA), exactly as the paper
+// does.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace numfabric::stats {
+
+struct ConvergenceOptions {
+  double fraction = 0.95;         // share of flows that must be close
+  double margin = 0.10;           // relative rate error tolerance
+  sim::TimeNs hold = sim::millis(5);
+  sim::TimeNs sample_interval = sim::micros(5);
+  sim::TimeNs filter_rise_time = 0;  // subtracted from the result
+  sim::TimeNs timeout = sim::millis(50);
+};
+
+class ConvergenceDetector {
+ public:
+  /// `rates_bps()` returns the current measured rate of every tracked flow;
+  /// `targets_bps` are the oracle rates (same order, same length).
+  ConvergenceDetector(std::vector<double> targets_bps,
+                      std::function<std::vector<double>()> rates_bps,
+                      ConvergenceOptions options = {});
+
+  /// Feeds one sample round at time `now`.  Returns true once the verdict is
+  /// final (converged or timed out).
+  bool sample(sim::TimeNs now);
+
+  bool finished() const { return finished_; }
+  bool converged() const { return converged_; }
+
+  /// Convergence time relative to `event_time`, filter rise time already
+  /// subtracted (clamped at 0).  Only valid when converged().
+  sim::TimeNs convergence_time(sim::TimeNs event_time) const;
+
+ private:
+  bool close_enough() const;
+
+  std::vector<double> targets_;
+  std::function<std::vector<double>()> rates_;
+  ConvergenceOptions options_;
+  std::optional<sim::TimeNs> in_band_since_;
+  sim::TimeNs first_sample_ = -1;
+  sim::TimeNs converged_at_ = 0;
+  bool finished_ = false;
+  bool converged_ = false;
+};
+
+}  // namespace numfabric::stats

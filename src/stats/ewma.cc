@@ -1,0 +1,39 @@
+#include "stats/ewma.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace numfabric::stats {
+
+Ewma::Ewma(sim::TimeNs time_constant) : tau_(time_constant) {
+  if (time_constant <= 0) throw std::invalid_argument("Ewma: tau must be > 0");
+}
+
+void Ewma::update(double sample, sim::TimeNs now) {
+  if (!initialized_) {
+    value_ = sample;
+    initialized_ = true;
+    last_update_ = now;
+    return;
+  }
+  const double dt = static_cast<double>(now - last_update_);
+  const double alpha = 1.0 - std::exp(-dt / static_cast<double>(tau_));
+  value_ += alpha * (sample - value_);
+  last_update_ = now;
+}
+
+void Ewma::reset() {
+  value_ = 0.0;
+  initialized_ = false;
+  last_update_ = 0;
+}
+
+sim::TimeNs Ewma::rise_time(sim::TimeNs time_constant, double fraction) {
+  if (!(0.0 < fraction && fraction < 1.0)) {
+    throw std::invalid_argument("Ewma::rise_time: fraction must be in (0,1)");
+  }
+  return static_cast<sim::TimeNs>(
+      static_cast<double>(time_constant) * std::log(1.0 / (1.0 - fraction)));
+}
+
+}  // namespace numfabric::stats

@@ -1,0 +1,41 @@
+// Time-constant EWMA filter.
+//
+// Samples arrive at irregular times, so the blending factor is derived from
+// the inter-sample gap: alpha = 1 - exp(-dt / tau).  After `tau` of samples
+// the filter has absorbed ~63% of a step; the paper leans on this in two
+// places: Swift's rate estimator (ewmaTime = 20 us, §6.2) and the
+// convergence-measurement filter (80 us, whose ~185 us rise to 90% is
+// subtracted from measured convergence times, §6.1).
+#pragma once
+
+#include "sim/time.h"
+
+namespace numfabric::stats {
+
+class Ewma {
+ public:
+  explicit Ewma(sim::TimeNs time_constant);
+
+  /// Folds in a sample observed at `now`.  The first sample initializes the
+  /// filter directly.
+  void update(double sample, sim::TimeNs now);
+
+  bool initialized() const { return initialized_; }
+  double value() const { return value_; }
+  sim::TimeNs last_update() const { return last_update_; }
+
+  void reset();
+
+  /// Time for the filter's step response to reach `fraction` (e.g. 0.9):
+  /// tau * ln(1 / (1 - fraction)).  The paper subtracts rise_time(0.9) from
+  /// measured convergence times.
+  static sim::TimeNs rise_time(sim::TimeNs time_constant, double fraction);
+
+ private:
+  sim::TimeNs tau_;
+  double value_ = 0.0;
+  bool initialized_ = false;
+  sim::TimeNs last_update_ = 0;
+};
+
+}  // namespace numfabric::stats

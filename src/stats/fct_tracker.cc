@@ -1,0 +1,21 @@
+#include "stats/fct_tracker.h"
+
+#include <stdexcept>
+
+namespace numfabric::stats {
+
+std::size_t FctTracker::on_start(std::uint64_t flow_id, std::uint64_t size_bytes,
+                                 sim::TimeNs now) {
+  records_.push_back(FctRecord{flow_id, size_bytes, now, -1});
+  return records_.size() - 1;
+}
+
+void FctTracker::on_finish(std::size_t index, sim::TimeNs now) {
+  if (index >= records_.size()) throw std::out_of_range("FctTracker: bad index");
+  FctRecord& record = records_[index];
+  if (record.completed()) throw std::logic_error("FctTracker: double finish");
+  record.finish = now;
+  ++completed_;
+}
+
+}  // namespace numfabric::stats

@@ -1,0 +1,40 @@
+// Flow completion time bookkeeping for the dynamic workloads (Fig. 5, 7).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace numfabric::stats {
+
+struct FctRecord {
+  std::uint64_t flow_id = 0;
+  std::uint64_t size_bytes = 0;
+  sim::TimeNs start = 0;
+  sim::TimeNs finish = -1;  // -1 until completed
+
+  bool completed() const { return finish >= 0; }
+  sim::TimeNs fct() const { return finish - start; }
+  /// Average achieved rate: size / completion time, in bits/second.
+  double rate_bps() const {
+    return static_cast<double>(size_bytes) * 8.0 / sim::to_seconds(fct());
+  }
+};
+
+class FctTracker {
+ public:
+  /// Returns the index of the new record.
+  std::size_t on_start(std::uint64_t flow_id, std::uint64_t size_bytes,
+                       sim::TimeNs now);
+  void on_finish(std::size_t index, sim::TimeNs now);
+
+  const std::vector<FctRecord>& records() const { return records_; }
+  std::size_t completed_count() const { return completed_; }
+
+ private:
+  std::vector<FctRecord> records_;
+  std::size_t completed_ = 0;
+};
+
+}  // namespace numfabric::stats

@@ -1,0 +1,18 @@
+#include "stats/rate_meter.h"
+
+namespace numfabric::stats {
+
+void RateMeter::on_bytes(std::uint64_t bytes, sim::TimeNs now) {
+  total_bytes_ += bytes;
+  if (last_arrival_ < 0) {
+    last_arrival_ = now;  // first packet: no gap yet
+    return;
+  }
+  const sim::TimeNs gap = now - last_arrival_;
+  last_arrival_ = now;
+  if (gap <= 0) return;  // same-instant arrival (burst); fold into next gap
+  const double sample_bps = static_cast<double>(bytes) * 8.0 / sim::to_seconds(gap);
+  filter_.update(sample_bps, now);
+}
+
+}  // namespace numfabric::stats

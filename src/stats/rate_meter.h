@@ -1,0 +1,33 @@
+// Destination-side rate measurement (§6.1).
+//
+// On each packet arrival the instantaneous rate sample bytes*8/gap is folded
+// into an EWMA.  The paper measures flow rates at the destination with an
+// 80 us time constant to filter the noise of bursty packet scheduling.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/time.h"
+#include "stats/ewma.h"
+
+namespace numfabric::stats {
+
+class RateMeter {
+ public:
+  explicit RateMeter(sim::TimeNs time_constant) : filter_(time_constant) {}
+
+  /// Records `bytes` arriving at `now`.
+  void on_bytes(std::uint64_t bytes, sim::TimeNs now);
+
+  /// Filtered rate in bits/second (0 until two packets have arrived).
+  double rate_bps() const { return filter_.initialized() ? filter_.value() : 0.0; }
+
+  std::uint64_t total_bytes() const { return total_bytes_; }
+
+ private:
+  Ewma filter_;
+  sim::TimeNs last_arrival_ = -1;
+  std::uint64_t total_bytes_ = 0;
+};
+
+}  // namespace numfabric::stats

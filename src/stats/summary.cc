@@ -1,0 +1,74 @@
+#include "stats/summary.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace numfabric::stats {
+namespace {
+
+double percentile_sorted(const std::vector<double>& sorted, double p) {
+  const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(std::floor(rank));
+  const auto hi = static_cast<std::size_t>(std::ceil(rank));
+  const double t = rank - static_cast<double>(lo);
+  return sorted[lo] + t * (sorted[hi] - sorted[lo]);
+}
+
+}  // namespace
+
+double percentile(std::vector<double> samples, double p) {
+  if (samples.empty()) throw std::invalid_argument("percentile: empty input");
+  if (!(0.0 <= p && p <= 100.0)) throw std::invalid_argument("percentile: bad p");
+  std::sort(samples.begin(), samples.end());
+  return percentile_sorted(samples, p);
+}
+
+double mean(const std::vector<double>& samples) {
+  if (samples.empty()) throw std::invalid_argument("mean: empty input");
+  double sum = 0.0;
+  for (double s : samples) sum += s;
+  return sum / static_cast<double>(samples.size());
+}
+
+BoxPlot box_plot(const std::vector<double>& samples) {
+  if (samples.empty()) throw std::invalid_argument("box_plot: empty input");
+  std::vector<double> sorted = samples;
+  std::sort(sorted.begin(), sorted.end());
+  BoxPlot box;
+  box.p25 = percentile_sorted(sorted, 25);
+  box.p50 = percentile_sorted(sorted, 50);
+  box.p75 = percentile_sorted(sorted, 75);
+  const double iqr = box.p75 - box.p25;
+  // Whiskers: furthest data points within 1.5 IQR of the box.
+  box.whisker_low = box.p25;
+  box.whisker_high = box.p75;
+  for (double s : sorted) {
+    if (s >= box.p25 - 1.5 * iqr) {
+      box.whisker_low = s;
+      break;
+    }
+  }
+  for (auto it = sorted.rbegin(); it != sorted.rend(); ++it) {
+    if (*it <= box.p75 + 1.5 * iqr) {
+      box.whisker_high = *it;
+      break;
+    }
+  }
+  return box;
+}
+
+std::vector<std::pair<double, double>> cdf(std::vector<double> samples, int points) {
+  if (samples.empty()) throw std::invalid_argument("cdf: empty input");
+  if (points < 2) throw std::invalid_argument("cdf: need at least 2 points");
+  std::sort(samples.begin(), samples.end());
+  std::vector<std::pair<double, double>> out;
+  out.reserve(static_cast<std::size_t>(points));
+  for (int k = 0; k < points; ++k) {
+    const double frac = static_cast<double>(k) / (points - 1);
+    out.emplace_back(percentile_sorted(samples, frac * 100.0), frac);
+  }
+  return out;
+}
+
+}  // namespace numfabric::stats

@@ -1,0 +1,28 @@
+// Percentiles, box-plot summaries (Fig. 5's boxes/whiskers) and CDF export.
+#pragma once
+
+#include <vector>
+
+namespace numfabric::stats {
+
+/// Linear-interpolated percentile, p in [0, 100].  Throws on empty input.
+double percentile(std::vector<double> samples, double p);
+
+double mean(const std::vector<double>& samples);
+
+/// Tukey box-plot summary: quartiles plus whiskers at 1.5 IQR clamped to the
+/// data range — matching Fig. 5's caption ("whiskers extend to show 1.5
+/// times the box length").
+struct BoxPlot {
+  double p25 = 0, p50 = 0, p75 = 0;
+  double whisker_low = 0, whisker_high = 0;
+};
+
+BoxPlot box_plot(const std::vector<double>& samples);
+
+/// (value, cumulative fraction) pairs at `points` evenly spaced quantiles,
+/// ready for plotting a CDF like Fig. 4(a).
+std::vector<std::pair<double, double>> cdf(std::vector<double> samples,
+                                           int points = 100);
+
+}  // namespace numfabric::stats

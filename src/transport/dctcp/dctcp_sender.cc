@@ -1,0 +1,70 @@
+#include "transport/dctcp/dctcp_sender.h"
+
+#include <algorithm>
+
+namespace numfabric::transport {
+
+DctcpSender::DctcpSender(sim::Simulator& sim, const FlowSpec& spec,
+                         SenderCallbacks callbacks, const DctcpConfig& config)
+    : SenderBase(sim, spec, std::move(callbacks), config.packet_bytes, config.rto),
+      config_(config),
+      cwnd_(static_cast<double>(config.initial_window_packets) *
+            config.packet_bytes) {}
+
+void DctcpSender::start() {
+  window_end_seq_ = 0;
+  try_send();
+}
+
+void DctcpSender::decorate_data(net::Packet& packet) {
+  packet.ecn_capable = true;
+}
+
+void DctcpSender::on_ack(const net::Packet& ack, std::uint64_t newly_acked) {
+  total_bytes_ += newly_acked;
+  if (ack.echo_ecn) marked_bytes_ += newly_acked;
+
+  // Once per window: refresh alpha and react to marks (DCTCP cuts at most
+  // once per RTT).
+  if (ack.ack_seq >= window_end_seq_) {
+    const double fraction =
+        total_bytes_ > 0
+            ? static_cast<double>(marked_bytes_) / static_cast<double>(total_bytes_)
+            : 0.0;
+    alpha_ = (1.0 - config_.g) * alpha_ + config_.g * fraction;
+    if (marked_bytes_ > 0) {
+      slow_start_ = false;
+      cwnd_ *= (1.0 - alpha_ / 2.0);
+    }
+    marked_bytes_ = 0;
+    total_bytes_ = 0;
+    window_end_seq_ = next_seq();
+  }
+
+  // Growth: slow start doubles per RTT; congestion avoidance adds one
+  // packet per RTT (standard byte-counted forms).
+  if (slow_start_) {
+    cwnd_ += static_cast<double>(newly_acked);
+  } else {
+    cwnd_ += static_cast<double>(packet_bytes()) *
+             static_cast<double>(newly_acked) / std::max(cwnd_, 1.0);
+  }
+  cwnd_ = std::max(cwnd_, static_cast<double>(packet_bytes()));
+  try_send();
+}
+
+void DctcpSender::on_timeout() {
+  // Timeout: re-enter slow start from one packet (rare with 1 MB buffers).
+  slow_start_ = true;
+  cwnd_ = packet_bytes();
+  try_send();
+}
+
+void DctcpSender::try_send() {
+  while (data_remaining() &&
+         static_cast<double>(inflight() + next_packet_bytes()) <= cwnd_) {
+    if (send_data() == 0) break;
+  }
+}
+
+}  // namespace numfabric::transport

@@ -1,0 +1,54 @@
+// DCTCP [1] — the deployed-congestion-control comparison of Fig. 4(b).
+//
+// Switches mark ECN-capable packets when the instantaneous queue exceeds K;
+// the receiver echoes marks; the sender maintains the EWMA marked fraction
+// alpha (gain g) and once per window scales cwnd by (1 - alpha/2) if any
+// mark was seen, otherwise grows additively (slow start doubles until the
+// first mark).  The paper's point with Fig. 4(b) is that DCTCP rates are
+// stable only at millisecond scales and never "converge" at the 100 us
+// scales the other schemes are judged on.
+#pragma once
+
+#include "transport/sender_base.h"
+
+namespace numfabric::transport {
+
+struct DctcpConfig {
+  /// ECN marking threshold at the switch (bytes).  65 full packets — the
+  /// standard DCTCP guidance for 10 Gbps.
+  std::size_t ecn_threshold_bytes = 65 * 1500;
+  /// EWMA gain for the marked fraction.
+  double g = 1.0 / 16.0;
+  std::uint32_t packet_bytes = 1500;
+  std::uint32_t initial_window_packets = 10;
+  sim::TimeNs rto = sim::millis(2);
+};
+
+class DctcpSender : public SenderBase {
+ public:
+  DctcpSender(sim::Simulator& sim, const FlowSpec& spec, SenderCallbacks callbacks,
+              const DctcpConfig& config);
+
+  void start() override;
+
+  double cwnd_bytes() const { return cwnd_; }
+  double ecn_alpha() const { return alpha_; }
+
+ protected:
+  void on_ack(const net::Packet& ack, std::uint64_t newly_acked) override;
+  void decorate_data(net::Packet& packet) override;
+  void on_timeout() override;
+
+ private:
+  void try_send();
+
+  DctcpConfig config_;
+  double cwnd_;
+  double alpha_ = 0.0;       // EWMA fraction of marked bytes
+  bool slow_start_ = true;
+  std::uint64_t window_end_seq_ = 0;  // current observation window boundary
+  std::uint64_t marked_bytes_ = 0;
+  std::uint64_t total_bytes_ = 0;
+};
+
+}  // namespace numfabric::transport

@@ -1,0 +1,40 @@
+#include "transport/dgd/dgd_link_agent.h"
+
+#include <algorithm>
+
+#include "num/utility.h"
+
+namespace numfabric::transport {
+
+DgdLinkAgent::DgdLinkAgent(sim::Simulator& sim, net::Link& link,
+                           const DgdConfig& config)
+    : sim_(sim), link_(link), config_(config), price_(config.initial_price) {
+  schedule_next_update();
+}
+
+void DgdLinkAgent::schedule_next_update() {
+  const sim::TimeNs interval = config_.price_update_interval;
+  const sim::TimeNs next = (sim_.now() / interval + 1) * interval;
+  sim_.schedule_at(next, [this] {
+    on_update();
+    schedule_next_update();
+  });
+}
+
+void DgdLinkAgent::on_dequeue(net::Packet& packet) {
+  bytes_serviced_ += packet.size;
+  if (packet.is_data()) packet.path_feedback += price_;
+}
+
+void DgdLinkAgent::on_update() {
+  const double interval_seconds = sim::to_seconds(config_.price_update_interval);
+  const double y_mbps = num::to_rate_units(
+      static_cast<double>(bytes_serviced_) * 8.0 / interval_seconds);
+  const double c_mbps = num::to_rate_units(link_.rate_bps());
+  const double q_bytes = static_cast<double>(link_.queue().bytes());
+  price_ = std::max(
+      price_ + config_.a * (y_mbps - c_mbps) + config_.b * q_bytes, 0.0);
+  bytes_serviced_ = 0;
+}
+
+}  // namespace numfabric::transport

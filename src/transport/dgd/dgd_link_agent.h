@@ -1,0 +1,38 @@
+// DGD per-link price update — Eq. 14 of the paper:
+//
+//   p <- [ p + a (y - C) + b q ]_+
+//
+// with y the measured link throughput over the last interval, C the link
+// capacity (both in Mbps, matching Table 2's units for a), and q the
+// instantaneous queue backlog in bytes.  The price accumulates into data
+// packets' path_feedback on dequeue, mirroring how pathPrice works for xWI.
+#pragma once
+
+#include <cstdint>
+
+#include "net/link.h"
+#include "sim/simulator.h"
+#include "transport/dgd/dgd_sender.h"
+
+namespace numfabric::transport {
+
+class DgdLinkAgent : public net::LinkAgent {
+ public:
+  DgdLinkAgent(sim::Simulator& sim, net::Link& link, const DgdConfig& config);
+
+  void on_dequeue(net::Packet& packet) override;
+
+  double price() const { return price_; }
+
+ private:
+  void on_update();
+  void schedule_next_update();
+
+  sim::Simulator& sim_;
+  net::Link& link_;
+  DgdConfig config_;
+  double price_;
+  std::uint64_t bytes_serviced_ = 0;
+};
+
+}  // namespace numfabric::transport

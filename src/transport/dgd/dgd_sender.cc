@@ -1,0 +1,26 @@
+#include "transport/dgd/dgd_sender.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "num/utility.h"
+
+namespace numfabric::transport {
+
+DgdSender::DgdSender(sim::Simulator& sim, const FlowSpec& spec,
+                     SenderCallbacks callbacks, const DgdConfig& config)
+    : PacedSender(sim, spec, std::move(callbacks), config.packet_bytes, config.rto,
+                  config.initial_rate_bps, config.inflight_cap_bdp,
+                  config.base_rtt) {
+  if (spec.utility == nullptr) {
+    throw std::invalid_argument("DgdSender: flow needs a utility function");
+  }
+}
+
+double DgdSender::rate_from_ack(const net::Packet& ack) {
+  // Eq. 3: marginal utility equals the aggregate path price.
+  const double price = std::max(ack.echo_path_feedback, num::kMinPrice);
+  return num::to_bps(spec().utility->marginal_inverse(price));
+}
+
+}  // namespace numfabric::transport

@@ -1,0 +1,40 @@
+// DGD (Dual Gradient Descent) rate control — the paper's §3 baseline,
+// implemented as in §6 ("an idealized rate control protocol").
+//
+// Sources set their rate from the summed path price via Eq. 3:
+//   x_i = U_i'^{-1}( sum_l p_l )
+// and transmit at exactly that rate, with unacked bytes capped at 2 BDP.
+#pragma once
+
+#include "transport/paced_sender.h"
+
+namespace numfabric::transport {
+
+struct DgdConfig {
+  /// Synchronized price update period (Table 2: 16 us).
+  sim::TimeNs price_update_interval = sim::micros(16);
+  /// Utilization gain a (Table 2: 4e-9 per Mbps).
+  double a = 4e-9;
+  /// Queue gain b (Table 2: 1.2e-10 per byte).
+  double b = 1.2e-10;
+  /// Starting per-link price.
+  double initial_price = 1e-4;
+  /// Cap on unacknowledged bytes, in BDPs (§6: 2x).
+  double inflight_cap_bdp = 2.0;
+  sim::TimeNs base_rtt = sim::micros(16);
+  std::uint32_t packet_bytes = 1500;
+  /// Rate used before the first feedback arrives.
+  double initial_rate_bps = 1e9;
+  sim::TimeNs rto = sim::millis(2);
+};
+
+class DgdSender : public PacedSender {
+ public:
+  DgdSender(sim::Simulator& sim, const FlowSpec& spec, SenderCallbacks callbacks,
+            const DgdConfig& config);
+
+ protected:
+  double rate_from_ack(const net::Packet& ack) override;
+};
+
+}  // namespace numfabric::transport

@@ -1,0 +1,96 @@
+// Fabric: per-scheme wiring of queues, link agents and flow endpoints.
+//
+// Usage:
+//   sim::Simulator sim;
+//   transport::Fabric fabric(sim, {.scheme = Scheme::kNumFabric});
+//   net::Topology topo(sim);
+//   auto ls = net::build_leaf_spine(topo, {}, fabric.queue_factory());
+//   fabric.attach_agents(topo);            // per-link xWI/DGD/RCP state
+//   fabric.add_flow(spec);                 // schedules start_time
+//   sim.run_until(sim::millis(50));
+//
+// The Fabric owns every Flow (and through it the scheme-specific sender and
+// the generic receiver) and handles host handler registration, flow ids,
+// completion bookkeeping and multipath group membership.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "net/topology.h"
+#include "sim/simulator.h"
+#include "transport/dctcp/dctcp_sender.h"
+#include "transport/dgd/dgd_sender.h"
+#include "transport/flow.h"
+#include "transport/numfabric/config.h"
+#include "transport/numfabric/group_registry.h"
+#include "transport/pfabric/pfabric_sender.h"
+#include "transport/rcp/rcp_sender.h"
+
+namespace numfabric::transport {
+
+struct FabricOptions {
+  Scheme scheme = Scheme::kNumFabric;
+  NumFabricConfig numfabric;
+  DgdConfig dgd;
+  RcpConfig rcp;
+  DctcpConfig dctcp;
+  PFabricConfig pfabric;
+  /// Per-port buffering (§6: 1 MB to keep drops out of the comparison).
+  /// pFabric ignores this and uses its own shallow queues.
+  std::size_t queue_capacity_bytes = 1'000'000;
+  /// Destination-side rate filter time constant (§6.1: 80 us).
+  sim::TimeNs receiver_rate_tau = sim::micros(80);
+  /// NUMFabric only: > 0 replaces exact STFQ with the §8 multi-queue
+  /// approximation using this many weight bands (ablation).
+  int discrete_wfq_bands = 0;
+};
+
+class Fabric {
+ public:
+  Fabric(sim::Simulator& sim, FabricOptions options);
+
+  /// Queue factory matching the scheme (WFQ for NUMFabric, FIFO+ECN for
+  /// DCTCP, priority for pFabric, plain FIFO otherwise).  Pass to the
+  /// topology builders.
+  net::QueueFactory queue_factory() const;
+
+  /// Attaches the scheme's per-link agents.  Call once, after the topology
+  /// is fully built and before flows start.
+  void attach_agents(net::Topology& topo);
+
+  /// Registers a flow; endpoints are created and started at spec.start_time.
+  /// If spec.id is 0 an id is assigned.  Returns a stable pointer.
+  Flow* add_flow(FlowSpec spec);
+
+  /// Stops a long-running flow (it stops sending; in-flight traffic drains).
+  void stop_flow(Flow& flow);
+
+  const std::vector<std::unique_ptr<Flow>>& flows() const { return flows_; }
+
+  /// Invoked when any flow completes (after the Flow is marked completed).
+  void set_on_complete(std::function<void(Flow&)> callback) {
+    on_complete_ = std::move(callback);
+  }
+
+  GroupRegistry& groups() { return groups_; }
+  const FabricOptions& options() const { return options_; }
+  sim::Simulator& sim() { return sim_; }
+
+ private:
+  void start_flow(Flow& flow);
+  std::unique_ptr<SenderBase> make_sender(const FlowSpec& spec,
+                                          SenderCallbacks callbacks);
+
+  sim::Simulator& sim_;
+  FabricOptions options_;
+  std::vector<std::unique_ptr<Flow>> flows_;
+  std::unordered_map<net::FlowId, Flow*> by_id_;
+  GroupRegistry groups_;
+  std::function<void(Flow&)> on_complete_;
+  net::FlowId next_flow_id_ = 1;
+};
+
+}  // namespace numfabric::transport

@@ -1,0 +1,34 @@
+#include "transport/flow.h"
+
+#include <stdexcept>
+#include <utility>
+
+#include "transport/receiver.h"
+#include "transport/sender_base.h"
+
+namespace numfabric::transport {
+
+const char* scheme_name(Scheme scheme) {
+  switch (scheme) {
+    case Scheme::kNumFabric: return "NUMFabric";
+    case Scheme::kDgd: return "DGD";
+    case Scheme::kRcpStar: return "RCP*";
+    case Scheme::kDctcp: return "DCTCP";
+    case Scheme::kPFabric: return "pFabric";
+  }
+  return "?";
+}
+
+Flow::Flow(FlowSpec spec) : spec_(std::move(spec)) {}
+
+Flow::~Flow() = default;
+
+void Flow::attach(std::unique_ptr<SenderBase> sender,
+                  std::unique_ptr<Receiver> receiver) {
+  if (sender_ || receiver_) throw std::logic_error("Flow::attach: already attached");
+  if (!sender || !receiver) throw std::invalid_argument("Flow::attach: null endpoint");
+  sender_ = std::move(sender);
+  receiver_ = std::move(receiver);
+}
+
+}  // namespace numfabric::transport

@@ -1,0 +1,84 @@
+// Flow abstractions shared by every transport scheme.
+//
+// A Flow is one unidirectional byte stream between two hosts over a fixed
+// source route (for multipath objectives, each sub-flow is its own Flow tied
+// to the others by a group id).  The Fabric (fabric.h) instantiates the
+// scheme-specific sender and the generic receiver for each flow.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "net/node.h"
+#include "net/packet.h"
+#include "num/utility.h"
+#include "sim/time.h"
+
+namespace numfabric::transport {
+
+/// The bandwidth-allocation schemes evaluated in the paper (§6).
+enum class Scheme {
+  kNumFabric,  // Swift (WFQ + window control) + xWI
+  kDgd,        // Dual Gradient Descent rate control [40] (Eq. 3, 14)
+  kRcpStar,    // RCP* alpha-fair explicit rate control [30] (Eq. 15, 16)
+  kDctcp,      // DCTCP (Fig. 4b comparison)
+  kPFabric,    // pFabric priority scheduling/dropping (Fig. 7 comparison)
+};
+
+const char* scheme_name(Scheme scheme);
+
+struct FlowSpec {
+  net::FlowId id = 0;  // 0 = let the Fabric assign one
+  net::Host* src = nullptr;
+  net::Host* dst = nullptr;
+  /// Bytes to transfer; 0 means long-running (lives until stopped).
+  std::uint64_t size_bytes = 0;
+  sim::TimeNs start_time = 0;
+  /// Utility function (required for NUMFabric and DGD; unused by others).
+  /// Non-owning: the experiment owns utility objects.
+  const num::UtilityFunction* utility = nullptr;
+  net::Path path;     // forward route (data direction)
+  net::Path reverse;  // ACK route; normally net::reverse_path(path)
+  /// >0 groups sub-flows into one multipath aggregate (resource pooling).
+  std::uint64_t group = 0;
+};
+
+class SenderBase;
+class Receiver;
+
+/// Runtime state of one flow: spec + endpoints + lifecycle timestamps.
+class Flow {
+ public:
+  explicit Flow(FlowSpec spec);
+  ~Flow();
+
+  Flow(const Flow&) = delete;
+  Flow& operator=(const Flow&) = delete;
+
+  const FlowSpec& spec() const { return spec_; }
+
+  SenderBase& sender() { return *sender_; }
+  const SenderBase& sender() const { return *sender_; }
+  Receiver& receiver() { return *receiver_; }
+  const Receiver& receiver() const { return *receiver_; }
+  bool attached() const { return sender_ != nullptr; }
+
+  bool started() const { return started_; }
+  bool completed() const { return finish_time_ >= 0; }
+  sim::TimeNs finish_time() const { return finish_time_; }
+  sim::TimeNs fct() const { return finish_time_ - spec_.start_time; }
+
+  // --- wiring used by Fabric ---------------------------------------------
+  void attach(std::unique_ptr<SenderBase> sender, std::unique_ptr<Receiver> receiver);
+  void mark_started() { started_ = true; }
+  void mark_completed(sim::TimeNs at) { finish_time_ = at; }
+
+ private:
+  FlowSpec spec_;
+  std::unique_ptr<SenderBase> sender_;
+  std::unique_ptr<Receiver> receiver_;
+  bool started_ = false;
+  sim::TimeNs finish_time_ = -1;
+};
+
+}  // namespace numfabric::transport

@@ -1,0 +1,77 @@
+// NUMFabric parameters.  Defaults are Table 2 of the paper.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/time.h"
+
+namespace numfabric::transport {
+
+struct NumFabricConfig {
+  // --- Swift (rate control / weighted max-min layer, §4.1) ---------------
+  /// EWMA time constant for the packet-pair rate estimate (Table 2: 20 us).
+  sim::TimeNs ewma_time = sim::micros(20);
+  /// Delay slack d_t in W = R_hat * (d0 + dt) (Table 2: 6 us == ~5 packets
+  /// of queueing at 10 Gbps).
+  sim::TimeNs dt_slack = sim::micros(6);
+  /// Baseline fabric RTT d0 (the paper's network: 16 us).
+  sim::TimeNs base_rtt = sim::micros(16);
+  /// Initial burst establishing packet-pair samples (§4.1: 3 packets).
+  int initial_burst_packets = 3;
+  /// If > 0, start with this window instead of the 3-packet burst (Fig. 7
+  /// sets it to one BDP, mimicking pFabric's initial window).
+  std::uint64_t initial_window_bytes = 0;
+
+  // --- xWI (price computation layer, §4.2) --------------------------------
+  /// Synchronized price update period (Table 2: 30 us ~ 2 RTTs).
+  sim::TimeNs price_update_interval = sim::micros(30);
+  /// Under-utilization gain eta in Eq. 10 (Table 2: 5).
+  double eta = 5.0;
+  /// Price averaging beta in Eq. 11 (Table 2: 0.5).
+  double beta = 0.5;
+  /// Starting price per link (the paper leaves this free; any positive value
+  /// converges, this one is within an order of magnitude of typical optima
+  /// for Mbps-denominated utilities).
+  double initial_price = 0.01;
+  /// Weight used before the first price echo arrives.  Weights live in rate
+  /// units (Mbps), so this must be commensurate with real allocations: a
+  /// too-small initial weight gives the flow's first packets enormous
+  /// virtual lengths and WFQ parks them for milliseconds — the flow then
+  /// never collects the packet-pair sample it needs to bootstrap.  1 Gbps
+  /// is within ~10x of any plausible fair share in a 10-40G fabric.
+  double initial_weight = 1000.0;
+
+  // --- numeric guards ------------------------------------------------------
+  /// Weight clamp (weights are in Mbps rate units; see num/utility.h).  The
+  /// paper notes extreme alphas make Eq. 7 noise-sensitive (§6.2); clamping
+  /// keeps transients finite without affecting equilibria.
+  double min_weight = 1e-3;
+  double max_weight = 1e7;
+  /// Bound on the per-update residual, as a multiple of the current path
+  /// price (the path price can grow by at most this factor per price
+  /// interval).  Prevents price spirals under steep utilities; see
+  /// SwiftSender::decorate_data.
+  double max_residual_step = 1.0;
+
+  std::uint32_t packet_bytes = 1500;
+  /// Safety retransmission timeout; with 1 MB buffers drops are rare, so
+  /// this is a last-resort recovery, not part of the control law.
+  sim::TimeNs rto = sim::millis(2);
+
+  /// Treat flows with the same FlowSpec::group as one multipath aggregate:
+  /// weights derive from the aggregate utility at the aggregate rate
+  /// (§6.3, resource pooling).
+  bool resource_pooling = false;
+
+  /// Returns a copy slowed down by `factor` (price interval and ewma time
+  /// scaled), the paper's recipe for small/large alpha (§6.2, Fig. 6c).
+  NumFabricConfig slowed_down(double factor) const {
+    NumFabricConfig copy = *this;
+    copy.price_update_interval =
+        static_cast<sim::TimeNs>(static_cast<double>(price_update_interval) * factor);
+    copy.ewma_time = static_cast<sim::TimeNs>(static_cast<double>(ewma_time) * factor);
+    return copy;
+  }
+};
+
+}  // namespace numfabric::transport

@@ -1,0 +1,36 @@
+#include "transport/numfabric/group_registry.h"
+
+#include <algorithm>
+
+#include "transport/numfabric/swift_sender.h"
+
+namespace numfabric::transport {
+
+void GroupRegistry::add(std::uint64_t group, SwiftSender* member) {
+  groups_[group].push_back(member);
+}
+
+void GroupRegistry::remove(std::uint64_t group, SwiftSender* member) {
+  auto it = groups_.find(group);
+  if (it == groups_.end()) return;
+  auto& members = it->second;
+  members.erase(std::remove(members.begin(), members.end(), member), members.end());
+  if (members.empty()) groups_.erase(it);
+}
+
+double GroupRegistry::total_rate_bps(std::uint64_t group) const {
+  auto it = groups_.find(group);
+  if (it == groups_.end()) return 0.0;
+  double total = 0.0;
+  for (const SwiftSender* member : it->second) {
+    total += member->estimated_rate_bps();
+  }
+  return total;
+}
+
+std::size_t GroupRegistry::member_count(std::uint64_t group) const {
+  auto it = groups_.find(group);
+  return it == groups_.end() ? 0 : it->second.size();
+}
+
+}  // namespace numfabric::transport

@@ -1,0 +1,32 @@
+// Registry of multipath aggregates (resource pooling, §6.3).
+//
+// Sub-flows of one logical flow share a group id.  Each Swift sub-flow
+// computes the aggregate's total weight from its own path price (Eq. 7
+// applied to the aggregate utility) and then takes the fraction of that
+// weight proportional to its share of the aggregate throughput — the
+// paper's heuristic for splitting the flow-level weight across sub-flows.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace numfabric::transport {
+
+class SwiftSender;
+
+class GroupRegistry {
+ public:
+  void add(std::uint64_t group, SwiftSender* member);
+  void remove(std::uint64_t group, SwiftSender* member);
+
+  /// Sum of the members' estimated rates (bps); 0 if none initialized yet.
+  double total_rate_bps(std::uint64_t group) const;
+
+  std::size_t member_count(std::uint64_t group) const;
+
+ private:
+  std::unordered_map<std::uint64_t, std::vector<SwiftSender*>> groups_;
+};
+
+}  // namespace numfabric::transport

@@ -1,0 +1,173 @@
+#include "transport/numfabric/swift_sender.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace numfabric::transport {
+
+SwiftSender::SwiftSender(sim::Simulator& sim, const FlowSpec& spec,
+                         SenderCallbacks callbacks, const NumFabricConfig& config,
+                         GroupRegistry* groups)
+    : SenderBase(sim, spec, std::move(callbacks), config.packet_bytes, config.rto),
+      config_(config),
+      groups_(groups),
+      window_bytes_(static_cast<double>(config.initial_window_bytes)),
+      weight_(config.initial_weight) {
+  if (spec.utility == nullptr) {
+    throw std::invalid_argument("SwiftSender: flow needs a utility function");
+  }
+  if (config_.resource_pooling && spec.group != 0) {
+    if (groups_ == nullptr) {
+      throw std::invalid_argument("SwiftSender: pooling enabled but no registry");
+    }
+    groups_->add(spec.group, this);
+  }
+  if (config_.initial_window_bytes > 0) {
+    // Fig. 7 mode (footnote 7): an initial window of one BDP means the flow
+    // assumes line rate until told otherwise — start the estimator there
+    // rather than waiting ~ewma_time to ramp, which would penalize every
+    // short flow by a constant factor.
+    rate_bps_ = static_cast<double>(config_.initial_window_bytes) * 8.0 /
+                sim::to_seconds(config_.base_rtt);
+    rate_initialized_ = true;
+  }
+}
+
+SwiftSender::~SwiftSender() {
+  if (config_.resource_pooling && spec().group != 0 && groups_ != nullptr) {
+    groups_->remove(spec().group, this);
+  }
+}
+
+void SwiftSender::start() {
+  if (config_.initial_window_bytes > 0) {
+    // Fig. 7 mode: window-limited from the first RTT (IW = BDP).
+    try_send();
+    return;
+  }
+  // The §4.1 start-up: a small burst so the bottleneck queues it and the
+  // receiver's inter-packet gaps reflect the true available bandwidth.
+  for (int i = 0; i < config_.initial_burst_packets && data_remaining(); ++i) {
+    send_data();
+  }
+}
+
+double SwiftSender::aggregate_rate_units() const {
+  double rate_bps = estimated_rate_bps();
+  if (config_.resource_pooling && spec().group != 0) {
+    rate_bps = groups_->total_rate_bps(spec().group);
+  }
+  return num::to_rate_units(rate_bps);
+}
+
+void SwiftSender::update_weight() {
+  // Eq. 7: the weight is U'^{-1} of the path price.  For a multipath
+  // aggregate this yields the *total* weight of the logical flow as seen
+  // from this sub-flow's path; the sub-flow takes its throughput share of it
+  // (§6.3's heuristic).
+  const double price = std::max(path_price_, num::kMinPrice);
+  double w = spec().utility->marginal_inverse(price);
+  if (config_.resource_pooling && spec().group != 0) {
+    const double total_bps = groups_->total_rate_bps(spec().group);
+    const std::size_t members = groups_->member_count(spec().group);
+    double share = members > 0 ? 1.0 / static_cast<double>(members) : 1.0;
+    if (total_bps > 0 && estimated_rate_bps() > 0) {
+      share = estimated_rate_bps() / total_bps;
+    }
+    w *= share;
+  }
+  weight_ = std::clamp(w, config_.min_weight, config_.max_weight);
+}
+
+void SwiftSender::on_ack(const net::Packet& ack, std::uint64_t newly_acked) {
+  (void)newly_acked;
+  // Packet-pair sample; gap == 0 marks the first ACK, which carries no
+  // inter-arrival information yet.
+  if (ack.echo_inter_packet_time > 0) {
+    const double sample_bps = static_cast<double>(ack.acked_bytes) * 8.0 /
+                              sim::to_seconds(ack.echo_inter_packet_time);
+    if (on_rate_sample) on_rate_sample(sample_bps, ack.echo_inter_packet_time);
+    if (!rate_initialized_) {
+      rate_bps_ = sample_bps;
+      rate_initialized_ = true;
+    } else {
+      // Gap-weighted blending (a time-constant EWMA): each sample counts in
+      // proportion to the interval it spans, so the filter output is the
+      // unbiased delivered rate.  Unbiasedness matters: a count-weighted
+      // mean of bytes/gap systematically overestimates under WFQ's bursty
+      // interleaving, which shifts the xWI fixed point for steep utilities.
+      // The window policy below guarantees the flow stays backlogged at its
+      // bottleneck, so the delivered rate *is* the WFQ entitlement.
+      const double alpha =
+          1.0 - std::exp(-static_cast<double>(ack.echo_inter_packet_time) /
+                         static_cast<double>(config_.ewma_time));
+      rate_bps_ += alpha * (sample_bps - rate_bps_);
+    }
+  }
+  if (rate_initialized_) {
+    // W = R_hat * (d0 + dt), with the dt-slack floored at two packets.  The
+    // slack is what keeps a small standing backlog at the bottleneck; if it
+    // falls below a packet (R_hat * dt < MTU at low rates), packet pairs
+    // never queue together, the receiver only observes the flow's own
+    // window-limited spacing, and R_hat pins itself at a self-fulfilling
+    // low estimate — the granular version of the paper's "dt too small"
+    // failure mode (Fig. 6a).
+    const double bdp = rate_bps_ * sim::to_seconds(config_.base_rtt) / 8.0;
+    const double slack =
+        std::max(rate_bps_ * sim::to_seconds(config_.dt_slack) / 8.0,
+                 2.0 * packet_bytes());
+    window_bytes_ = bdp + slack;
+  }
+  path_price_ = ack.echo_path_price;
+  path_len_ = ack.echo_path_len;
+  update_weight();
+  try_send();
+}
+
+void SwiftSender::decorate_data(net::Packet& packet) {
+  packet.virtual_packet_len = static_cast<double>(packet.size) / weight_;
+  if (rate_initialized_) {
+    const double x = std::max(aggregate_rate_units(), num::kMinRate);
+    const double marginal = spec().utility->marginal(x);
+    const std::uint32_t hops =
+        path_len_ > 0 ? path_len_
+                      : static_cast<std::uint32_t>(spec().path.links.size());
+    double residual = (marginal - path_price_) / hops;
+    // Stability guard: bound the per-update residual so the path price can
+    // at most ~double per price interval.  Steep utilities (bandwidth
+    // functions with alpha ~ 5) make U'(R_hat) explode when the measured
+    // rate transiently dips; an unbounded residual then drives a flow's
+    // *private* links into a price spiral that starves the flow for good
+    // (weight -> 0 -> rate -> 0 -> marginal -> inf).  The clamp leaves
+    // equilibria untouched: at the fixed point residuals are ~0.
+    const double bound =
+        config_.max_residual_step * std::max(path_price_, 0.1) / hops;
+    packet.normalized_residual = std::clamp(residual, -bound, bound);
+  } else {
+    // No rate estimate yet: contribute no residual observation (switches
+    // skip non-finite values, Fig. 3's min is untouched).
+    packet.normalized_residual = std::numeric_limits<double>::infinity();
+  }
+}
+
+void SwiftSender::try_send() {
+  if (!rate_initialized_ && config_.initial_window_bytes == 0) {
+    // Burst phase: stay silent until the first packet-pair sample ("the
+    // sender ignores the first ACK and sends nothing", §4.1).
+    return;
+  }
+  // Send while *current* inflight is below the window: the last packet may
+  // overshoot W by a fraction of a packet.  Rounding the window up (instead
+  // of down) keeps the intended standing backlog at the bottleneck even
+  // when W is only a couple of packets; rounding down would leave the flow
+  // ACK-clocked with no backlog, and its rate estimate would pin below its
+  // WFQ entitlement.
+  const double window = std::max(window_bytes_, 2.0 * packet_bytes());
+  while (data_remaining() && static_cast<double>(inflight()) < window) {
+    if (send_data() == 0) break;
+  }
+}
+
+}  // namespace numfabric::transport

@@ -1,0 +1,76 @@
+// The Swift sender (§4.1) extended with xWI's weight computation (§4.2, §5).
+//
+// Rate estimation: the receiver echoes per-packet inter-arrival gaps; each
+// ACK yields a packet-pair rate sample bytesAcked/interPacketTime, smoothed
+// by an EWMA (time constant `ewma_time`) into R_hat.  The window is then
+// W = R_hat * (d0 + dt): just above the bandwidth-delay product, keeping a
+// handful of packets queued at the bottleneck (WFQ needs >= 1 to enforce the
+// weight) while bounding the backlog for fast convergence.
+//
+// Weight computation: w = U'^{-1}(pathPrice) (Eq. 7); outgoing packets carry
+// virtualPacketLen = L / w for the WFQ switches, and normalizedResidual =
+// (U'(R_hat) - pathPrice) / pathLen for the xWI price update (Fig. 3).
+// Until R_hat initializes, the residual is +inf, which switches ignore.
+//
+// Start-up follows the paper: a small burst (3 packets) queues at the
+// bottleneck so the receiver observes true-service gaps; the first ACK has
+// no gap and is ignored for estimation.
+#pragma once
+
+#include <functional>
+
+#include "transport/numfabric/config.h"
+#include "transport/numfabric/group_registry.h"
+#include "transport/sender_base.h"
+
+namespace numfabric::transport {
+
+class SwiftSender : public SenderBase {
+ public:
+  /// `groups` may be null when resource pooling is off.
+  SwiftSender(sim::Simulator& sim, const FlowSpec& spec, SenderCallbacks callbacks,
+              const NumFabricConfig& config, GroupRegistry* groups);
+  ~SwiftSender() override;
+
+  void start() override;
+
+  /// Swift's available-bandwidth estimate R_hat (bps); 0 until initialized.
+  double estimated_rate_bps() const { return rate_initialized_ ? rate_bps_ : 0.0; }
+
+  double weight() const { return weight_; }
+  double window_bytes() const { return window_bytes_; }
+  double path_price() const { return path_price_; }
+
+  /// Observability hook: invoked with every raw packet-pair sample before it
+  /// enters the EWMA (sample in bps, the receiver-measured gap).
+  std::function<void(double, sim::TimeNs)> on_rate_sample;
+
+ protected:
+  void on_ack(const net::Packet& ack, std::uint64_t newly_acked) override;
+  void decorate_data(net::Packet& packet) override;
+  void on_timeout() override { try_send(); }
+
+ private:
+  void try_send();
+  void update_weight();
+  double aggregate_rate_units() const;  // own (or group) rate, in Mbps
+
+  NumFabricConfig config_;
+  GroupRegistry* groups_;
+  // R_hat: EWMA over packet-pair samples with a *per-sample* blending factor
+  // alpha = 1 - exp(-nominal_sample_gap / ewma_time), where the nominal gap
+  // is one packet time at the current estimate.  Weighting samples (rather
+  // than time) is essential: a time-weighted filter of bytes/gap reduces to
+  // the flow's own throughput, so a window-limited flow would never observe
+  // the WFQ service rate it is entitled to.  Per-sample weighting lets the
+  // back-to-back "pair" samples (which reflect the bottleneck's service
+  // spacing for this flow, §4.1) dominate the estimate.
+  double rate_bps_ = 0.0;
+  bool rate_initialized_ = false;
+  double window_bytes_;
+  double weight_;  // initialized from config.initial_weight
+  double path_price_ = 0.0;
+  std::uint32_t path_len_ = 0;  // learned from ACK echoes
+};
+
+}  // namespace numfabric::transport

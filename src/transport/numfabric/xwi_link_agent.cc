@@ -1,0 +1,69 @@
+#include "transport/numfabric/xwi_link_agent.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace numfabric::transport {
+
+XwiLinkAgent::XwiLinkAgent(sim::Simulator& sim, net::Link& link,
+                           const Params& params)
+    : sim_(sim),
+      link_(link),
+      params_(params),
+      price_(params.initial_price),
+      min_residual_(std::numeric_limits<double>::infinity()) {
+  if (params_.update_interval <= 0) {
+    throw std::invalid_argument("XwiLinkAgent: update interval must be > 0");
+  }
+  schedule_next_update();
+}
+
+void XwiLinkAgent::schedule_next_update() {
+  // Synchronized updates: fire on the global grid of interval multiples.
+  const sim::TimeNs now = sim_.now();
+  const sim::TimeNs next = (now / params_.update_interval + 1) * params_.update_interval;
+  sim_.schedule_at(next, [this] {
+    on_update();
+    schedule_next_update();
+  });
+}
+
+void XwiLinkAgent::on_enqueue(const net::Packet& packet) {
+  if (!packet.is_data()) return;
+  if (!std::isfinite(packet.normalized_residual)) return;  // no estimate yet
+  min_residual_ = std::min(min_residual_, packet.normalized_residual);
+  saw_residual_ = true;
+}
+
+void XwiLinkAgent::on_dequeue(net::Packet& packet) {
+  bytes_serviced_ += packet.size;
+  if (!packet.is_data()) return;
+  packet.path_price += price_;
+  packet.path_len += 1;
+}
+
+void XwiLinkAgent::on_update() {
+  ++updates_;
+  const double interval_seconds = sim::to_seconds(params_.update_interval);
+  // A link with a standing backlog is fully utilized by definition; byte
+  // counting alone undercounts by up to a packet per interval (boundary
+  // slicing), and that fractional shortfall would let the eta term cancel
+  // legitimately positive residuals and park the price below the optimum.
+  const double utilization =
+      link_.queue().empty()
+          ? std::min(static_cast<double>(bytes_serviced_) * 8.0 /
+                         (interval_seconds * link_.rate_bps()),
+                     1.0)
+          : 1.0;
+  const double min_res = saw_residual_ ? min_residual_ : 0.0;
+  const double new_price = std::max(
+      price_ + min_res - params_.eta * (1.0 - utilization) * price_, 0.0);
+  price_ = params_.beta * price_ + (1.0 - params_.beta) * new_price;
+  bytes_serviced_ = 0;
+  min_residual_ = std::numeric_limits<double>::infinity();
+  saw_residual_ = false;
+}
+
+}  // namespace numfabric::transport

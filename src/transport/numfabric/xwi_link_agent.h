@@ -1,0 +1,55 @@
+// Per-link xWI price computation — a faithful implementation of Fig. 3.
+//
+//   enqueue(DATA p):  minRes = min(p.normalizedResidual, minRes)
+//   dequeue(p):       bytesServiced += p.length
+//                     DATA p: p.pathPrice += price; p.pathLen += 1
+//   every T:          u = bytesServiced / (T * C)
+//                     newPrice = max(price + minRes - eta*(1-u)*price, 0)
+//                     price = beta*price + (1-beta)*newPrice
+//
+// Updates are synchronized across all links (the paper assumes PTP-grade
+// clock sync, §5): every agent fires at integer multiples of the interval.
+// When an interval saw no data packet, minRes has no observation and only
+// the under-utilization term acts — driving idle links' prices to zero, as
+// Eq. 10 requires.
+#pragma once
+
+#include <cstdint>
+
+#include "net/link.h"
+#include "sim/simulator.h"
+
+namespace numfabric::transport {
+
+class XwiLinkAgent : public net::LinkAgent {
+ public:
+  struct Params {
+    sim::TimeNs update_interval;
+    double eta;
+    double beta;
+    double initial_price;
+  };
+
+  XwiLinkAgent(sim::Simulator& sim, net::Link& link, const Params& params);
+
+  void on_enqueue(const net::Packet& packet) override;
+  void on_dequeue(net::Packet& packet) override;
+
+  double price() const { return price_; }
+  std::uint64_t updates() const { return updates_; }
+
+ private:
+  void on_update();
+  void schedule_next_update();
+
+  sim::Simulator& sim_;
+  net::Link& link_;
+  Params params_;
+  double price_;
+  double min_residual_;           // min over DATA packets since last update
+  bool saw_residual_ = false;
+  std::uint64_t bytes_serviced_ = 0;
+  std::uint64_t updates_ = 0;
+};
+
+}  // namespace numfabric::transport

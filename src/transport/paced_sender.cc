@@ -1,0 +1,69 @@
+#include "transport/paced_sender.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace numfabric::transport {
+namespace {
+// Pacing floor: even with absurd feedback the sender trickles (and thus
+// keeps receiving feedback to recover from), rather than stalling.
+constexpr double kMinRateBps = 1e6;
+}  // namespace
+
+PacedSender::PacedSender(sim::Simulator& sim, const FlowSpec& spec,
+                         SenderCallbacks callbacks, std::uint32_t packet_bytes,
+                         sim::TimeNs rto, double initial_rate_bps,
+                         double inflight_cap_bdp, sim::TimeNs base_rtt)
+    : SenderBase(sim, spec, std::move(callbacks), packet_bytes, rto),
+      rate_bps_(std::max(initial_rate_bps, kMinRateBps)) {
+  const double nic_rate = spec.path.links.front()->rate_bps();
+  inflight_cap_bytes_ =
+      inflight_cap_bdp * nic_rate * sim::to_seconds(base_rtt) / 8.0;
+  inflight_cap_bytes_ = std::max(inflight_cap_bytes_, 2.0 * packet_bytes);
+}
+
+PacedSender::~PacedSender() {
+  if (pacing_event_ != 0) sim().cancel(pacing_event_);
+}
+
+void PacedSender::start() { pace(); }
+
+void PacedSender::pace() {
+  pacing_ = false;
+  pacing_event_ = 0;
+  if (stopped() || complete() || !data_remaining()) return;
+  if (static_cast<double>(inflight() + next_packet_bytes()) > inflight_cap_bytes_) {
+    return;  // cap reached; an ACK will restart pacing
+  }
+  const std::uint32_t sent = send_data();
+  if (sent == 0) return;
+  schedule_next_packet();
+}
+
+void PacedSender::schedule_next_packet() {
+  if (pacing_) return;
+  pacing_ = true;
+  const sim::TimeNs gap =
+      sim::transmission_time(packet_bytes(), std::max(rate_bps_, kMinRateBps));
+  pacing_event_ = sim().schedule_in(gap, [this] { pace(); });
+}
+
+void PacedSender::on_ack(const net::Packet& ack, std::uint64_t newly_acked) {
+  (void)newly_acked;
+  rate_bps_ = std::max(rate_from_ack(ack), kMinRateBps);
+  if (!pacing_) pace();  // resume if the inflight cap had paused us
+}
+
+void PacedSender::on_timeout() {
+  if (!pacing_) pace();
+}
+
+void PacedSender::on_stop() {
+  if (pacing_event_ != 0) {
+    sim().cancel(pacing_event_);
+    pacing_event_ = 0;
+    pacing_ = false;
+  }
+}
+
+}  // namespace numfabric::transport

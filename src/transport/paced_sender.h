@@ -1,0 +1,43 @@
+// Shared machinery for the explicit-rate baselines (DGD, RCP*).
+//
+// Both schemes compute a sending rate from feedback summed along the path
+// and "transmit at exactly this rate on a packet-by-packet basis" (§6).
+// Following the paper's enhanced implementation, unacknowledged bytes are
+// capped at 2x the bandwidth-delay product so unconverged rates cannot build
+// deep queues (which would slow convergence further).
+#pragma once
+
+#include "transport/sender_base.h"
+
+namespace numfabric::transport {
+
+class PacedSender : public SenderBase {
+ public:
+  PacedSender(sim::Simulator& sim, const FlowSpec& spec, SenderCallbacks callbacks,
+              std::uint32_t packet_bytes, sim::TimeNs rto, double initial_rate_bps,
+              double inflight_cap_bdp, sim::TimeNs base_rtt);
+  ~PacedSender() override;
+
+  void start() override;
+
+  double rate_bps() const { return rate_bps_; }
+
+ protected:
+  /// Scheme control law: new rate (bps) from the feedback echoed in an ACK.
+  virtual double rate_from_ack(const net::Packet& ack) = 0;
+
+  void on_ack(const net::Packet& ack, std::uint64_t newly_acked) override;
+  void on_timeout() override;
+  void on_stop() override;
+
+ private:
+  void pace();
+  void schedule_next_packet();
+
+  double rate_bps_;
+  double inflight_cap_bytes_;
+  sim::EventId pacing_event_ = 0;
+  bool pacing_ = false;  // a pacing event is pending
+};
+
+}  // namespace numfabric::transport

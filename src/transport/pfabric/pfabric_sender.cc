@@ -1,0 +1,39 @@
+#include "transport/pfabric/pfabric_sender.h"
+
+#include <algorithm>
+
+namespace numfabric::transport {
+
+PFabricSender::PFabricSender(sim::Simulator& sim, const FlowSpec& spec,
+                             SenderCallbacks callbacks, const PFabricConfig& config)
+    : SenderBase(sim, spec, std::move(callbacks), config.packet_bytes, config.rto) {
+  const double nic_rate = spec.path.links.front()->rate_bps();
+  window_bytes_ = std::max(
+      config.window_bdp * nic_rate * sim::to_seconds(config.base_rtt) / 8.0,
+      static_cast<double>(config.packet_bytes));
+}
+
+void PFabricSender::start() { try_send(); }
+
+void PFabricSender::decorate_data(net::Packet& packet) {
+  // Priority = remaining flow size (SRPT); long-running flows get the
+  // lowest urgency.  Smaller value = served earlier, dropped last.
+  packet.priority = spec().size_bytes > 0
+                        ? static_cast<double>(spec().size_bytes - cum_ack())
+                        : 1e18;
+}
+
+void PFabricSender::on_ack(const net::Packet& ack, std::uint64_t newly_acked) {
+  (void)ack;
+  (void)newly_acked;
+  try_send();
+}
+
+void PFabricSender::try_send() {
+  while (data_remaining() &&
+         static_cast<double>(inflight() + next_packet_bytes()) <= window_bytes_) {
+    if (send_data() == 0) break;
+  }
+}
+
+}  // namespace numfabric::transport

@@ -1,0 +1,67 @@
+#include "transport/rcp/rcp_link_agent.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "num/utility.h"
+
+namespace numfabric::transport {
+namespace {
+// R is kept within [kMinShareFraction * C, kMaxShareFactor * C].  The upper
+// bound intentionally exceeds the capacity by a wide margin: RCP*'s rate
+// composition x = (sum_l R_l^-alpha)^(-1/alpha) (Eq. 16) needs links to
+// advertise MORE than C at equilibrium — e.g. a lone flow over two equal
+// links only reaches C when each advertises ~2C.  Underutilized links keep
+// raising R until their own throughput meets capacity.
+constexpr double kMinShareFraction = 1e-4;
+constexpr double kMaxShareFactor = 1e3;
+// Per-update multiplicative change bound.  With Table 2's gains (a = 3.6)
+// a large rate-capacity mismatch makes the raw factor (1 + gain) negative,
+// which would flip R's sign; real RCP implementations bound the step.  The
+// clamp only engages during large transients and does not move equilibria.
+constexpr double kMaxGain = 0.3;
+}  // namespace
+
+RcpLinkAgent::RcpLinkAgent(sim::Simulator& sim, net::Link& link,
+                           const RcpConfig& config)
+    : sim_(sim), link_(link), config_(config), fair_share_bps_(link.rate_bps()) {
+  schedule_next_update();
+}
+
+void RcpLinkAgent::schedule_next_update() {
+  const sim::TimeNs interval = config_.rate_update_interval;
+  const sim::TimeNs next = (sim_.now() / interval + 1) * interval;
+  sim_.schedule_at(next, [this] {
+    on_update();
+    schedule_next_update();
+  });
+}
+
+void RcpLinkAgent::on_dequeue(net::Packet& packet) {
+  bytes_serviced_ += packet.size;
+  if (packet.is_data()) {
+    packet.path_feedback +=
+        std::pow(num::to_rate_units(fair_share_bps_), -config_.alpha);
+  }
+}
+
+void RcpLinkAgent::on_update() {
+  const double t = sim::to_seconds(config_.rate_update_interval);
+  const double capacity = link_.rate_bps();
+  const double y = static_cast<double>(bytes_serviced_) * 8.0 / t;
+  const double q_bits = static_cast<double>(link_.queue().bytes()) * 8.0;
+  // d is "the running average of the RTT of the flows" (Eq. 15).  Flows'
+  // RTTs include queueing delay, which is RCP's natural damping: as the
+  // backlog grows, T/d shrinks.  Approximate it as base RTT + local
+  // queueing delay.
+  const double d = sim::to_seconds(config_.avg_rtt) + q_bits / capacity;
+  const double gain = std::clamp(
+      (t / d) * (config_.a * (capacity - y) - config_.b * q_bits / d) / capacity,
+      -kMaxGain, kMaxGain);
+  fair_share_bps_ = std::clamp(fair_share_bps_ * (1.0 + gain),
+                               kMinShareFraction * capacity,
+                               kMaxShareFactor * capacity);
+  bytes_serviced_ = 0;
+}
+
+}  // namespace numfabric::transport

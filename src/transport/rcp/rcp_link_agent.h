@@ -1,0 +1,38 @@
+// RCP* per-link fair-share update — Eq. 15 of the paper:
+//
+//   R <- R * ( 1 + (T/d) * ( a (C - y) - b q/d ) / C )
+//
+// with T the update interval, d the average RTT, y the measured throughput,
+// q the queue backlog.  On dequeue, each data packet accumulates R^-alpha
+// into path_feedback (the RCP* analogue of the price field).
+#pragma once
+
+#include <cstdint>
+
+#include "net/link.h"
+#include "sim/simulator.h"
+#include "transport/rcp/rcp_sender.h"
+
+namespace numfabric::transport {
+
+class RcpLinkAgent : public net::LinkAgent {
+ public:
+  RcpLinkAgent(sim::Simulator& sim, net::Link& link, const RcpConfig& config);
+
+  void on_dequeue(net::Packet& packet) override;
+
+  /// Advertised fair-share rate, bps.
+  double fair_share_bps() const { return fair_share_bps_; }
+
+ private:
+  void on_update();
+  void schedule_next_update();
+
+  sim::Simulator& sim_;
+  net::Link& link_;
+  RcpConfig config_;
+  double fair_share_bps_;
+  std::uint64_t bytes_serviced_ = 0;
+};
+
+}  // namespace numfabric::transport

@@ -1,0 +1,24 @@
+#include "transport/rcp/rcp_sender.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "num/utility.h"
+
+namespace numfabric::transport {
+
+RcpSender::RcpSender(sim::Simulator& sim, const FlowSpec& spec,
+                     SenderCallbacks callbacks, const RcpConfig& config)
+    : PacedSender(sim, spec, std::move(callbacks), config.packet_bytes, config.rto,
+                  config.initial_rate_bps, config.inflight_cap_bdp,
+                  config.base_rtt),
+      alpha_(config.alpha) {}
+
+double RcpSender::rate_from_ack(const net::Packet& ack) {
+  // Eq. 16.  path_feedback = sum over links of R_l^-alpha (in Mbps units).
+  const double feedback = std::max(ack.echo_path_feedback, 1e-300);
+  const double rate_units = std::pow(feedback, -1.0 / alpha_);
+  return num::to_bps(rate_units);
+}
+
+}  // namespace numfabric::transport

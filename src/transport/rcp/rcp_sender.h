@@ -1,0 +1,49 @@
+// RCP* — RCP generalized to alpha-fairness (§6, Eq. 15-16).
+//
+// Each link advertises a fair-share rate R_l; a packet accumulates
+// R_l^-alpha at every link it crosses, and the source sends at
+//
+//   x = ( sum_l R_l^-alpha )^(-1/alpha)
+//
+// (= min_l R_l as alpha -> inf, standard max-min RCP; harmonic-style
+// combination for finite alpha).
+#pragma once
+
+#include "transport/paced_sender.h"
+
+namespace numfabric::transport {
+
+struct RcpConfig {
+  /// Fair-share update period (Table 2: 16 us).
+  sim::TimeNs rate_update_interval = sim::micros(16);
+  /// Utilization gain a.  Table 2 quotes 3.6, swept on the authors' ns-3
+  /// setup; with our substrate's feedback timing that value limit-cycles
+  /// (R overshoots, floods queues, crashes), so we default to the
+  /// classically stable RCP gains [Dukkipati et al.] — see EXPERIMENTS.md.
+  double a = 0.4;
+  /// Queue gain b (Table 2: 1.8; stable classic value used here).
+  double b = 0.226;
+  /// Fairness parameter alpha of the alpha-fair objective.
+  double alpha = 1.0;
+  /// Average RTT d used in Eq. 15; the paper's fabric RTT.
+  sim::TimeNs avg_rtt = sim::micros(16);
+  double inflight_cap_bdp = 2.0;
+  sim::TimeNs base_rtt = sim::micros(16);
+  std::uint32_t packet_bytes = 1500;
+  double initial_rate_bps = 1e9;
+  sim::TimeNs rto = sim::millis(2);
+};
+
+class RcpSender : public PacedSender {
+ public:
+  RcpSender(sim::Simulator& sim, const FlowSpec& spec, SenderCallbacks callbacks,
+            const RcpConfig& config);
+
+ protected:
+  double rate_from_ack(const net::Packet& ack) override;
+
+ private:
+  double alpha_;
+};
+
+}  // namespace numfabric::transport

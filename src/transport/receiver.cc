@@ -1,0 +1,56 @@
+#include "transport/receiver.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace numfabric::transport {
+
+Receiver::Receiver(sim::Simulator& sim, const FlowSpec& spec,
+                   sim::TimeNs rate_meter_tau)
+    : sim_(sim), spec_(spec), meter_(rate_meter_tau) {
+  if (spec_.reverse.links.empty()) {
+    throw std::invalid_argument("Receiver: flow has no reverse path");
+  }
+}
+
+void Receiver::handle_packet(net::Packet&& packet) {
+  if (packet.type != net::PacketType::kData) return;
+  const sim::TimeNs now = sim_.now();
+  meter_.on_bytes(packet.size, now);
+
+  // Inter-packet gap: 0 on the first packet; the sender ignores 0 gaps
+  // (the paper's "ignore the first ACK" rule).
+  const sim::TimeNs gap = last_data_arrival_ < 0 ? 0 : now - last_data_arrival_;
+  last_data_arrival_ = now;
+
+  // In-order delivery tracking (go-back-N: out-of-order data is dropped and
+  // re-sent after the sender's timeout; duplicates are ignored).
+  if (packet.seq == expected_seq_) {
+    expected_seq_ += packet.size;
+  }
+  send_ack(packet, gap);
+}
+
+void Receiver::send_ack(const net::Packet& data, sim::TimeNs gap) {
+  net::Packet ack;
+  ack.flow = spec_.id;
+  ack.type = net::PacketType::kAck;
+  ack.size = net::kAckPacketBytes;
+  ack.path = &spec_.reverse;
+  ack.hop = 0;
+  // Control packets carry no virtual length (WFQ serves them for free) and
+  // top priority (pFabric never evicts them).
+  ack.virtual_packet_len = 0.0;
+  ack.priority = 0.0;
+  ack.ack_seq = expected_seq_;
+  ack.acked_bytes = data.size;
+  ack.echo_inter_packet_time = gap;
+  ack.echo_path_price = data.path_price;
+  ack.echo_path_len = data.path_len;
+  ack.echo_path_feedback = data.path_feedback;
+  ack.echo_ecn = data.ecn_marked;
+  ack.sent_time = data.sent_time;  // lets the sender estimate the RTT
+  spec_.reverse.links.front()->send(std::move(ack));
+}
+
+}  // namespace numfabric::transport

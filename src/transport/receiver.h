@@ -1,0 +1,50 @@
+// The generic receiver, shared by all schemes (§5, "The NUMFabric Receiver").
+//
+// On every data packet it (1) measures the inter-packet arrival gap — the
+// packet-pair signal Swift's rate estimator feeds on; (2) advances the
+// cumulative in-order byte count; and (3) reflects the gap plus whatever
+// feedback the network wrote into the packet (pathPrice/pathLen for xWI,
+// the price / R^-alpha accumulator for DGD and RCP*, the CE mark for DCTCP)
+// back to the sender in an ACK on the reverse path.
+//
+// It also runs the destination-side EWMA rate meter used by the convergence
+// experiments (80 us time constant, §6.1).
+#pragma once
+
+#include <cstdint>
+
+#include "net/link.h"
+#include "net/packet.h"
+#include "sim/simulator.h"
+#include "stats/rate_meter.h"
+#include "transport/flow.h"
+
+namespace numfabric::transport {
+
+class Receiver {
+ public:
+  Receiver(sim::Simulator& sim, const FlowSpec& spec, sim::TimeNs rate_meter_tau);
+
+  Receiver(const Receiver&) = delete;
+  Receiver& operator=(const Receiver&) = delete;
+
+  /// Host dispatch entry point: processes a data packet and emits an ACK.
+  void handle_packet(net::Packet&& packet);
+
+  /// EWMA-filtered delivery rate in bits/second.
+  double rate_bps() const { return meter_.rate_bps(); }
+
+  std::uint64_t in_order_bytes() const { return expected_seq_; }
+  std::uint64_t total_bytes() const { return meter_.total_bytes(); }
+
+ private:
+  void send_ack(const net::Packet& data, sim::TimeNs gap);
+
+  sim::Simulator& sim_;
+  const FlowSpec& spec_;
+  stats::RateMeter meter_;
+  std::uint64_t expected_seq_ = 0;
+  sim::TimeNs last_data_arrival_ = -1;
+};
+
+}  // namespace numfabric::transport

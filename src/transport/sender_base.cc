@@ -1,0 +1,108 @@
+#include "transport/sender_base.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+namespace numfabric::transport {
+
+SenderBase::SenderBase(sim::Simulator& sim, const FlowSpec& spec,
+                       SenderCallbacks callbacks, std::uint32_t packet_bytes,
+                       sim::TimeNs rto)
+    : sim_(sim),
+      spec_(spec),
+      callbacks_(std::move(callbacks)),
+      packet_bytes_(packet_bytes),
+      rto_(rto) {
+  if (spec_.path.links.empty()) {
+    throw std::invalid_argument("SenderBase: flow has no path");
+  }
+  if (packet_bytes_ == 0) throw std::invalid_argument("SenderBase: packet size 0");
+}
+
+SenderBase::~SenderBase() {
+  if (rto_event_ != 0) sim_.cancel(rto_event_);
+}
+
+void SenderBase::stop() {
+  if (stopped_) return;
+  stopped_ = true;
+  if (rto_event_ != 0) {
+    sim_.cancel(rto_event_);
+    rto_event_ = 0;
+  }
+  on_stop();
+}
+
+bool SenderBase::data_remaining() const {
+  if (stopped_ || complete_) return false;
+  return spec_.size_bytes == 0 || next_seq_ < spec_.size_bytes;
+}
+
+std::uint32_t SenderBase::next_packet_bytes() const {
+  if (spec_.size_bytes == 0) return packet_bytes_;
+  const std::uint64_t remaining = spec_.size_bytes - next_seq_;
+  return static_cast<std::uint32_t>(
+      std::min<std::uint64_t>(packet_bytes_, remaining));
+}
+
+std::uint32_t SenderBase::send_data() {
+  if (!data_remaining()) return 0;
+  const std::uint32_t bytes = next_packet_bytes();
+  net::Packet packet;
+  packet.flow = spec_.id;
+  packet.type = net::PacketType::kData;
+  packet.seq = next_seq_;
+  packet.size = bytes;
+  packet.path = &spec_.path;
+  packet.hop = 0;
+  packet.sent_time = sim_.now();
+  decorate_data(packet);
+  next_seq_ += bytes;
+  bytes_sent_ += bytes;
+  arm_rto();
+  spec_.path.links.front()->send(std::move(packet));
+  return bytes;
+}
+
+void SenderBase::handle_packet(net::Packet&& packet) {
+  if (packet.type != net::PacketType::kAck) return;  // senders only eat ACKs
+  const std::uint64_t prev = cum_ack_;
+  cum_ack_ = std::max(cum_ack_, packet.ack_seq);
+  const std::uint64_t newly_acked = cum_ack_ - prev;
+
+  if (newly_acked > 0 && inflight() > 0) {
+    arm_rto();  // progress: push the retransmission timer out
+  } else if (inflight() == 0 && rto_event_ != 0) {
+    sim_.cancel(rto_event_);
+    rto_event_ = 0;
+  }
+
+  if (!complete_ && spec_.size_bytes > 0 && cum_ack_ >= spec_.size_bytes) {
+    complete_ = true;
+    if (rto_event_ != 0) {
+      sim_.cancel(rto_event_);
+      rto_event_ = 0;
+    }
+    if (callbacks_.on_complete) callbacks_.on_complete(spec_.id, sim_.now());
+    return;
+  }
+  if (!stopped_ && !complete_) on_ack(packet, newly_acked);
+}
+
+void SenderBase::arm_rto() {
+  if (rto_ <= 0) return;
+  if (rto_event_ != 0) sim_.cancel(rto_event_);
+  rto_event_ = sim_.schedule_in(rto_, [this] { fire_rto(); });
+}
+
+void SenderBase::fire_rto() {
+  rto_event_ = 0;
+  if (stopped_ || complete_) return;
+  // Go-back-N: rewind to the last cumulatively acknowledged byte.
+  next_seq_ = cum_ack_;
+  arm_rto();
+  on_timeout();
+}
+
+}  // namespace numfabric::transport

@@ -1,0 +1,94 @@
+// Common sender machinery: sequencing, cumulative ACK processing, completion
+// detection, and go-back-N retransmission on timeout.
+//
+// Scheme-specific senders override on_ack (their control law) and
+// decorate_data (their header fields).  Loss is rare for the window/price
+// based schemes (the paper sizes buffers at 1 MB precisely to avoid drops)
+// but pFabric drops by design, so the base keeps a simple GBN recovery that
+// every scheme inherits.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "net/link.h"
+#include "net/packet.h"
+#include "sim/simulator.h"
+#include "transport/flow.h"
+
+namespace numfabric::transport {
+
+struct SenderCallbacks {
+  /// Invoked once when the last byte is cumulatively acknowledged.
+  std::function<void(net::FlowId, sim::TimeNs)> on_complete;
+};
+
+class SenderBase {
+ public:
+  SenderBase(sim::Simulator& sim, const FlowSpec& spec, SenderCallbacks callbacks,
+             std::uint32_t packet_bytes, sim::TimeNs rto);
+  virtual ~SenderBase();
+
+  SenderBase(const SenderBase&) = delete;
+  SenderBase& operator=(const SenderBase&) = delete;
+
+  /// Begins transmission (called by the Fabric at the flow's start time).
+  virtual void start() = 0;
+
+  /// Permanently ceases sending new data (used by the semi-dynamic scenario
+  /// to stop long-running flows).  In-flight packets still drain.
+  void stop();
+
+  /// Host dispatch entry point: processes an ACK.
+  void handle_packet(net::Packet&& packet);
+
+  bool complete() const { return complete_; }
+  bool stopped() const { return stopped_; }
+  std::uint64_t cum_ack() const { return cum_ack_; }
+  std::uint64_t bytes_sent() const { return bytes_sent_; }
+  const FlowSpec& spec() const { return spec_; }
+
+ protected:
+  /// Scheme control law; `newly_acked` is the cumulative-ACK advance.
+  virtual void on_ack(const net::Packet& ack, std::uint64_t newly_acked) = 0;
+
+  /// Fills scheme-specific header fields of an outgoing data packet.
+  virtual void decorate_data(net::Packet& packet) { (void)packet; }
+
+  /// Called after a timeout rewound next_seq to cum_ack (go-back-N); the
+  /// scheme should resume transmission.
+  virtual void on_timeout() {}
+
+  /// Called when stop() is invoked, so schemes can cancel pacing timers.
+  virtual void on_stop() {}
+
+  /// Sends one data packet at next_seq (size = min(packet size, remaining)).
+  /// Returns bytes sent; 0 when no data remains or the sender is stopped.
+  std::uint32_t send_data();
+
+  bool data_remaining() const;
+  std::uint32_t next_packet_bytes() const;
+  std::uint64_t inflight() const { return next_seq_ - cum_ack_; }
+  std::uint64_t next_seq() const { return next_seq_; }
+  std::uint32_t packet_bytes() const { return packet_bytes_; }
+  sim::Simulator& sim() { return sim_; }
+
+ private:
+  void arm_rto();
+  void fire_rto();
+
+  sim::Simulator& sim_;
+  const FlowSpec& spec_;
+  SenderCallbacks callbacks_;
+  std::uint32_t packet_bytes_;
+  sim::TimeNs rto_;
+
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t cum_ack_ = 0;
+  std::uint64_t bytes_sent_ = 0;
+  bool stopped_ = false;
+  bool complete_ = false;
+  sim::EventId rto_event_ = 0;
+};
+
+}  // namespace numfabric::transport

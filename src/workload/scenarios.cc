@@ -1,0 +1,61 @@
+#include "workload/scenarios.h"
+
+#include <stdexcept>
+
+namespace numfabric::workload {
+
+std::vector<HostPair> random_pairs(const std::vector<net::Host*>& hosts,
+                                   int count, sim::Rng& rng) {
+  if (hosts.size() < 2) throw std::invalid_argument("random_pairs: need >= 2 hosts");
+  std::vector<HostPair> pairs;
+  pairs.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    const std::size_t a = rng.index(hosts.size());
+    std::size_t b = rng.index(hosts.size() - 1);
+    if (b >= a) ++b;  // uniform over hosts != a
+    pairs.push_back(HostPair{hosts[a], hosts[b]});
+  }
+  return pairs;
+}
+
+std::vector<HostPair> permutation_pairs(const std::vector<net::Host*>& hosts,
+                                        sim::Rng& rng) {
+  if (hosts.size() < 2 || hosts.size() % 2 != 0) {
+    throw std::invalid_argument("permutation_pairs: need an even host count");
+  }
+  const std::vector<std::size_t> order = rng.permutation(hosts.size());
+  const std::size_t half = hosts.size() / 2;
+  std::vector<HostPair> pairs;
+  pairs.reserve(half);
+  for (std::size_t i = 0; i < half; ++i) {
+    pairs.push_back(HostPair{hosts[order[i]], hosts[order[i + half]]});
+  }
+  return pairs;
+}
+
+std::vector<ArrivedFlow> poisson_flows(const std::vector<net::Host*>& hosts,
+                                       double nic_rate_bps, double load,
+                                       const SizeDistribution& sizes,
+                                       int flow_count, sim::Rng& rng) {
+  if (!(0 < load && load < 1.0)) {
+    throw std::invalid_argument("poisson_flows: load must be in (0, 1)");
+  }
+  const double aggregate_bps = nic_rate_bps * static_cast<double>(hosts.size());
+  const double lambda = load * aggregate_bps / (8.0 * sizes.mean_bytes());
+  const double mean_gap_seconds = 1.0 / lambda;
+
+  std::vector<ArrivedFlow> flows;
+  flows.reserve(static_cast<std::size_t>(flow_count));
+  double now_seconds = 0.0;
+  for (int i = 0; i < flow_count; ++i) {
+    now_seconds += rng.exponential(mean_gap_seconds);
+    ArrivedFlow flow;
+    flow.arrival = static_cast<sim::TimeNs>(now_seconds * sim::kSecond);
+    flow.size_bytes = sizes.sample(rng);
+    flow.pair = random_pairs(hosts, 1, rng).front();
+    flows.push_back(flow);
+  }
+  return flows;
+}
+
+}  // namespace numfabric::workload

@@ -1,0 +1,49 @@
+// Traffic scenario generators (§6): random host pairings for the
+// semi-dynamic scenario, Poisson arrivals for the dynamic workloads and the
+// permutation matrix for the resource-pooling experiment.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/node.h"
+#include "sim/random.h"
+#include "sim/time.h"
+#include "workload/size_distribution.h"
+
+namespace numfabric::workload {
+
+struct HostPair {
+  net::Host* src = nullptr;
+  net::Host* dst = nullptr;
+};
+
+/// `count` random ordered pairs of distinct hosts (the semi-dynamic
+/// scenario's 1000 random flow paths).
+std::vector<HostPair> random_pairs(const std::vector<net::Host*>& hosts,
+                                   int count, sim::Rng& rng);
+
+/// The MPTCP-style permutation of Fig. 8: hosts[i] sends to
+/// hosts[i + n/2] for i < n/2 (servers 1-64 each send to one server among
+/// 65-128), after a random shuffle of the host list.
+std::vector<HostPair> permutation_pairs(const std::vector<net::Host*>& hosts,
+                                        sim::Rng& rng);
+
+struct ArrivedFlow {
+  sim::TimeNs arrival = 0;
+  std::uint64_t size_bytes = 0;
+  HostPair pair;
+};
+
+/// Poisson flow arrivals at target `load` (fraction of aggregate host NIC
+/// capacity), sizes from `sizes`, random distinct src/dst pairs.
+///
+/// lambda = load * num_hosts * nic_rate / (8 * mean_size): the paper's "flows
+/// arrive as a Poisson process of different rates to simulate different load
+/// levels".
+std::vector<ArrivedFlow> poisson_flows(const std::vector<net::Host*>& hosts,
+                                       double nic_rate_bps, double load,
+                                       const SizeDistribution& sizes,
+                                       int flow_count, sim::Rng& rng);
+
+}  // namespace numfabric::workload

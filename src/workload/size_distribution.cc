@@ -1,0 +1,91 @@
+#include "workload/size_distribution.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+namespace numfabric::workload {
+
+SizeDistribution::SizeDistribution(std::string name, std::vector<Point> points)
+    : name_(std::move(name)), points_(std::move(points)) {
+  if (points_.size() < 2) {
+    throw std::invalid_argument("SizeDistribution: need at least 2 points");
+  }
+  for (std::size_t i = 1; i < points_.size(); ++i) {
+    if (points_[i].size_bytes <= points_[i - 1].size_bytes ||
+        points_[i].cdf <= points_[i - 1].cdf) {
+      throw std::invalid_argument("SizeDistribution: points must increase");
+    }
+  }
+  if (points_.front().cdf < 0 || std::abs(points_.back().cdf - 1.0) > 1e-9) {
+    throw std::invalid_argument("SizeDistribution: cdf must end at 1");
+  }
+  // Mean via fine quantile integration (trapezoid over u).
+  const int steps = 20'000;
+  double sum = 0.0;
+  for (int i = 0; i < steps; ++i) {
+    const double u = (static_cast<double>(i) + 0.5) / steps;
+    sum += quantile(u);
+  }
+  mean_bytes_ = sum / steps;
+}
+
+double SizeDistribution::quantile(double u) const {
+  u = std::clamp(u, 0.0, 1.0);
+  if (u <= points_.front().cdf) return points_.front().size_bytes;
+  auto it = std::lower_bound(points_.begin(), points_.end(), u,
+                             [](const Point& p, double v) { return p.cdf < v; });
+  const Point& hi = *it;
+  const Point& lo = *(it - 1);
+  const double t = (u - lo.cdf) / (hi.cdf - lo.cdf);
+  // Log-linear interpolation in size (sizes span 5 orders of magnitude).
+  return std::exp(std::log(lo.size_bytes) +
+                  t * (std::log(hi.size_bytes) - std::log(lo.size_bytes)));
+}
+
+std::uint64_t SizeDistribution::sample(sim::Rng& rng) const {
+  const double size = quantile(rng.uniform());
+  return static_cast<std::uint64_t>(std::max(size, 1.0));
+}
+
+double SizeDistribution::mean_bytes() const { return mean_bytes_; }
+
+const SizeDistribution& websearch_distribution() {
+  // ~53% of flows below 100 KB; 30% above 1 MB carrying ~95% of bytes.
+  static const SizeDistribution dist(
+      "websearch", {
+                       {6'000, 0.00},
+                       {10'000, 0.15},
+                       {20'000, 0.20},
+                       {30'000, 0.30},
+                       {50'000, 0.40},
+                       {80'000, 0.53},
+                       {200'000, 0.60},
+                       {1'000'000, 0.70},
+                       {2'000'000, 0.80},
+                       {5'000'000, 0.90},
+                       {10'000'000, 0.97},
+                       {30'000'000, 1.00},
+                   });
+  return dist;
+}
+
+const SizeDistribution& enterprise_distribution() {
+  // 95% of flows below 10 KB; ~70% are 1-2 packets; a thin multi-MB tail
+  // still carries a large share of bytes (heavy-tailed, §6.1).
+  static const SizeDistribution dist(
+      "enterprise", {
+                        {1'000, 0.00},
+                        {1'500, 0.40},
+                        {3'000, 0.70},
+                        {6'000, 0.90},
+                        {10'000, 0.95},
+                        {100'000, 0.97},
+                        {1'000'000, 0.99},
+                        {10'000'000, 1.00},
+                    });
+  return dist;
+}
+
+}  // namespace numfabric::workload

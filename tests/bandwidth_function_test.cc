@@ -1,0 +1,97 @@
+// Bandwidth function (BwE) representation and induced utility tests.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "num/bandwidth_function.h"
+
+namespace numfabric::num {
+namespace {
+
+TEST(BandwidthFunctionTest, EvaluatesPiecewiseLinear) {
+  BandwidthFunction fn({{0, 0}, {2, 10'000}, {2.5, 15'000}});
+  EXPECT_DOUBLE_EQ(fn.bandwidth(0), 0);
+  EXPECT_DOUBLE_EQ(fn.bandwidth(1), 5'000);
+  EXPECT_DOUBLE_EQ(fn.bandwidth(2), 10'000);
+  EXPECT_DOUBLE_EQ(fn.bandwidth(2.25), 12'500);
+  EXPECT_DOUBLE_EQ(fn.bandwidth(2.5), 15'000);
+  // Tail continues with the last slope (10'000 per unit).
+  EXPECT_DOUBLE_EQ(fn.bandwidth(3.5), 25'000);
+}
+
+TEST(BandwidthFunctionTest, InverseRoundTrip) {
+  BandwidthFunction fn({{0, 0}, {2, 10'000}, {2.5, 15'000}});
+  for (double f : {0.5, 1.0, 1.9, 2.2, 2.5, 3.0, 4.0}) {
+    EXPECT_NEAR(fn.fair_share(fn.bandwidth(f)), f, 1e-9);
+  }
+}
+
+TEST(BandwidthFunctionTest, FlatSegmentInverseReturnsLeftEdge) {
+  BandwidthFunction fn({{0, 0}, {2, 0}, {2.5, 10'000}});
+  // B == 0 on [0, 2]; the inverse of 0 is the leftmost f (0).
+  EXPECT_DOUBLE_EQ(fn.fair_share(0.0), 0.0);
+  EXPECT_NEAR(fn.fair_share(5'000), 2.25, 1e-9);
+}
+
+TEST(BandwidthFunctionTest, StrictifiedIsStrictlyIncreasing) {
+  BandwidthFunction fn =
+      BandwidthFunction({{0, 0}, {2, 0}, {2.5, 10'000}}).strictified(1.0);
+  EXPECT_GT(fn.bandwidth(2.0), fn.bandwidth(1.0));
+  EXPECT_GT(fn.bandwidth(1.0), 0.0);
+  EXPECT_LT(fn.bandwidth(2.0), 5.0);  // the added slope is tiny
+}
+
+TEST(BandwidthFunctionTest, CappedTailAlmostFlat) {
+  BandwidthFunction fn =
+      BandwidthFunction({{0, 0}, {2.5, 10'000}}).capped(1.0);
+  EXPECT_NEAR(fn.bandwidth(100.0), 10'000 + 97.5, 1e-6);
+}
+
+TEST(BandwidthFunctionTest, RejectsMalformedInput) {
+  EXPECT_THROW(BandwidthFunction({{0, 0}}), std::invalid_argument);
+  EXPECT_THROW(BandwidthFunction({{1, 0}, {2, 5}}), std::invalid_argument);
+  EXPECT_THROW(BandwidthFunction({{0, 0}, {0.5, 5}, {0.5, 6}}),
+               std::invalid_argument);
+  EXPECT_THROW(BandwidthFunction({{0, 0}, {1, 5}, {2, 4}}), std::invalid_argument);
+}
+
+TEST(BandwidthFunctionUtilityTest, MarginalInverseIsBandwidthOfPrice) {
+  // U'^{-1}(p) = B(p^{-1/alpha}) — the identity the Swift weight relies on.
+  const double alpha = 5.0;
+  BandwidthFunctionUtility u(fig2_flow1(), alpha);
+  for (double f : {0.5, 1.0, 2.0, 2.4, 3.0}) {
+    const double price = std::pow(f, -alpha);
+    EXPECT_NEAR(u.marginal_inverse(price), fig2_flow1().bandwidth(f),
+                1e-6 * fig2_flow1().bandwidth(f));
+  }
+}
+
+TEST(BandwidthFunctionUtilityTest, MarginalRoundTrip) {
+  BandwidthFunctionUtility u(fig2_flow1(), 5.0);
+  for (double x : {1'000.0, 5'000.0, 12'000.0, 20'000.0}) {
+    EXPECT_NEAR(u.marginal_inverse(u.marginal(x)), x, 1e-6 * x);
+  }
+}
+
+TEST(BandwidthFunctionUtilityTest, UtilityIncreasing) {
+  BandwidthFunctionUtility u(fig2_flow2(), 5.0);
+  EXPECT_GT(u.utility(2'000), u.utility(1'000));
+  EXPECT_GT(u.utility(10'000), u.utility(5'000));
+}
+
+TEST(Fig2FunctionsTest, MatchPaperDescription) {
+  const BandwidthFunction b1 = fig2_flow1();
+  const BandwidthFunction b2 = fig2_flow2();
+  // Flow 1 has strict priority for the first 10 Gbps...
+  EXPECT_DOUBLE_EQ(b1.bandwidth(2.0), 10'000);
+  EXPECT_LT(b2.bandwidth(2.0), 10.0);
+  // ...then flow 2 rises at twice the slope until 10 Gbps at f = 2.5.
+  EXPECT_NEAR(b2.bandwidth(2.5), 10'000, 3.0);
+  EXPECT_DOUBLE_EQ(b1.bandwidth(2.5), 15'000);
+  const double slope1 = (b1.bandwidth(2.4) - b1.bandwidth(2.1)) / 0.3;
+  const double slope2 = (b2.bandwidth(2.4) - b2.bandwidth(2.1)) / 0.3;
+  EXPECT_NEAR(slope2 / slope1, 2.0, 0.01);
+}
+
+}  // namespace
+}  // namespace numfabric::num

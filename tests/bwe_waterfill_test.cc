@@ -1,0 +1,107 @@
+// BwE fair-share water-filling tests, anchored on Fig. 2's worked example.
+#include <gtest/gtest.h>
+
+#include "num/bwe_waterfill.h"
+
+namespace numfabric::num {
+namespace {
+
+TEST(BweWaterfillTest, Fig2At10Gbps) {
+  // "If the link speed is 10 Gbps, the blue flow gets all of the link" —
+  // fair share 1... the text says f = 1? The allocation: flow1 = 10 Gbps,
+  // flow2 = 0 (strict priority region ends at f = 2 where B1 = 10).
+  const BandwidthFunction b1 = fig2_flow1();
+  const BandwidthFunction b2 = fig2_flow2();
+  BweProblem problem;
+  problem.functions = {&b1, &b2};
+  problem.flow_links = {{0}, {0}};
+  problem.capacities = {10'000.0};
+  const auto result = bwe_waterfill(problem);
+  EXPECT_NEAR(result.rates[0], 10'000.0, 20.0);
+  EXPECT_NEAR(result.rates[1], 0.0, 20.0);
+}
+
+TEST(BweWaterfillTest, Fig2At25Gbps) {
+  // "But with a link speed of 25 Gbps, the blue flow gets 15 Gbps and the
+  // red flow gets 10 Gbps, for a fair share of 2.5."
+  const BandwidthFunction b1 = fig2_flow1();
+  const BandwidthFunction b2 = fig2_flow2();
+  BweProblem problem;
+  problem.functions = {&b1, &b2};
+  problem.flow_links = {{0}, {0}};
+  problem.capacities = {25'000.0};
+  const auto result = bwe_waterfill(problem);
+  EXPECT_NEAR(result.rates[0], 15'000.0, 50.0);
+  EXPECT_NEAR(result.rates[1], 10'000.0, 50.0);
+  EXPECT_NEAR(result.fair_shares[0], 2.5, 0.01);
+}
+
+TEST(BweWaterfillTest, Fig2At15Gbps) {
+  // Between the breakpoints: 10 + 30 (f - 2) = 15  =>  f = 13/6,
+  // flow1 = 10 + 10/6 Gbps, flow2 = 20/6 Gbps.
+  const BandwidthFunction b1 = fig2_flow1();
+  const BandwidthFunction b2 = fig2_flow2();
+  BweProblem problem;
+  problem.functions = {&b1, &b2};
+  problem.flow_links = {{0}, {0}};
+  problem.capacities = {15'000.0};
+  const auto result = bwe_waterfill(problem);
+  EXPECT_NEAR(result.rates[0], 10'000.0 + 10'000.0 / 6, 60.0);
+  EXPECT_NEAR(result.rates[1], 20'000.0 / 6, 60.0);
+}
+
+TEST(BweWaterfillTest, Fig2At35GbpsFlow2Capped) {
+  // Beyond 25 Gbps flow 2 is capped at 10 Gbps; flow 1's function continues
+  // (slope 10 Gbps/unit), so it absorbs the rest: (25, 10).
+  const BandwidthFunction b1 = fig2_flow1();
+  const BandwidthFunction b2 = fig2_flow2();
+  BweProblem problem;
+  problem.functions = {&b1, &b2};
+  problem.flow_links = {{0}, {0}};
+  problem.capacities = {35'000.0};
+  const auto result = bwe_waterfill(problem);
+  EXPECT_NEAR(result.rates[0], 25'000.0, 100.0);
+  EXPECT_NEAR(result.rates[1], 10'000.0, 100.0);
+}
+
+TEST(BweWaterfillTest, MultiLinkDifferentFairShares) {
+  // Two identical linear functions, flow 0 on a tight link: it freezes at a
+  // lower fair share while flow 1 keeps rising on its own link.
+  const BandwidthFunction linear({{0, 0}, {1, 10}});
+  BweProblem problem;
+  problem.functions = {&linear, &linear};
+  problem.flow_links = {{0}, {1}};
+  problem.capacities = {5.0, 30.0};
+  const auto result = bwe_waterfill(problem, /*max_fair_share=*/3.0);
+  EXPECT_NEAR(result.rates[0], 5.0, 1e-6);
+  EXPECT_NEAR(result.fair_shares[0], 0.5, 1e-6);
+  EXPECT_NEAR(result.rates[1], 30.0, 1e-6);  // its own link saturates at f=3
+}
+
+TEST(BweWaterfillTest, UnconstrainedFlowsFreezeAtBound) {
+  const BandwidthFunction capped =
+      BandwidthFunction({{0, 0}, {1, 10}}).capped(0.0);
+  BweProblem problem;
+  problem.functions = {&capped};
+  problem.flow_links = {{0}};
+  problem.capacities = {100.0};
+  const auto result = bwe_waterfill(problem, /*max_fair_share=*/50.0);
+  EXPECT_NEAR(result.rates[0], 10.0, 1e-6);  // its cap, not the capacity
+  EXPECT_NEAR(result.fair_shares[0], 50.0, 1e-6);
+}
+
+TEST(BweWaterfillTest, RejectsMalformedInput) {
+  const BandwidthFunction linear({{0, 0}, {1, 10}});
+  BweProblem problem;
+  problem.functions = {&linear};
+  problem.flow_links = {};
+  EXPECT_THROW(bwe_waterfill(problem), std::invalid_argument);
+  problem.flow_links = {{}};
+  EXPECT_THROW(bwe_waterfill(problem), std::invalid_argument);
+  problem.flow_links = {{2}};
+  problem.capacities = {10.0};
+  EXPECT_THROW(bwe_waterfill(problem), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace numfabric::num

@@ -1,0 +1,88 @@
+// Event-driven fluid FCT oracle tests.
+#include <gtest/gtest.h>
+
+#include "num/fluid_fct_oracle.h"
+#include "num/utility.h"
+
+namespace numfabric::num {
+namespace {
+
+TEST(FluidFctOracleTest, LoneFlowRunsAtCapacity) {
+  AlphaFairUtility u(1.0);
+  std::vector<FluidFlow> flows(1);
+  flows[0].arrival_seconds = 0;
+  flows[0].size_bytes = 1e6;  // 8 Mbit
+  flows[0].links = {0};
+  flows[0].utility = &u;
+  const auto result = fluid_fct_oracle(flows, {10'000.0});  // 10 Gbps
+  EXPECT_NEAR(result.fct_seconds[0], 8e6 / 10e9, 1e-9);
+  EXPECT_NEAR(result.ideal_rate[0], 10'000.0, 1e-6);
+}
+
+TEST(FluidFctOracleTest, TwoSimultaneousFlowsShare) {
+  AlphaFairUtility u(1.0);
+  std::vector<FluidFlow> flows(2);
+  for (auto& f : flows) {
+    f.arrival_seconds = 0;
+    f.size_bytes = 1e6;
+    f.links = {0};
+    f.utility = &u;
+  }
+  const auto result = fluid_fct_oracle(flows, {10'000.0});
+  // Both share 5 Gbps until they finish together: FCT = 8Mb / 5Gbps.
+  EXPECT_NEAR(result.fct_seconds[0], 8e6 / 5e9, 1e-9);
+  EXPECT_NEAR(result.fct_seconds[1], 8e6 / 5e9, 1e-9);
+}
+
+TEST(FluidFctOracleTest, LateArrivalSlowsFirstFlow) {
+  AlphaFairUtility u(1.0);
+  std::vector<FluidFlow> flows(2);
+  flows[0] = {0.0, 2e6, {0}, &u};
+  flows[1] = {0.8e-3, 2e6, {0}, &u};  // arrives when flow 0 is half done
+  const auto result = fluid_fct_oracle(flows, {10'000.0});
+  // Flow 0: 0.8 ms alone (8 Mb at 10G) + shares afterwards.
+  EXPECT_GT(result.fct_seconds[0], 1.6e-3 * 0.99);
+  EXPECT_GT(result.fct_seconds[1], result.fct_seconds[0] - 0.8e-3);
+  // Work conservation: total bytes delivered / total time ~ capacity while
+  // both active.
+  EXPECT_LT(result.fct_seconds[0], 2.5e-3);
+}
+
+TEST(FluidFctOracleTest, ResultsInInputOrderNotArrivalOrder) {
+  AlphaFairUtility u(1.0);
+  std::vector<FluidFlow> flows(2);
+  flows[0] = {5e-3, 1e6, {0}, &u};  // arrives later but is index 0
+  flows[1] = {0.0, 1e6, {0}, &u};
+  const auto result = fluid_fct_oracle(flows, {10'000.0});
+  EXPECT_NEAR(result.fct_seconds[0], 0.8e-3, 1e-6);
+  EXPECT_NEAR(result.fct_seconds[1], 0.8e-3, 1e-6);
+}
+
+TEST(FluidFctOracleTest, MultiLinkAllocation) {
+  // Parking lot: the long flow gets C/3 under proportional fairness while
+  // both shorts are active.
+  AlphaFairUtility u(1.0);
+  std::vector<FluidFlow> flows(3);
+  flows[0] = {0.0, 10e6, {0, 1}, &u};
+  flows[1] = {0.0, 10e6, {0}, &u};
+  flows[2] = {0.0, 10e6, {1}, &u};
+  const auto result = fluid_fct_oracle(flows, {9'000.0, 9'000.0});
+  // Shorts run at 6 Gbps, the long flow at 3 Gbps initially; shorts finish
+  // first, then the long flow speeds up.
+  EXPECT_LT(result.fct_seconds[1], result.fct_seconds[0]);
+  EXPECT_LT(result.fct_seconds[2], result.fct_seconds[0]);
+}
+
+TEST(FluidFctOracleTest, RejectsMalformedFlows) {
+  AlphaFairUtility u(1.0);
+  std::vector<FluidFlow> flows(1);
+  flows[0] = {0.0, 0.0, {0}, &u};
+  EXPECT_THROW(fluid_fct_oracle(flows, {10.0}), std::invalid_argument);
+  flows[0] = {0.0, 1e6, {}, &u};
+  EXPECT_THROW(fluid_fct_oracle(flows, {10.0}), std::invalid_argument);
+  flows[0] = {0.0, 1e6, {0}, nullptr};
+  EXPECT_THROW(fluid_fct_oracle(flows, {10.0}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace numfabric::num

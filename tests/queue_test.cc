@@ -1,0 +1,277 @@
+// Queue/scheduler tests: FIFO drop-tail (+ECN), STFQ WFQ, the discrete-WFQ
+// ablation and the pFabric priority queue.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "net/discrete_wfq_queue.h"
+#include "net/drop_tail_queue.h"
+#include "net/pfabric_queue.h"
+#include "net/wfq_queue.h"
+
+namespace numfabric::net {
+namespace {
+
+Packet make_data(FlowId flow, std::uint32_t size, double weight = 1.0) {
+  Packet p;
+  p.flow = flow;
+  p.type = PacketType::kData;
+  p.size = size;
+  p.virtual_packet_len = weight > 0 ? size / weight : 0.0;
+  return p;
+}
+
+Packet make_ack(FlowId flow) {
+  Packet p;
+  p.flow = flow;
+  p.type = PacketType::kAck;
+  p.size = kAckPacketBytes;
+  p.virtual_packet_len = 0.0;
+  return p;
+}
+
+// ---------------------------------------------------------------- DropTail
+
+TEST(DropTailQueueTest, FifoOrder) {
+  DropTailQueue queue(10'000);
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    Packet p = make_data(1, 100);
+    p.seq = i;
+    ASSERT_TRUE(queue.enqueue(std::move(p)));
+  }
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(queue.dequeue()->seq, i);
+  }
+  EXPECT_FALSE(queue.dequeue().has_value());
+}
+
+TEST(DropTailQueueTest, DropsWhenFull) {
+  DropTailQueue queue(250);
+  EXPECT_TRUE(queue.enqueue(make_data(1, 100)));
+  EXPECT_TRUE(queue.enqueue(make_data(1, 100)));
+  EXPECT_FALSE(queue.enqueue(make_data(1, 100)));  // 300 > 250
+  EXPECT_EQ(queue.drops(), 1u);
+  EXPECT_EQ(queue.bytes(), 200u);
+}
+
+TEST(DropTailQueueTest, EcnMarksAboveThreshold) {
+  DropTailQueue queue(100'000, /*ecn_threshold_bytes=*/200);
+  auto ecn_data = [] {
+    Packet p = make_data(1, 100);
+    p.ecn_capable = true;
+    return p;
+  };
+  ASSERT_TRUE(queue.enqueue(ecn_data()));  // backlog 0 < 200: unmarked
+  ASSERT_TRUE(queue.enqueue(ecn_data()));  // backlog 100 < 200: unmarked
+  ASSERT_TRUE(queue.enqueue(ecn_data()));  // backlog 200 >= 200: marked
+  EXPECT_FALSE(queue.dequeue()->ecn_marked);
+  EXPECT_FALSE(queue.dequeue()->ecn_marked);
+  EXPECT_TRUE(queue.dequeue()->ecn_marked);
+}
+
+TEST(DropTailQueueTest, EcnIgnoresNonCapablePackets) {
+  DropTailQueue queue(100'000, 50);
+  ASSERT_TRUE(queue.enqueue(make_data(1, 100)));
+  ASSERT_TRUE(queue.enqueue(make_data(1, 100)));  // above threshold, not capable
+  EXPECT_FALSE(queue.dequeue()->ecn_marked);
+  EXPECT_FALSE(queue.dequeue()->ecn_marked);
+}
+
+// --------------------------------------------------------------------- WFQ
+
+// Drains `rounds` packets and counts bytes served per flow.
+std::map<FlowId, std::uint64_t> drain(Queue& queue, int rounds) {
+  std::map<FlowId, std::uint64_t> served;
+  for (int i = 0; i < rounds; ++i) {
+    auto p = queue.dequeue();
+    if (!p) break;
+    served[p->flow] += p->size;
+  }
+  return served;
+}
+
+TEST(WfqQueueTest, EqualWeightsShareEqually) {
+  WfqQueue queue(1'000'000);
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(queue.enqueue(make_data(1, 1000, 1.0)));
+    ASSERT_TRUE(queue.enqueue(make_data(2, 1000, 1.0)));
+  }
+  const auto served = drain(queue, 100);
+  EXPECT_NEAR(static_cast<double>(served.at(1)), 50'000, 1000);
+  EXPECT_NEAR(static_cast<double>(served.at(2)), 50'000, 1000);
+}
+
+TEST(WfqQueueTest, WeightsDictateServiceRatio) {
+  WfqQueue queue(10'000'000);
+  for (int i = 0; i < 300; ++i) {
+    ASSERT_TRUE(queue.enqueue(make_data(1, 1000, 1.0)));
+    ASSERT_TRUE(queue.enqueue(make_data(2, 1000, 3.0)));
+  }
+  const auto served = drain(queue, 200);
+  const double ratio = static_cast<double>(served.at(2)) /
+                       static_cast<double>(served.at(1));
+  EXPECT_NEAR(ratio, 3.0, 0.25);
+}
+
+TEST(WfqQueueTest, DynamicPerPacketWeights) {
+  // The same flow's weight can change packet-by-packet (xWI needs this).
+  WfqQueue queue(10'000'000);
+  for (int i = 0; i < 300; ++i) {
+    // Flow 1's weight rises from 1 to 4 midway; flow 2 stays at 2.
+    const double w1 = i < 150 ? 1.0 : 4.0;
+    ASSERT_TRUE(queue.enqueue(make_data(1, 1000, w1)));
+    ASSERT_TRUE(queue.enqueue(make_data(2, 1000, 2.0)));
+  }
+  // Drain everything; both flows fully served, no loss of work.
+  const auto served = drain(queue, 600);
+  EXPECT_EQ(served.at(1), 300'000u);
+  EXPECT_EQ(served.at(2), 300'000u);
+}
+
+TEST(WfqQueueTest, ControlPacketsRideForFree) {
+  WfqQueue queue(1'000'000);
+  // A backlog of heavy data, then one ACK: the ACK's start tag is the
+  // current virtual time, so it must not wait for the whole backlog.
+  for (int i = 0; i < 50; ++i) ASSERT_TRUE(queue.enqueue(make_data(1, 1500, 1.0)));
+  ASSERT_TRUE(queue.dequeue().has_value());  // V now > 0
+  ASSERT_TRUE(queue.enqueue(make_ack(2)));
+  // The ACK (S = V) must come out before flow 1's tail (S grows per packet).
+  bool ack_seen = false;
+  for (int i = 0; i < 3; ++i) {
+    auto p = queue.dequeue();
+    ASSERT_TRUE(p.has_value());
+    if (p->type == PacketType::kAck) ack_seen = true;
+  }
+  EXPECT_TRUE(ack_seen);
+}
+
+TEST(WfqQueueTest, DropsWhenFull) {
+  WfqQueue queue(2'000);
+  EXPECT_TRUE(queue.enqueue(make_data(1, 1500, 1.0)));
+  EXPECT_FALSE(queue.enqueue(make_data(2, 1500, 1.0)));
+  EXPECT_EQ(queue.drops(), 1u);
+}
+
+TEST(WfqQueueTest, VirtualTimeMonotone) {
+  WfqQueue queue(1'000'000);
+  for (int i = 0; i < 20; ++i) ASSERT_TRUE(queue.enqueue(make_data(1, 1000, 2.0)));
+  double last = -1.0;
+  while (auto p = queue.dequeue()) {
+    EXPECT_GE(queue.virtual_time(), last);
+    last = queue.virtual_time();
+  }
+}
+
+TEST(WfqQueueTest, GarbageCollectsIdleFlowState) {
+  WfqQueue queue(100'000'000);
+  // Touch many distinct flows once, then push enough traffic to trigger GC.
+  for (FlowId flow = 1; flow <= 1000; ++flow) {
+    ASSERT_TRUE(queue.enqueue(make_data(flow, 100, 1.0)));
+  }
+  for (int i = 0; i < 1000; ++i) queue.dequeue();
+  EXPECT_EQ(queue.tracked_flows(), 1000u);  // GC period not reached yet
+  for (int i = 0; i < 5000; ++i) {
+    ASSERT_TRUE(queue.enqueue(make_data(1, 100, 1.0)));
+    queue.dequeue();
+  }
+  EXPECT_LT(queue.tracked_flows(), 10u);
+}
+
+// ------------------------------------------------------------ DiscreteWfq
+
+TEST(DiscreteWfqQueueTest, BandMappingMonotone) {
+  DiscreteWfqQueue queue(1'000'000, 8, 0.1, 100.0);
+  int last = -1;
+  for (double w : {0.05, 0.1, 0.5, 2.0, 10.0, 50.0, 100.0, 500.0}) {
+    const int band = queue.band_for_weight(w);
+    EXPECT_GE(band, last);
+    last = band;
+  }
+  EXPECT_EQ(queue.band_for_weight(0.01), 0);
+  EXPECT_EQ(queue.band_for_weight(1e6), queue.num_bands() - 1);
+}
+
+TEST(DiscreteWfqQueueTest, ApproximatesWeightedSharing) {
+  DiscreteWfqQueue queue(100'000'000, 16, 0.5, 32.0);
+  for (int i = 0; i < 2000; ++i) {
+    ASSERT_TRUE(queue.enqueue(make_data(1, 1000, 1.0)));
+    ASSERT_TRUE(queue.enqueue(make_data(2, 1000, 4.0)));
+  }
+  const auto served = drain(queue, 1000);
+  const double ratio = static_cast<double>(served.at(2)) /
+                       static_cast<double>(served.at(1));
+  // Quantized weights: the ratio is approximate, not exact.
+  EXPECT_NEAR(ratio, 4.0, 1.2);
+}
+
+TEST(DiscreteWfqQueueTest, RejectsBadConfig) {
+  EXPECT_THROW(DiscreteWfqQueue(1000, 0, 0.1, 10.0), std::invalid_argument);
+  EXPECT_THROW(DiscreteWfqQueue(1000, 4, 10.0, 0.1), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------- pFabric
+
+Packet make_priority_data(FlowId flow, std::uint32_t size, double priority,
+                          std::uint64_t seq = 0) {
+  Packet p = make_data(flow, size);
+  p.priority = priority;
+  p.seq = seq;
+  return p;
+}
+
+TEST(PFabricQueueTest, ServesMostUrgentFlowFirst) {
+  PFabricQueue queue(100'000);
+  ASSERT_TRUE(queue.enqueue(make_priority_data(1, 1000, 5000)));
+  ASSERT_TRUE(queue.enqueue(make_priority_data(2, 1000, 100)));
+  ASSERT_TRUE(queue.enqueue(make_priority_data(3, 1000, 900)));
+  EXPECT_EQ(queue.dequeue()->flow, 2u);
+  EXPECT_EQ(queue.dequeue()->flow, 3u);
+  EXPECT_EQ(queue.dequeue()->flow, 1u);
+}
+
+TEST(PFabricQueueTest, PreservesPerFlowOrder) {
+  PFabricQueue queue(100'000);
+  // Later packets of a flow have *smaller* remaining size (more urgent);
+  // service must still be in arrival order within the flow.
+  ASSERT_TRUE(queue.enqueue(make_priority_data(1, 1000, 3000, 0)));
+  ASSERT_TRUE(queue.enqueue(make_priority_data(1, 1000, 2000, 1)));
+  ASSERT_TRUE(queue.enqueue(make_priority_data(1, 1000, 1000, 2)));
+  EXPECT_EQ(queue.dequeue()->seq, 0u);
+  EXPECT_EQ(queue.dequeue()->seq, 1u);
+  EXPECT_EQ(queue.dequeue()->seq, 2u);
+}
+
+TEST(PFabricQueueTest, EvictsLeastUrgentWhenFull) {
+  PFabricQueue queue(3'000);
+  ASSERT_TRUE(queue.enqueue(make_priority_data(1, 1500, 10'000)));
+  ASSERT_TRUE(queue.enqueue(make_priority_data(2, 1500, 20'000)));
+  // Full.  A more urgent packet must push out flow 2's.
+  ASSERT_TRUE(queue.enqueue(make_priority_data(3, 1500, 500)));
+  EXPECT_EQ(queue.drops(), 1u);
+  EXPECT_EQ(queue.dequeue()->flow, 3u);
+  EXPECT_EQ(queue.dequeue()->flow, 1u);
+  EXPECT_FALSE(queue.dequeue().has_value());
+}
+
+TEST(PFabricQueueTest, DropsIncomingIfLeastUrgent) {
+  PFabricQueue queue(3'000);
+  ASSERT_TRUE(queue.enqueue(make_priority_data(1, 1500, 100)));
+  ASSERT_TRUE(queue.enqueue(make_priority_data(2, 1500, 200)));
+  EXPECT_FALSE(queue.enqueue(make_priority_data(3, 1500, 99'999)));
+  EXPECT_EQ(queue.drops(), 1u);
+  EXPECT_EQ(queue.packets(), 2u);
+}
+
+TEST(PFabricQueueTest, NeverEvictsControlPackets) {
+  PFabricQueue queue(1'000);
+  Packet ack = make_ack(9);
+  ack.priority = 0;
+  ASSERT_TRUE(queue.enqueue(std::move(ack)));
+  // Data can't displace the ACK even though it would not fit otherwise.
+  EXPECT_FALSE(queue.enqueue(make_priority_data(1, 1500, 1)));
+  EXPECT_EQ(queue.dequeue()->flow, 9u);
+}
+
+}  // namespace
+}  // namespace numfabric::net

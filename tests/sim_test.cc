@@ -1,0 +1,181 @@
+// Unit tests for the discrete-event core.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "sim/event_queue.h"
+#include "sim/random.h"
+#include "sim/simulator.h"
+#include "sim/time.h"
+
+namespace numfabric::sim {
+namespace {
+
+TEST(TimeTest, NamedConstructors) {
+  EXPECT_EQ(micros(1), 1'000);
+  EXPECT_EQ(millis(1), 1'000'000);
+  EXPECT_EQ(seconds(1), 1'000'000'000);
+  EXPECT_DOUBLE_EQ(to_seconds(seconds(2)), 2.0);
+  EXPECT_DOUBLE_EQ(to_micros(micros(7)), 7.0);
+}
+
+TEST(TimeTest, TransmissionTimeExact) {
+  // 1500 B at 10 Gbps = 1.2 us; at 40 Gbps = 300 ns.
+  EXPECT_EQ(transmission_time(1500, 10e9), 1200);
+  EXPECT_EQ(transmission_time(1500, 40e9), 300);
+  EXPECT_EQ(transmission_time(40, 10e9), 32);
+}
+
+TEST(EventQueueTest, OrdersByTime) {
+  EventQueue queue;
+  std::vector<int> order;
+  queue.push(30, [&] { order.push_back(3); });
+  queue.push(10, [&] { order.push_back(1); });
+  queue.push(20, [&] { order.push_back(2); });
+  while (!queue.empty()) queue.pop().second();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueueTest, FifoTieBreakAtSameTime) {
+  EventQueue queue;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    queue.push(42, [&order, i] { order.push_back(i); });
+  }
+  while (!queue.empty()) queue.pop().second();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EventQueueTest, CancelPreventsExecution) {
+  EventQueue queue;
+  bool ran = false;
+  const EventId id = queue.push(5, [&] { ran = true; });
+  queue.push(6, [] {});
+  queue.cancel(id);
+  EXPECT_EQ(queue.size(), 1u);
+  while (!queue.empty()) queue.pop().second();
+  EXPECT_FALSE(ran);
+}
+
+TEST(EventQueueTest, CancelFiredEventIsNoop) {
+  EventQueue queue;
+  const EventId id = queue.push(1, [] {});
+  queue.pop().second();
+  queue.cancel(id);  // must not corrupt accounting
+  EXPECT_TRUE(queue.empty());
+  queue.push(2, [] {});
+  EXPECT_EQ(queue.size(), 1u);
+}
+
+TEST(EventQueueTest, CancelHeadThenNextTime) {
+  EventQueue queue;
+  const EventId id = queue.push(1, [] {});
+  queue.push(9, [] {});
+  queue.cancel(id);
+  EXPECT_EQ(queue.next_time(), 9);
+}
+
+TEST(SimulatorTest, ClockAdvancesWithEvents) {
+  Simulator sim;
+  TimeNs seen = -1;
+  sim.schedule_in(100, [&] { seen = sim.now(); });
+  sim.run();
+  EXPECT_EQ(seen, 100);
+  EXPECT_EQ(sim.now(), 100);
+}
+
+TEST(SimulatorTest, RunUntilStopsAtBoundaryAndSetsClock) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_in(50, [&] { ++fired; });
+  sim.schedule_in(150, [&] { ++fired; });
+  sim.run_until(100);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.now(), 100);
+  sim.run_until(200);
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(SimulatorTest, NestedSchedulingDuringRun) {
+  Simulator sim;
+  std::vector<TimeNs> times;
+  sim.schedule_in(10, [&] {
+    times.push_back(sim.now());
+    sim.schedule_in(5, [&] { times.push_back(sim.now()); });
+  });
+  sim.run();
+  EXPECT_EQ(times, (std::vector<TimeNs>{10, 15}));
+}
+
+TEST(SimulatorTest, StopAbortsRun) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_in(1, [&] {
+    ++fired;
+    sim.stop();
+  });
+  sim.schedule_in(2, [&] { ++fired; });
+  sim.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(sim.pending());
+}
+
+TEST(SimulatorTest, RejectsNegativeDelayAndPastSchedule) {
+  Simulator sim;
+  EXPECT_THROW(sim.schedule_in(-1, [] {}), std::invalid_argument);
+  sim.schedule_in(10, [] {});
+  sim.run();
+  EXPECT_THROW(sim.schedule_at(5, [] {}), std::invalid_argument);
+}
+
+TEST(SimulatorTest, CancelTimer) {
+  Simulator sim;
+  bool ran = false;
+  const EventId id = sim.schedule_in(10, [&] { ran = true; });
+  sim.schedule_in(5, [&] { sim.cancel(id); });
+  sim.run();
+  EXPECT_FALSE(ran);
+}
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_DOUBLE_EQ(a.uniform(), b.uniform());
+}
+
+TEST(RngTest, UniformInRange) {
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform(2.0, 3.0);
+    EXPECT_GE(x, 2.0);
+    EXPECT_LT(x, 3.0);
+  }
+}
+
+TEST(RngTest, ExponentialMeanMatches) {
+  Rng rng(7);
+  double sum = 0;
+  const int n = 200'000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(3.0);
+  EXPECT_NEAR(sum / n, 3.0, 0.05);
+}
+
+TEST(RngTest, PermutationIsAPermutation) {
+  Rng rng(3);
+  const auto perm = rng.permutation(100);
+  std::vector<bool> seen(100, false);
+  for (std::size_t v : perm) {
+    ASSERT_LT(v, 100u);
+    EXPECT_FALSE(seen[v]);
+    seen[v] = true;
+  }
+}
+
+TEST(RngTest, IndexBounds) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.index(7), 7u);
+  EXPECT_THROW(rng.index(0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace numfabric::sim

@@ -1,0 +1,185 @@
+// Measurement utilities: EWMA, rate meter, convergence detector, summaries.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/convergence.h"
+#include "stats/ewma.h"
+#include "stats/fct_tracker.h"
+#include "stats/rate_meter.h"
+#include "stats/summary.h"
+
+namespace numfabric::stats {
+namespace {
+
+TEST(EwmaTest, FirstSampleInitializes) {
+  Ewma filter(sim::micros(20));
+  filter.update(5.0, 0);
+  EXPECT_TRUE(filter.initialized());
+  EXPECT_DOUBLE_EQ(filter.value(), 5.0);
+}
+
+TEST(EwmaTest, StepResponseTimeConstant) {
+  Ewma filter(sim::micros(100));
+  filter.update(0.0, 0);
+  // Step to 1.0, sampled densely for one time constant: ~63% absorbed.
+  for (sim::TimeNs t = sim::micros(1); t <= sim::micros(100); t += sim::micros(1)) {
+    filter.update(1.0, t);
+  }
+  EXPECT_NEAR(filter.value(), 1.0 - std::exp(-1.0), 0.01);
+}
+
+TEST(EwmaTest, LargeGapAbsorbsSampleFully) {
+  Ewma filter(sim::micros(10));
+  filter.update(1.0, 0);
+  filter.update(9.0, sim::millis(10));  // 1000 time constants later
+  EXPECT_NEAR(filter.value(), 9.0, 1e-6);
+}
+
+TEST(EwmaTest, RiseTimeMatchesPaper) {
+  // The paper: log(10) * 80 us ~ 185 us to reach 90%.
+  const sim::TimeNs rise = Ewma::rise_time(sim::micros(80), 0.9);
+  EXPECT_NEAR(sim::to_micros(rise), 184.2, 1.0);
+}
+
+TEST(RateMeterTest, MeasuresSteadyStream) {
+  RateMeter meter(sim::micros(80));
+  // 1500 B every 1.2 us = 10 Gbps.
+  for (int i = 0; i <= 400; ++i) {
+    meter.on_bytes(1500, static_cast<sim::TimeNs>(i) * 1200);
+  }
+  EXPECT_NEAR(meter.rate_bps(), 10e9, 0.02e9);
+  EXPECT_EQ(meter.total_bytes(), 401u * 1500u);
+}
+
+TEST(RateMeterTest, TracksRateChange) {
+  RateMeter meter(sim::micros(20));
+  sim::TimeNs t = 0;
+  for (int i = 0; i < 200; ++i) meter.on_bytes(1500, t += 1200);   // 10G
+  for (int i = 0; i < 400; ++i) meter.on_bytes(1500, t += 2400);   // 5G
+  EXPECT_NEAR(meter.rate_bps(), 5e9, 0.1e9);
+}
+
+TEST(ConvergenceDetectorTest, ConvergesAfterHold) {
+  std::vector<double> rates = {9.0, 11.0};
+  ConvergenceOptions options;
+  options.hold = sim::millis(5);
+  options.sample_interval = sim::micros(100);
+  options.filter_rise_time = sim::micros(185);
+  ConvergenceDetector detector({10.0, 10.0}, [&rates] { return rates; }, options);
+  sim::TimeNs now = sim::millis(1);  // event at t=0, in band from 1 ms
+  while (!detector.sample(now)) now += options.sample_interval;
+  ASSERT_TRUE(detector.converged());
+  // Converged at the first in-band sample (1 ms) minus the filter rise time.
+  EXPECT_NEAR(sim::to_micros(detector.convergence_time(0)), 1000 - 185, 1.0);
+}
+
+TEST(ConvergenceDetectorTest, ResetOnLeavingBand) {
+  int calls = 0;
+  ConvergenceOptions options;
+  options.hold = sim::millis(1);
+  ConvergenceDetector detector(
+      {10.0},
+      [&calls]() -> std::vector<double> {
+        ++calls;
+        // In band for a while, dips out, then returns.
+        if (calls < 50) return {10.0};
+        if (calls < 60) return {2.0};
+        return {10.0};
+      },
+      options);
+  sim::TimeNs now = 0;
+  while (!detector.sample(now)) now += sim::micros(20);
+  ASSERT_TRUE(detector.converged());
+  // The dip at call ~50 (t ~ 1 ms) restarts the hold window: convergence
+  // declared only for the run starting at call 60.
+  EXPECT_GE(sim::to_micros(detector.convergence_time(0)), 1100);
+}
+
+TEST(ConvergenceDetectorTest, TimesOut) {
+  ConvergenceOptions options;
+  options.timeout = sim::millis(2);
+  ConvergenceDetector detector({10.0}, [] { return std::vector<double>{1.0}; },
+                               options);
+  sim::TimeNs now = 0;
+  while (!detector.sample(now)) now += sim::micros(100);
+  EXPECT_TRUE(detector.finished());
+  EXPECT_FALSE(detector.converged());
+  EXPECT_THROW(detector.convergence_time(0), std::logic_error);
+}
+
+TEST(ConvergenceDetectorTest, FractionThreshold) {
+  // 19 of 20 flows in band = 95%: converged; 18 of 20: not.
+  ConvergenceOptions options;
+  options.hold = sim::micros(100);
+  options.sample_interval = sim::micros(10);
+  auto run = [&](int bad_flows) {
+    std::vector<double> rates(20, 10.0);
+    for (int i = 0; i < bad_flows; ++i) rates[static_cast<std::size_t>(i)] = 1.0;
+    ConvergenceDetector detector(std::vector<double>(20, 10.0),
+                                 [&rates] { return rates; }, options);
+    sim::TimeNs now = 0;
+    while (!detector.sample(now)) now += options.sample_interval;
+    return detector.converged();
+  };
+  EXPECT_TRUE(run(1));
+  EXPECT_FALSE(run(2));
+}
+
+TEST(ConvergenceDetectorTest, ZeroTargetsAreVacuouslyConverged) {
+  ConvergenceOptions options;
+  options.hold = sim::micros(50);
+  ConvergenceDetector detector({0.0, 10.0},
+                               [] { return std::vector<double>{5.0, 10.0}; },
+                               options);
+  sim::TimeNs now = 0;
+  while (!detector.sample(now)) now += sim::micros(10);
+  EXPECT_TRUE(detector.converged());
+}
+
+TEST(SummaryTest, PercentileInterpolates) {
+  std::vector<double> data = {1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(percentile(data, 0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(data, 50), 3.0);
+  EXPECT_DOUBLE_EQ(percentile(data, 100), 5.0);
+  EXPECT_DOUBLE_EQ(percentile(data, 25), 2.0);
+  EXPECT_DOUBLE_EQ(percentile(data, 62.5), 3.5);
+  EXPECT_THROW(percentile({}, 50), std::invalid_argument);
+}
+
+TEST(SummaryTest, BoxPlotWhiskersWithin15Iqr) {
+  std::vector<double> data;
+  for (int i = 1; i <= 100; ++i) data.push_back(i);
+  data.push_back(1000);  // outlier
+  const BoxPlot box = box_plot(data);
+  EXPECT_NEAR(box.p50, 51, 1.0);
+  EXPECT_LT(box.whisker_high, 200);  // outlier excluded
+  EXPECT_GE(box.whisker_low, 1);
+}
+
+TEST(SummaryTest, CdfMonotone) {
+  std::vector<double> data = {5, 1, 4, 2, 3};
+  const auto points = cdf(data, 11);
+  for (std::size_t i = 1; i < points.size(); ++i) {
+    EXPECT_GE(points[i].first, points[i - 1].first);
+    EXPECT_GT(points[i].second, points[i - 1].second);
+  }
+  EXPECT_DOUBLE_EQ(points.front().first, 1.0);
+  EXPECT_DOUBLE_EQ(points.back().first, 5.0);
+}
+
+TEST(FctTrackerTest, RecordsLifecycle) {
+  FctTracker tracker;
+  const std::size_t index = tracker.on_start(7, 1'000'000, sim::millis(1));
+  EXPECT_EQ(tracker.completed_count(), 0u);
+  tracker.on_finish(index, sim::millis(3));
+  EXPECT_EQ(tracker.completed_count(), 1u);
+  const FctRecord& record = tracker.records()[index];
+  EXPECT_EQ(record.fct(), sim::millis(2));
+  EXPECT_NEAR(record.rate_bps(), 4e9, 1e6);
+  EXPECT_THROW(tracker.on_finish(index, sim::millis(4)), std::logic_error);
+  EXPECT_THROW(tracker.on_finish(99, 0), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace numfabric::stats

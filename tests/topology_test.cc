@@ -1,0 +1,142 @@
+// Topology builders and path enumeration.
+#include <gtest/gtest.h>
+
+#include "net/routing.h"
+#include "net/topology.h"
+#include "sim/simulator.h"
+
+namespace numfabric::net {
+namespace {
+
+TEST(TopologyTest, ConnectCreatesTwinLinks) {
+  sim::Simulator sim;
+  Topology topo(sim);
+  Host* a = topo.add_host("a");
+  Host* b = topo.add_host("b");
+  auto [fwd, back] = topo.connect(a, b, 10e9, sim::micros(1), drop_tail_factory());
+  EXPECT_EQ(fwd->twin(), back);
+  EXPECT_EQ(back->twin(), fwd);
+  EXPECT_EQ(fwd->dst(), b);
+  EXPECT_EQ(back->dst(), a);
+  EXPECT_EQ(topo.outgoing(a).size(), 1u);
+  EXPECT_EQ(topo.outgoing(b).size(), 1u);
+}
+
+TEST(TopologyTest, LeafSpineShapeAndEcmpPaths) {
+  sim::Simulator sim;
+  Topology topo(sim);
+  LeafSpineOptions options;
+  options.hosts_per_leaf = 4;
+  options.num_leaves = 3;
+  options.num_spines = 2;
+  const LeafSpine ls = build_leaf_spine(topo, options, drop_tail_factory());
+  EXPECT_EQ(ls.hosts.size(), 12u);
+  EXPECT_EQ(ls.leaves.size(), 3u);
+  EXPECT_EQ(ls.spines.size(), 2u);
+  // Links: 12 host links + 3*2 leaf-spine cables, both directions.
+  EXPECT_EQ(topo.links().size(), 2u * (12 + 6));
+
+  // Cross-leaf: one path per spine.
+  const auto cross = all_shortest_paths(topo, ls.hosts[0], ls.hosts[4]);
+  EXPECT_EQ(cross.size(), 2u);
+  for (const Path& path : cross) EXPECT_EQ(path.links.size(), 4u);
+
+  // Same-leaf: a single 2-hop path through the shared leaf.
+  const auto local = all_shortest_paths(topo, ls.hosts[0], ls.hosts[1]);
+  ASSERT_EQ(local.size(), 1u);
+  EXPECT_EQ(local[0].links.size(), 2u);
+}
+
+TEST(TopologyTest, ReversePathUsesTwins) {
+  sim::Simulator sim;
+  Topology topo(sim);
+  const LeafSpine ls = build_leaf_spine(
+      topo, {.hosts_per_leaf = 2, .num_leaves = 2, .num_spines = 2},
+      drop_tail_factory());
+  const auto paths = all_shortest_paths(topo, ls.hosts[0], ls.hosts[2]);
+  ASSERT_FALSE(paths.empty());
+  const Path reverse = reverse_path(paths[0]);
+  ASSERT_EQ(reverse.links.size(), paths[0].links.size());
+  for (std::size_t i = 0; i < reverse.links.size(); ++i) {
+    EXPECT_EQ(reverse.links[i],
+              paths[0].links[paths[0].links.size() - 1 - i]->twin());
+  }
+}
+
+TEST(TopologyTest, EcmpPickDeterministicAndCovering) {
+  sim::Simulator sim;
+  Topology topo(sim);
+  const LeafSpine ls = build_leaf_spine(
+      topo, {.hosts_per_leaf = 2, .num_leaves = 2, .num_spines = 4},
+      drop_tail_factory());
+  const auto paths = all_shortest_paths(topo, ls.hosts[0], ls.hosts[2]);
+  ASSERT_EQ(paths.size(), 4u);
+  // Deterministic...
+  EXPECT_EQ(&ecmp_pick(paths, 17), &ecmp_pick(paths, 17));
+  // ...and spreading across paths.
+  std::set<const Path*> chosen;
+  for (FlowId flow = 0; flow < 64; ++flow) chosen.insert(&ecmp_pick(paths, flow));
+  EXPECT_EQ(chosen.size(), 4u);
+}
+
+TEST(TopologyTest, DumbbellSharesOneBottleneck) {
+  sim::Simulator sim;
+  Topology topo(sim);
+  const Dumbbell db =
+      build_dumbbell(topo, 3, 40e9, 10e9, sim::micros(1), drop_tail_factory());
+  for (int i = 0; i < 3; ++i) {
+    const auto paths = all_shortest_paths(topo, db.senders[static_cast<std::size_t>(i)],
+                                          db.receivers[static_cast<std::size_t>(i)]);
+    ASSERT_EQ(paths.size(), 1u);
+    EXPECT_EQ(paths[0].links.size(), 3u);
+    EXPECT_EQ(paths[0].links[1], db.bottleneck);
+  }
+}
+
+TEST(TopologyTest, ParkingLotChain) {
+  sim::Simulator sim;
+  Topology topo(sim);
+  const ParkingLot lot =
+      build_parking_lot(topo, 3, 10e9, sim::micros(1), drop_tail_factory());
+  ASSERT_EQ(lot.backbone.size(), 3u);
+  // Long path (host 0 -> host 3) crosses all backbone links.
+  const auto long_paths = all_shortest_paths(topo, lot.hosts[0], lot.hosts[3]);
+  ASSERT_EQ(long_paths.size(), 1u);
+  EXPECT_EQ(long_paths[0].links.size(), 5u);  // uplink + 3 backbone + downlink
+}
+
+TEST(TopologyTest, Fig10ThreeParallelLinks) {
+  sim::Simulator sim;
+  Topology topo(sim);
+  const Fig10Topology fig = build_fig10(topo, 5e9, sim::micros(1),
+                                        drop_tail_factory());
+  EXPECT_DOUBLE_EQ(fig.top->rate_bps(), 5e9);
+  EXPECT_DOUBLE_EQ(fig.middle->rate_bps(), 5e9);
+  EXPECT_DOUBLE_EQ(fig.bottom->rate_bps(), 3e9);
+  // Three equal-hop paths src1 -> dst1 via top/middle/bottom.
+  const auto paths = all_shortest_paths(topo, fig.src1, fig.dst1);
+  EXPECT_EQ(paths.size(), 3u);
+}
+
+TEST(TopologyTest, UnreachableAndDegenerateQueries) {
+  sim::Simulator sim;
+  Topology topo(sim);
+  Host* a = topo.add_host("a");
+  Host* b = topo.add_host("b");
+  EXPECT_TRUE(all_shortest_paths(topo, a, b).empty());
+  EXPECT_THROW(all_shortest_paths(topo, a, a), std::invalid_argument);
+  EXPECT_THROW(ecmp_pick({}, 1), std::invalid_argument);
+}
+
+TEST(TopologyTest, CrossLeafRttMatchesPaper) {
+  sim::Simulator sim;
+  Topology topo(sim);
+  // The paper's topology: 2 us/hop gives a 16 us propagation RTT; the
+  // builder adds serialization on top.
+  const LeafSpine ls = build_leaf_spine(topo, LeafSpineOptions{}, drop_tail_factory());
+  EXPECT_GE(ls.cross_leaf_rtt, sim::micros(16));
+  EXPECT_LE(ls.cross_leaf_rtt, sim::micros(25));
+}
+
+}  // namespace
+}  // namespace numfabric::net

@@ -1,0 +1,257 @@
+// End-to-end transport tests: packet-level runs on small topologies checked
+// against closed-form / oracle allocations.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "net/routing.h"
+#include "net/topology.h"
+#include "num/utility.h"
+#include "transport/fabric.h"
+#include "transport/numfabric/swift_sender.h"
+#include "transport/receiver.h"
+#include "transport/sender_base.h"
+
+namespace numfabric {
+namespace {
+
+using transport::Fabric;
+using transport::FabricOptions;
+using transport::Flow;
+using transport::FlowSpec;
+using transport::Scheme;
+
+struct Rig {
+  sim::Simulator sim;
+  FabricOptions options;
+  std::unique_ptr<Fabric> fabric;
+  std::unique_ptr<net::Topology> topo;
+  net::Dumbbell dumbbell;
+
+  explicit Rig(Scheme scheme, double bottleneck_bps = 10e9, int hosts = 4) {
+    options.scheme = scheme;
+    fabric = std::make_unique<Fabric>(sim, options);
+    topo = std::make_unique<net::Topology>(sim);
+    dumbbell = net::build_dumbbell(*topo, hosts, /*edge_bps=*/40e9,
+                                   bottleneck_bps, sim::micros(2),
+                                   fabric->queue_factory());
+    fabric->attach_agents(*topo);
+  }
+
+  Flow* add_flow(int i, const num::UtilityFunction* utility,
+                 std::uint64_t size = 0, sim::TimeNs start = 0) {
+    FlowSpec spec;
+    spec.src = dumbbell.senders[static_cast<std::size_t>(i)];
+    spec.dst = dumbbell.receivers[static_cast<std::size_t>(i)];
+    spec.size_bytes = size;
+    spec.start_time = start;
+    spec.utility = utility;
+    const auto paths = net::all_shortest_paths(*topo, spec.src, spec.dst);
+    spec.path = paths.front();
+    return fabric->add_flow(std::move(spec));
+  }
+
+  /// Average goodput over [from, to], bps.
+  double goodput_bps(Flow* flow, sim::TimeNs from, sim::TimeNs to) {
+    std::uint64_t start_bytes = 0;
+    sim.schedule_at(from, [&] { start_bytes = flow->receiver().total_bytes(); });
+    sim.run_until(to);
+    return static_cast<double>(flow->receiver().total_bytes() - start_bytes) *
+           8.0 / sim::to_seconds(to - from);
+  }
+};
+
+TEST(SwiftTest, SingleFlowSaturatesBottleneck) {
+  Rig rig(Scheme::kNumFabric);
+  num::AlphaFairUtility log_utility(1.0);
+  Flow* flow = rig.add_flow(0, &log_utility);
+  std::uint64_t start_bytes = 0;
+  rig.sim.schedule_at(sim::millis(2),
+                      [&] { start_bytes = flow->receiver().total_bytes(); });
+  rig.sim.run_until(sim::millis(6));
+  const double goodput =
+      static_cast<double>(flow->receiver().total_bytes() - start_bytes) * 8.0 /
+      sim::to_seconds(sim::millis(4));
+  // ACK overhead on the reverse path costs nothing here; expect ~full rate.
+  EXPECT_GT(goodput, 0.93 * 10e9);
+  EXPECT_LE(goodput, 10e9);
+}
+
+TEST(SwiftTest, RateEstimateTracksBottleneck) {
+  Rig rig(Scheme::kNumFabric);
+  num::AlphaFairUtility log_utility(1.0);
+  Flow* flow = rig.add_flow(0, &log_utility);
+  rig.sim.run_until(sim::millis(3));
+  const auto& sender = dynamic_cast<const transport::SwiftSender&>(flow->sender());
+  EXPECT_NEAR(sender.estimated_rate_bps(), 10e9, 0.08 * 10e9);
+}
+
+TEST(NumFabricTest, TwoFlowsProportionalFairEqualSplit) {
+  Rig rig(Scheme::kNumFabric);
+  num::AlphaFairUtility log_utility(1.0);
+  Flow* flow1 = rig.add_flow(0, &log_utility);
+  Flow* flow2 = rig.add_flow(1, &log_utility);
+  std::uint64_t start1 = 0, start2 = 0;
+  rig.sim.schedule_at(sim::millis(3), [&] {
+    start1 = flow1->receiver().total_bytes();
+    start2 = flow2->receiver().total_bytes();
+  });
+  rig.sim.run_until(sim::millis(8));
+  const double seconds = sim::to_seconds(sim::millis(5));
+  const double rate1 =
+      static_cast<double>(flow1->receiver().total_bytes() - start1) * 8 / seconds;
+  const double rate2 =
+      static_cast<double>(flow2->receiver().total_bytes() - start2) * 8 / seconds;
+  EXPECT_NEAR(rate1, 5e9, 0.5e9);
+  EXPECT_NEAR(rate2, 5e9, 0.5e9);
+  EXPECT_GT(rate1 + rate2, 0.92 * 10e9);
+}
+
+TEST(NumFabricTest, WeightedUtilitiesSplitProportionally) {
+  Rig rig(Scheme::kNumFabric);
+  num::AlphaFairUtility weight1(1.0, 1.0);
+  num::AlphaFairUtility weight3(1.0, 3.0);
+  Flow* flow1 = rig.add_flow(0, &weight1);
+  Flow* flow2 = rig.add_flow(1, &weight3);
+  std::uint64_t start1 = 0, start2 = 0;
+  rig.sim.schedule_at(sim::millis(3), [&] {
+    start1 = flow1->receiver().total_bytes();
+    start2 = flow2->receiver().total_bytes();
+  });
+  rig.sim.run_until(sim::millis(9));
+  const double rate1 =
+      static_cast<double>(flow1->receiver().total_bytes() - start1);
+  const double rate2 =
+      static_cast<double>(flow2->receiver().total_bytes() - start2);
+  // Weighted proportional fairness on one link: rates in the 1:3 ratio.
+  EXPECT_NEAR(rate2 / rate1, 3.0, 0.45);
+}
+
+TEST(DgdTest, TwoFlowsConvergeToEqualSplit) {
+  Rig rig(Scheme::kDgd);
+  num::AlphaFairUtility log_utility(1.0);
+  Flow* flow1 = rig.add_flow(0, &log_utility);
+  Flow* flow2 = rig.add_flow(1, &log_utility);
+  std::uint64_t start1 = 0, start2 = 0;
+  rig.sim.schedule_at(sim::millis(6), [&] {
+    start1 = flow1->receiver().total_bytes();
+    start2 = flow2->receiver().total_bytes();
+  });
+  rig.sim.run_until(sim::millis(14));
+  const double seconds = sim::to_seconds(sim::millis(8));
+  const double rate1 =
+      static_cast<double>(flow1->receiver().total_bytes() - start1) * 8 / seconds;
+  const double rate2 =
+      static_cast<double>(flow2->receiver().total_bytes() - start2) * 8 / seconds;
+  EXPECT_NEAR(rate1, 5e9, 1e9);
+  EXPECT_NEAR(rate2, 5e9, 1e9);
+}
+
+TEST(RcpTest, TwoFlowsConvergeToEqualSplit) {
+  Rig rig(Scheme::kRcpStar);
+  Flow* flow1 = rig.add_flow(0, nullptr);
+  Flow* flow2 = rig.add_flow(1, nullptr);
+  std::uint64_t start1 = 0, start2 = 0;
+  rig.sim.schedule_at(sim::millis(6), [&] {
+    start1 = flow1->receiver().total_bytes();
+    start2 = flow2->receiver().total_bytes();
+  });
+  rig.sim.run_until(sim::millis(14));
+  const double seconds = sim::to_seconds(sim::millis(8));
+  const double rate1 =
+      static_cast<double>(flow1->receiver().total_bytes() - start1) * 8 / seconds;
+  const double rate2 =
+      static_cast<double>(flow2->receiver().total_bytes() - start2) * 8 / seconds;
+  EXPECT_NEAR(rate1, 5e9, 1e9);
+  EXPECT_NEAR(rate2, 5e9, 1e9);
+}
+
+TEST(DctcpTest, FlowsShareBottleneckRoughly) {
+  Rig rig(Scheme::kDctcp);
+  Flow* flow1 = rig.add_flow(0, nullptr);
+  Flow* flow2 = rig.add_flow(1, nullptr);
+  std::uint64_t start1 = 0, start2 = 0;
+  rig.sim.schedule_at(sim::millis(10), [&] {
+    start1 = flow1->receiver().total_bytes();
+    start2 = flow2->receiver().total_bytes();
+  });
+  rig.sim.run_until(sim::millis(30));
+  const double seconds = sim::to_seconds(sim::millis(20));
+  const double rate1 =
+      static_cast<double>(flow1->receiver().total_bytes() - start1) * 8 / seconds;
+  const double rate2 =
+      static_cast<double>(flow2->receiver().total_bytes() - start2) * 8 / seconds;
+  // DCTCP is fair only on average; allow a wide band but require utilization.
+  EXPECT_GT(rate1 + rate2, 0.8 * 10e9);
+  EXPECT_NEAR(rate1, 5e9, 2.5e9);
+  EXPECT_NEAR(rate2, 5e9, 2.5e9);
+}
+
+TEST(PFabricTest, ShortFlowPreemptsLongFlow) {
+  Rig rig(Scheme::kPFabric);
+  // Long-running background flow, then a 150 KB flow arrives: with SRPT
+  // scheduling the short flow should finish in ~ its solo time.
+  Flow* background = rig.add_flow(0, nullptr, 50'000'000, 0);
+  const std::uint64_t short_size = 150'000;
+  Flow* short_flow = rig.add_flow(1, nullptr, short_size, sim::millis(2));
+  rig.sim.run_until(sim::millis(10));
+  ASSERT_TRUE(short_flow->completed());
+  const double solo_seconds = static_cast<double>(short_size) * 8.0 / 10e9 +
+                              sim::to_seconds(sim::micros(16));
+  EXPECT_LT(sim::to_seconds(short_flow->fct()), 2.5 * solo_seconds);
+  EXPECT_FALSE(background->completed());
+}
+
+TEST(NumFabricTest, FiniteFlowCompletesAndReportsFct) {
+  Rig rig(Scheme::kNumFabric);
+  num::AlphaFairUtility log_utility(1.0);
+  Flow* flow = rig.add_flow(0, &log_utility, 1'000'000);
+  bool callback_fired = false;
+  rig.fabric->set_on_complete([&](Flow& f) {
+    callback_fired = true;
+    EXPECT_EQ(&f, flow);
+  });
+  rig.sim.run_until(sim::millis(20));
+  ASSERT_TRUE(flow->completed());
+  EXPECT_TRUE(callback_fired);
+  // 1 MB at 10 Gbps is ~0.8 ms; allow start-up overhead.
+  EXPECT_LT(sim::to_seconds(flow->fct()), 3e-3);
+  EXPECT_GT(sim::to_seconds(flow->fct()), 0.8e-3);
+}
+
+TEST(NumFabricTest, StoppedFlowReleasesBandwidth) {
+  Rig rig(Scheme::kNumFabric);
+  num::AlphaFairUtility log_utility(1.0);
+  Flow* flow1 = rig.add_flow(0, &log_utility);
+  Flow* flow2 = rig.add_flow(1, &log_utility);
+  rig.sim.schedule_at(sim::millis(4), [&] { rig.fabric->stop_flow(*flow2); });
+  std::uint64_t start1 = 0;
+  rig.sim.schedule_at(sim::millis(6),
+                      [&] { start1 = flow1->receiver().total_bytes(); });
+  rig.sim.run_until(sim::millis(10));
+  const double rate1 =
+      static_cast<double>(flow1->receiver().total_bytes() - start1) * 8 /
+      sim::to_seconds(sim::millis(4));
+  EXPECT_GT(rate1, 0.9 * 10e9);  // flow1 takes over the whole bottleneck
+}
+
+TEST(NumFabricTest, ManyFlowsShareFairly) {
+  Rig rig(Scheme::kNumFabric, 10e9, 8);
+  num::AlphaFairUtility log_utility(1.0);
+  std::vector<Flow*> flows;
+  for (int i = 0; i < 8; ++i) flows.push_back(rig.add_flow(i, &log_utility));
+  std::vector<std::uint64_t> start(8, 0);
+  rig.sim.schedule_at(sim::millis(4), [&] {
+    for (int i = 0; i < 8; ++i) start[i] = flows[i]->receiver().total_bytes();
+  });
+  rig.sim.run_until(sim::millis(10));
+  for (int i = 0; i < 8; ++i) {
+    const double rate =
+        static_cast<double>(flows[i]->receiver().total_bytes() - start[i]) * 8 /
+        sim::to_seconds(sim::millis(6));
+    EXPECT_NEAR(rate, 10e9 / 8, 0.25e9) << "flow " << i;
+  }
+}
+
+}  // namespace
+}  // namespace numfabric

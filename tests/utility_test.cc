@@ -1,0 +1,93 @@
+// Utility function tests, including parameterized inverse-roundtrip sweeps.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "num/utility.h"
+
+namespace numfabric::num {
+namespace {
+
+TEST(AlphaFairTest, LogUtilityAtAlphaOne) {
+  AlphaFairUtility u(1.0);
+  EXPECT_DOUBLE_EQ(u.utility(std::exp(1.0)), 1.0);
+  EXPECT_DOUBLE_EQ(u.marginal(2.0), 0.5);
+  EXPECT_DOUBLE_EQ(u.marginal_inverse(0.5), 2.0);
+}
+
+TEST(AlphaFairTest, WeightScalesMarginal) {
+  AlphaFairUtility u(1.0, 4.0);
+  EXPECT_DOUBLE_EQ(u.marginal(2.0), 2.0);
+  EXPECT_DOUBLE_EQ(u.marginal_inverse(2.0), 2.0);
+}
+
+TEST(AlphaFairTest, MarginalIsDecreasing) {
+  AlphaFairUtility u(2.0);
+  double last = u.marginal(0.1);
+  for (double x = 0.5; x < 100; x *= 2) {
+    EXPECT_LT(u.marginal(x), last);
+    last = u.marginal(x);
+  }
+}
+
+TEST(AlphaFairTest, RejectsBadParameters) {
+  EXPECT_THROW(AlphaFairUtility(-0.1), std::invalid_argument);
+  EXPECT_THROW(AlphaFairUtility(1.0, 0.0), std::invalid_argument);
+  AlphaFairUtility linear(0.0);
+  EXPECT_THROW(linear.marginal_inverse(1.0), std::logic_error);
+}
+
+// Property sweep: U'^{-1}(U'(x)) == x across the alpha-fair family.
+class AlphaFairRoundTrip : public ::testing::TestWithParam<double> {};
+
+TEST_P(AlphaFairRoundTrip, InverseRoundTrip) {
+  const double alpha = GetParam();
+  AlphaFairUtility u(alpha, 2.5);
+  for (double x : {0.01, 0.1, 1.0, 10.0, 1e3, 1e4, 4e4}) {
+    const double p = u.marginal(x);
+    EXPECT_NEAR(u.marginal_inverse(p), x, 1e-6 * x) << "alpha=" << alpha;
+  }
+}
+
+TEST_P(AlphaFairRoundTrip, UtilityIncreasingConcave) {
+  const double alpha = GetParam();
+  AlphaFairUtility u(alpha);
+  double last_value = u.utility(0.5);
+  double last_slope = (u.utility(0.6) - u.utility(0.5)) / 0.1;
+  for (double x = 1.0; x < 1e4; x *= 3) {
+    const double value = u.utility(x);
+    EXPECT_GT(value, last_value);
+    const double slope = (u.utility(x * 1.01) - value) / (0.01 * x);
+    EXPECT_LE(slope, last_slope * (1 + 1e-9));
+    last_value = value;
+    last_slope = slope;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AlphaSweep, AlphaFairRoundTrip,
+                         ::testing::Values(0.125, 0.5, 1.0, 2.0, 4.0, 8.0));
+
+TEST(FctUtilityTest, WeightInverselyProportionalToSize) {
+  // Table 1, row 3: U = (1/s) x^(1-eps)/(1-eps).  Larger flows must have
+  // strictly smaller marginal utility at the same rate -> lower allocation.
+  const auto small = make_fct_utility(100e3);
+  const auto big = make_fct_utility(10e6);
+  EXPECT_GT(small->marginal(10.0), big->marginal(10.0));
+  EXPECT_NEAR(small->marginal(10.0) / big->marginal(10.0), 100.0, 1e-6);
+}
+
+TEST(FctUtilityTest, SmallEpsilonApproximatesLinear) {
+  const auto u = make_fct_utility(1e6, 0.125);
+  // With eps = 0.125 the marginal decays slowly: a 2x rate change moves the
+  // marginal by 2^-0.125 ~ 0.917.
+  const double ratio = u->marginal(20.0) / u->marginal(10.0);
+  EXPECT_NEAR(ratio, std::pow(2.0, -0.125), 1e-9);
+}
+
+TEST(UnitTest, RateConversions) {
+  EXPECT_DOUBLE_EQ(to_rate_units(10e9), 10'000.0);  // 10 Gbps = 1e4 Mbps
+  EXPECT_DOUBLE_EQ(to_bps(10'000.0), 10e9);
+}
+
+}  // namespace
+}  // namespace numfabric::num

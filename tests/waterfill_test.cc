@@ -1,0 +1,151 @@
+// Weighted max-min water-filling: closed forms plus randomized invariants.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/random.h"
+#include "num/waterfill.h"
+
+namespace numfabric::num {
+namespace {
+
+TEST(WaterfillTest, SingleLinkEqualWeights) {
+  WaterfillProblem problem;
+  problem.weights = {1, 1, 1, 1};
+  problem.flow_links = {{0}, {0}, {0}, {0}};
+  problem.capacities = {100};
+  const auto result = weighted_max_min(problem);
+  for (double rate : result.rates) EXPECT_NEAR(rate, 25.0, 1e-9);
+  EXPECT_TRUE(result.bottleneck[0]);
+}
+
+TEST(WaterfillTest, SingleLinkWeighted) {
+  WaterfillProblem problem;
+  problem.weights = {1, 3};
+  problem.flow_links = {{0}, {0}};
+  problem.capacities = {100};
+  const auto result = weighted_max_min(problem);
+  EXPECT_NEAR(result.rates[0], 25.0, 1e-9);
+  EXPECT_NEAR(result.rates[1], 75.0, 1e-9);
+}
+
+TEST(WaterfillTest, ClassicParkingLot) {
+  // One long flow over both links, one short per link, equal weights:
+  // all flows get C/2 (the long flow is bottlenecked everywhere).
+  WaterfillProblem problem;
+  problem.weights = {1, 1, 1};
+  problem.flow_links = {{0, 1}, {0}, {1}};
+  problem.capacities = {10, 10};
+  const auto result = weighted_max_min(problem);
+  EXPECT_NEAR(result.rates[0], 5.0, 1e-9);
+  EXPECT_NEAR(result.rates[1], 5.0, 1e-9);
+  EXPECT_NEAR(result.rates[2], 5.0, 1e-9);
+}
+
+TEST(WaterfillTest, MultiLevelBottlenecks) {
+  // Flow 0 on a tight link (cap 2) and a loose link; flow 1 only on the
+  // loose link picks up the slack: max-min gives (2, 8).
+  WaterfillProblem problem;
+  problem.weights = {1, 1};
+  problem.flow_links = {{0, 1}, {1}};
+  problem.capacities = {2, 10};
+  const auto result = weighted_max_min(problem);
+  EXPECT_NEAR(result.rates[0], 2.0, 1e-9);
+  EXPECT_NEAR(result.rates[1], 8.0, 1e-9);
+  EXPECT_NEAR(result.fill_level[1], 8.0, 1e-9);
+}
+
+TEST(WaterfillTest, RejectsMalformedInput) {
+  WaterfillProblem problem;
+  problem.weights = {1};
+  problem.flow_links = {{}};
+  problem.capacities = {1};
+  EXPECT_THROW(weighted_max_min(problem), std::invalid_argument);
+  problem.flow_links = {{3}};
+  EXPECT_THROW(weighted_max_min(problem), std::invalid_argument);
+  problem.flow_links = {{0}};
+  problem.weights = {-1};
+  EXPECT_THROW(weighted_max_min(problem), std::invalid_argument);
+}
+
+// Randomized invariants.  For any instance the allocation must be feasible,
+// every flow must cross at least one saturated link (Pareto efficiency), and
+// on each saturated link no crossing flow can have a higher normalized rate
+// than a flow frozen there earlier (weighted max-min property).
+struct RandomCase {
+  int flows;
+  int links;
+  std::uint64_t seed;
+};
+
+class WaterfillRandom : public ::testing::TestWithParam<RandomCase> {};
+
+TEST_P(WaterfillRandom, FeasibleAndMaxMin) {
+  const RandomCase param = GetParam();
+  sim::Rng rng(param.seed);
+  WaterfillProblem problem;
+  problem.capacities.resize(static_cast<std::size_t>(param.links));
+  for (auto& c : problem.capacities) c = rng.uniform(5.0, 50.0);
+  for (int i = 0; i < param.flows; ++i) {
+    problem.weights.push_back(rng.uniform(0.5, 4.0));
+    std::vector<int> links;
+    const int hops = static_cast<int>(rng.uniform_int(1, 3));
+    for (int h = 0; h < hops; ++h) {
+      const int link = static_cast<int>(rng.index(static_cast<std::size_t>(param.links)));
+      if (std::find(links.begin(), links.end(), link) == links.end()) {
+        links.push_back(link);
+      }
+    }
+    problem.flow_links.push_back(links);
+  }
+
+  const auto result = weighted_max_min(problem);
+
+  // Feasibility.
+  std::vector<double> load(problem.capacities.size(), 0.0);
+  for (std::size_t i = 0; i < problem.weights.size(); ++i) {
+    EXPECT_GT(result.rates[i], 0.0);
+    for (int l : problem.flow_links[i]) load[static_cast<std::size_t>(l)] += result.rates[i];
+  }
+  for (std::size_t l = 0; l < load.size(); ++l) {
+    EXPECT_LE(load[l], problem.capacities[l] * (1 + 1e-9));
+  }
+
+  // Every flow crosses a saturated link.
+  for (std::size_t i = 0; i < problem.weights.size(); ++i) {
+    bool saturated = false;
+    for (int l : problem.flow_links[i]) {
+      if (load[static_cast<std::size_t>(l)] >=
+          problem.capacities[static_cast<std::size_t>(l)] * (1 - 1e-6)) {
+        saturated = true;
+      }
+    }
+    EXPECT_TRUE(saturated) << "flow " << i << " has slack on all its links";
+  }
+
+  // Weighted max-min: a flow's fill level is the minimum over its links of
+  // the levels at which those links froze flows; no flow on a saturated
+  // link can exceed the minimum fill level there (else it was favored).
+  for (std::size_t i = 0; i < problem.weights.size(); ++i) {
+    for (int l : problem.flow_links[i]) {
+      if (!result.bottleneck[static_cast<std::size_t>(l)]) continue;
+      // Find the smallest fill level among flows on this link.
+      double min_level = result.fill_level[i];
+      for (std::size_t j = 0; j < problem.weights.size(); ++j) {
+        for (int k : problem.flow_links[j]) {
+          if (k == l) min_level = std::min(min_level, result.fill_level[j]);
+        }
+      }
+      EXPECT_GE(result.fill_level[i], min_level - 1e-9);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomSweep, WaterfillRandom,
+    ::testing::Values(RandomCase{3, 2, 1}, RandomCase{8, 4, 2},
+                      RandomCase{20, 6, 3}, RandomCase{50, 10, 4},
+                      RandomCase{100, 20, 5}, RandomCase{200, 12, 6}));
+
+}  // namespace
+}  // namespace numfabric::num

@@ -1,0 +1,147 @@
+// Workload generator tests: the CDFs must match the paper's quoted shape
+// statistics; Poisson arrivals must hit the target load.
+#include <gtest/gtest.h>
+
+#include "sim/simulator.h"
+#include "net/topology.h"
+#include "workload/scenarios.h"
+#include "workload/size_distribution.h"
+
+namespace numfabric::workload {
+namespace {
+
+double fraction_below(const SizeDistribution& dist, double size) {
+  // Invert numerically via quantiles.
+  double lo = 0.0, hi = 1.0;
+  for (int i = 0; i < 60; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    if (dist.quantile(mid) < size) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+TEST(SizeDistributionTest, WebsearchShapeMatchesPaper) {
+  const SizeDistribution& dist = websearch_distribution();
+  // ~50% of flows below 100 KB.
+  EXPECT_NEAR(fraction_below(dist, 100e3), 0.5, 0.08);
+  // ~30% above 1 MB...
+  EXPECT_NEAR(1.0 - fraction_below(dist, 1e6), 0.30, 0.05);
+  // ...carrying ~95% of bytes.
+  sim::Rng rng(1);
+  double total = 0, big = 0;
+  for (int i = 0; i < 200'000; ++i) {
+    const double size = static_cast<double>(dist.sample(rng));
+    total += size;
+    if (size > 1e6) big += size;
+  }
+  EXPECT_GT(big / total, 0.85);
+}
+
+TEST(SizeDistributionTest, EnterpriseShapeMatchesPaper) {
+  const SizeDistribution& dist = enterprise_distribution();
+  // 95% of flows below 10 KB.
+  EXPECT_NEAR(fraction_below(dist, 10e3), 0.95, 0.02);
+  // ~70% are 1-2 packets (<= 3 KB).
+  EXPECT_NEAR(fraction_below(dist, 3e3), 0.70, 0.05);
+}
+
+TEST(SizeDistributionTest, SamplesMatchMean) {
+  const SizeDistribution& dist = websearch_distribution();
+  sim::Rng rng(2);
+  double sum = 0;
+  const int n = 300'000;
+  for (int i = 0; i < n; ++i) sum += static_cast<double>(dist.sample(rng));
+  EXPECT_NEAR(sum / n / dist.mean_bytes(), 1.0, 0.05);
+}
+
+TEST(SizeDistributionTest, QuantileMonotone) {
+  const SizeDistribution& dist = enterprise_distribution();
+  double last = 0;
+  for (double u = 0.01; u < 1.0; u += 0.01) {
+    const double q = dist.quantile(u);
+    EXPECT_GE(q, last);
+    last = q;
+  }
+}
+
+TEST(SizeDistributionTest, RejectsMalformedPoints) {
+  EXPECT_THROW(SizeDistribution("x", {{100, 1.0}}), std::invalid_argument);
+  EXPECT_THROW(SizeDistribution("x", {{100, 0.5}, {50, 1.0}}),
+               std::invalid_argument);
+  EXPECT_THROW(SizeDistribution("x", {{100, 0.5}, {200, 0.9}}),
+               std::invalid_argument);
+}
+
+struct Hosts {
+  sim::Simulator sim;
+  net::Topology topo{sim};
+  std::vector<net::Host*> hosts;
+  explicit Hosts(int n) {
+    for (int i = 0; i < n; ++i) {
+      hosts.push_back(topo.add_host("h" + std::to_string(i)));
+    }
+  }
+};
+
+TEST(ScenariosTest, RandomPairsDistinctEndpoints) {
+  Hosts rig(16);
+  sim::Rng rng(3);
+  const auto pairs = random_pairs(rig.hosts, 500, rng);
+  ASSERT_EQ(pairs.size(), 500u);
+  for (const HostPair& pair : pairs) EXPECT_NE(pair.src, pair.dst);
+}
+
+TEST(ScenariosTest, PermutationPairsCoverAllHostsOnce) {
+  Hosts rig(32);
+  sim::Rng rng(4);
+  const auto pairs = permutation_pairs(rig.hosts, rng);
+  ASSERT_EQ(pairs.size(), 16u);
+  std::set<net::Host*> used;
+  for (const HostPair& pair : pairs) {
+    EXPECT_TRUE(used.insert(pair.src).second);
+    EXPECT_TRUE(used.insert(pair.dst).second);
+  }
+  EXPECT_EQ(used.size(), 32u);
+}
+
+TEST(ScenariosTest, PoissonLoadMatchesTarget) {
+  Hosts rig(16);
+  sim::Rng rng(5);
+  const double load = 0.5;
+  const double nic = 10e9;
+  const auto flows =
+      poisson_flows(rig.hosts, nic, load, websearch_distribution(), 20'000, rng);
+  double bytes = 0;
+  for (const auto& flow : flows) bytes += static_cast<double>(flow.size_bytes);
+  const double duration = sim::to_seconds(flows.back().arrival);
+  const double offered = bytes * 8 / duration;
+  EXPECT_NEAR(offered / (nic * 16), load, 0.05);
+}
+
+TEST(ScenariosTest, PoissonArrivalsSorted) {
+  Hosts rig(4);
+  sim::Rng rng(6);
+  const auto flows =
+      poisson_flows(rig.hosts, 10e9, 0.3, enterprise_distribution(), 1000, rng);
+  for (std::size_t i = 1; i < flows.size(); ++i) {
+    EXPECT_GE(flows[i].arrival, flows[i - 1].arrival);
+  }
+}
+
+TEST(ScenariosTest, RejectsBadLoad) {
+  Hosts rig(4);
+  sim::Rng rng(7);
+  EXPECT_THROW(
+      poisson_flows(rig.hosts, 10e9, 0.0, websearch_distribution(), 10, rng),
+      std::invalid_argument);
+  EXPECT_THROW(
+      poisson_flows(rig.hosts, 10e9, 1.5, websearch_distribution(), 10, rng),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace numfabric::workload
