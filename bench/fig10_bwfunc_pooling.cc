@@ -4,32 +4,14 @@
 //
 // Paper result: aggregate allocations move (10, 3) -> (15, 10) Gbps shortly
 // after the capacity change.
-#include <cstdio>
-
+//
+// Thin wrapper over the scenario registry; equivalent to
+//   numfabric_run --scenario=bwfunc-pooling
+#include "app/driver.h"
 #include "bench_util.h"
-#include "exp/bwfunc_experiment.h"
-
-using namespace numfabric;
 
 int main() {
-  bench::announce("Figure 10", "bandwidth functions + resource pooling");
-
-  exp::BwFuncPoolingOptions options;
-  const auto result = exp::run_bwfunc_pooling(options);
-
-  std::printf("steady-state aggregates (Gbps):\n");
-  std::printf("  %-22s %10s %10s\n", "phase", "flow1", "flow2");
-  std::printf("  %-22s %10.2f %10.2f   (expected %.0f, %.0f)\n", "middle = 5 Gbps",
-              result.flow1_before_gbps, result.flow2_before_gbps,
-              result.expected1_before_gbps, result.expected2_before_gbps);
-  std::printf("  %-22s %10.2f %10.2f   (expected %.0f, %.0f)\n", "middle = 17 Gbps",
-              result.flow1_after_gbps, result.flow2_after_gbps,
-              result.expected1_after_gbps, result.expected2_after_gbps);
-
-  std::printf("\ntime series (ms, flow1 Gbps, flow2 Gbps), every 5th sample:\n");
-  for (std::size_t i = 0; i < result.series.size(); i += 5) {
-    const auto& [at_ms, f1, f2] = result.series[i];
-    std::printf("  %7.2f  %6.2f  %6.2f\n", at_ms, f1 / 1e9, f2 / 1e9);
-  }
-  return 0;
+  numfabric::bench::announce("Figure 10",
+                             "bandwidth functions + resource pooling");
+  return numfabric::app::run_cli({"--scenario=bwfunc-pooling"});
 }

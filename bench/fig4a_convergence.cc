@@ -3,74 +3,15 @@
 //
 // Paper result: NUMFabric converges in 335 us at the median (~2.3x faster
 // than DGD/RCP*) and 495 us at the 95th percentile (~2.7x faster).
-#include <cstdio>
-
+//
+// Thin wrapper over the scenario registry; equivalent to
+//   numfabric_run --scenario=convergence transports=numfabric,dgd,rcp
+#include "app/driver.h"
 #include "bench_util.h"
-#include "exp/semi_dynamic.h"
-#include "stats/summary.h"
-
-using namespace numfabric;
 
 int main() {
-  const exp::Scale scale =
-      bench::announce("Figure 4(a)", "convergence time CDF, semi-dynamic scenario");
-
-  exp::SemiDynamicResult results[3];
-  const transport::Scheme schemes[3] = {transport::Scheme::kNumFabric,
-                                        transport::Scheme::kDgd,
-                                        transport::Scheme::kRcpStar};
-  for (int s = 0; s < 3; ++s) {
-    exp::SemiDynamicOptions options;
-    options.scheme = schemes[s];
-    options.topology.hosts_per_leaf = scale.hosts_per_leaf;
-    options.topology.num_leaves = scale.leaves;
-    options.topology.num_spines = scale.spines;
-    options.num_paths = scale.num_paths;
-    options.initial_active = scale.initial_active;
-    options.flows_per_event = scale.flows_per_event;
-    options.num_events = scale.num_events;
-    options.min_active = scale.min_active;
-    options.max_active = scale.max_active;
-    options.convergence.timeout = scale.convergence_timeout;
-    options.seed = 1;
-    results[s] = exp::run_semi_dynamic(options);
-    std::printf("%-10s events: %d measured, %d converged, %llu sim events, "
-                "%llu drops\n",
-                transport::scheme_name(schemes[s]), results[s].events_measured,
-                results[s].events_converged,
-                static_cast<unsigned long long>(results[s].sim_events),
-                static_cast<unsigned long long>(results[s].total_queue_drops));
-  }
-
-  std::printf("\n%-10s %10s %10s %10s\n", "scheme", "median(us)", "p95(us)",
-              "conv.rate");
-  double median[3] = {0, 0, 0};
-  for (int s = 0; s < 3; ++s) {
-    const auto& times = results[s].convergence_times_us;
-    if (times.empty()) {
-      std::printf("%-10s %10s %10s %9.0f%%\n", transport::scheme_name(schemes[s]),
-                  "-", "-", 0.0);
-      continue;
-    }
-    median[s] = stats::percentile(times, 50);
-    std::printf("%-10s %10.0f %10.0f %9.0f%%\n", transport::scheme_name(schemes[s]),
-                median[s], stats::percentile(times, 95),
-                100.0 * results[s].events_converged / results[s].events_measured);
-  }
-  if (median[0] > 0 && median[1] > 0 && median[2] > 0) {
-    std::printf("\nNUMFabric speedup at median: %.1fx vs DGD, %.1fx vs RCP*\n",
-                median[1] / median[0], median[2] / median[0]);
-    std::printf("(paper: ~2.3x at median, ~2.7x at p95)\n");
-  }
-
-  std::printf("\nCDF (convergence time us -> fraction of events):\n");
-  for (int s = 0; s < 3; ++s) {
-    if (results[s].convergence_times_us.empty()) continue;
-    std::printf("%s:\n", transport::scheme_name(schemes[s]));
-    for (const auto& [value, fraction] :
-         stats::cdf(results[s].convergence_times_us, 11)) {
-      std::printf("  %8.0f us  %.2f\n", value, fraction);
-    }
-  }
-  return 0;
+  numfabric::bench::announce("Figure 4(a)",
+                             "convergence time CDF, semi-dynamic scenario");
+  return numfabric::app::run_cli(
+      {"--scenario=convergence", "transports=numfabric,dgd,rcp", "seed=1"});
 }

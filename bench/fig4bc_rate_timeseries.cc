@@ -4,58 +4,20 @@
 // Paper result: the DCTCP flow's rate is so noisy at 100 us scales that it
 // never settles within 10% of its expected rate; the NUMFabric flow locks
 // onto each new optimal rate shortly after every event.
-#include <cstdio>
-
+//
+// Thin wrapper over the scenario registry; equivalent to
+//   numfabric_run --scenario=rate-timeseries --transport=dctcp
+//   numfabric_run --scenario=rate-timeseries --transport=numfabric
+#include "app/driver.h"
 #include "bench_util.h"
-#include "exp/semi_dynamic.h"
-
-using namespace numfabric;
-
-namespace {
-
-exp::SemiDynamicResult run_trace(transport::Scheme scheme, const exp::Scale& scale) {
-  exp::SemiDynamicOptions options;
-  options.scheme = scheme;
-  options.topology.hosts_per_leaf = scale.hosts_per_leaf;
-  options.topology.num_leaves = scale.leaves;
-  options.topology.num_spines = scale.spines;
-  options.num_paths = scale.num_paths / 2;
-  options.initial_active = scale.initial_active / 2;
-  options.flows_per_event = scale.flows_per_event / 2;
-  options.num_events = 8;
-  options.min_active = scale.min_active / 2;
-  options.max_active = scale.max_active / 2;
-  options.record_trace = true;
-  options.trace_sample_interval = sim::micros(20);
-  // Fixed event schedule so both schemes see events at the same times
-  // (DCTCP would otherwise hit the convergence timeout on every event).
-  options.fixed_event_interval = sim::millis(4);
-  options.use_maxmin_targets = scheme == transport::Scheme::kDctcp;
-  options.seed = 7;
-  return exp::run_semi_dynamic(options);
-}
-
-void print_trace(const char* name, const exp::SemiDynamicResult& result) {
-  std::printf("\n--- %s flow rate trace (time ms, rate Gbps) ---\n", name);
-  // Print every 10th sample to keep the output readable.
-  for (std::size_t i = 0; i < result.trace.size(); i += 10) {
-    std::printf("%7.2f  %6.3f\n", result.trace[i].first,
-                result.trace[i].second / 1e9);
-  }
-  std::printf("expected rate steps (time ms, rate Gbps):\n");
-  for (const auto& [at_ms, rate] : result.expected_steps) {
-    std::printf("  %7.2f  %6.3f\n", at_ms, rate / 1e9);
-  }
-}
-
-}  // namespace
 
 int main() {
-  const exp::Scale scale = bench::announce(
-      "Figure 4(b,c)", "rate of a typical DCTCP vs NUMFabric flow");
-  const auto dctcp = run_trace(transport::Scheme::kDctcp, scale);
-  const auto numfabric = run_trace(transport::Scheme::kNumFabric, scale);
-  print_trace("DCTCP (Fig. 4b)", dctcp);
-  print_trace("NUMFabric (Fig. 4c)", numfabric);
+  numfabric::bench::announce("Figure 4(b,c)",
+                             "rate of a typical DCTCP vs NUMFabric flow");
+  for (const char* transport : {"--transport=dctcp", "--transport=numfabric"}) {
+    const int status = numfabric::app::run_cli(
+        {"--scenario=rate-timeseries", transport, "seed=7"});
+    if (status != 0) return status;
+  }
   return 0;
 }

@@ -4,68 +4,23 @@
 // Paper result: NUMFabric's median deviation is ~0 for all bins above a few
 // BDPs; DGD and RCP* are negatively biased (slow convergence leaves
 // bandwidth unclaimed), worst for small flows.
-#include <cstdio>
-#include <vector>
-
+//
+// Thin wrapper over the scenario registry; equivalent to
+//   numfabric_run --scenario=dynamic-deviation workload=websearch \
+//                 transports=numfabric,dgd,rcp
+// followed by the same with workload=enterprise.
+#include "app/driver.h"
 #include "bench_util.h"
-#include "exp/dynamic_workload.h"
-#include "stats/summary.h"
-
-using namespace numfabric;
-
-namespace {
-
-void run_workload(const char* name, const workload::SizeDistribution& sizes,
-                  const exp::Scale& scale) {
-  std::printf("\n--- %s workload (load 0.6) ---\n", name);
-  const transport::Scheme schemes[3] = {transport::Scheme::kNumFabric,
-                                        transport::Scheme::kDgd,
-                                        transport::Scheme::kRcpStar};
-  for (const transport::Scheme scheme : schemes) {
-    exp::DynamicWorkloadOptions options;
-    options.scheme = scheme;
-    options.topology.hosts_per_leaf = scale.hosts_per_leaf;
-    options.topology.num_leaves = scale.leaves;
-    options.topology.num_spines = scale.spines;
-    options.sizes = &sizes;
-    options.load = 0.6;
-    options.flow_count = scale.dynamic_flow_count;
-    options.seed = 11;
-    const auto result = exp::run_dynamic_workload(options);
-
-    // Deviation per bin.
-    std::vector<std::vector<double>> bins(5);
-    for (const auto& flow : result.flows) {
-      const int bin = exp::bdp_bin(static_cast<double>(flow.size_bytes),
-                                   result.bdp_bytes);
-      if (bin < 0) continue;
-      bins[static_cast<std::size_t>(bin)].push_back(
-          (flow.rate_bps - flow.ideal_rate_bps) / flow.ideal_rate_bps);
-    }
-    std::printf("%-10s (BDP = %.0f KB, %zu flows done, %d unfinished)\n",
-                transport::scheme_name(scheme), result.bdp_bytes / 1e3,
-                result.flows.size(), result.incomplete);
-    std::printf("  %-10s %8s %8s %8s %8s %8s %6s\n", "bin(BDPs)", "whisk-", "p25",
-                "median", "p75", "whisk+", "n");
-    for (std::size_t b = 0; b < bins.size(); ++b) {
-      if (bins[b].empty()) {
-        std::printf("  %-10s %8s\n", exp::kBdpBinLabels[b], "(empty)");
-        continue;
-      }
-      const stats::BoxPlot box = stats::box_plot(bins[b]);
-      std::printf("  %-10s %+8.2f %+8.2f %+8.2f %+8.2f %+8.2f %6zu\n",
-                  exp::kBdpBinLabels[b], box.whisker_low, box.p25, box.p50,
-                  box.p75, box.whisker_high, bins[b].size());
-    }
-  }
-}
-
-}  // namespace
 
 int main() {
-  const exp::Scale scale = bench::announce(
+  numfabric::bench::announce(
       "Figure 5", "deviation from ideal rates, dynamic workloads");
-  run_workload("web search [Fig. 5a]", workload::websearch_distribution(), scale);
-  run_workload("enterprise [Fig. 5b]", workload::enterprise_distribution(), scale);
+  for (const char* workload :
+       {"workload=websearch", "workload=enterprise"}) {
+    const int status = numfabric::app::run_cli(
+        {"--scenario=dynamic-deviation", workload,
+         "transports=numfabric,dgd,rcp", "seed=11"});
+    if (status != 0) return status;
+  }
   return 0;
 }

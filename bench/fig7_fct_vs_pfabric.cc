@@ -4,42 +4,14 @@
 // Paper result: NUMFabric's average normalized FCT is within 4-20% of
 // pFabric across loads (pFabric stays the specialist winner; NUMFabric gets
 // close while remaining policy-flexible).
-#include <cstdio>
-
+//
+// Thin wrapper over the scenario registry; equivalent to
+//   numfabric_run --scenario=fct-vs-pfabric
+#include "app/driver.h"
 #include "bench_util.h"
-#include "exp/fct_experiment.h"
-
-using namespace numfabric;
 
 int main() {
-  const exp::Scale scale = bench::announce(
+  numfabric::bench::announce(
       "Figure 7", "normalized FCT vs load: NUMFabric (FCT utility) vs pFabric");
-
-  exp::FctExperimentOptions options;
-  options.topology.hosts_per_leaf = scale.hosts_per_leaf;
-  options.topology.num_leaves = scale.leaves;
-  options.topology.num_spines = scale.spines;
-  options.loads = scale.full ? std::vector<double>{0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8}
-                             : std::vector<double>{0.2, 0.4, 0.6, 0.8};
-  options.flow_count = scale.dynamic_flow_count;
-  options.seed = 5;
-  const auto result = exp::run_fct_experiment(options);
-
-  std::printf("%6s %22s %22s %8s\n", "load", "NUMFabric FCT/ideal",
-              "pFabric FCT/ideal", "ratio");
-  for (const auto& row : result.rows) {
-    std::printf("%6.2f %22.2f %22.2f %8.2f\n", row.load,
-                row.numfabric_mean_norm_fct, row.pfabric_mean_norm_fct,
-                row.numfabric_mean_norm_fct /
-                    (row.pfabric_mean_norm_fct > 0 ? row.pfabric_mean_norm_fct
-                                                   : 1.0));
-  }
-  std::printf("\ncompleted flows per load (NUMFabric / pFabric):\n");
-  for (const auto& row : result.rows) {
-    std::printf("  %.2f: %d+%d unfinished / %d+%d unfinished\n", row.load,
-                row.numfabric_completed, row.numfabric_incomplete,
-                row.pfabric_completed, row.pfabric_incomplete);
-  }
-  std::printf("\n(paper: NUMFabric within 4-20%% of pFabric)\n");
-  return 0;
+  return numfabric::app::run_cli({"--scenario=fct-vs-pfabric", "seed=5"});
 }

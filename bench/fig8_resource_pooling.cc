@@ -1,72 +1,19 @@
 // Fig. 8: multipath resource pooling — total throughput vs number of
-// sub-flows (a) and per-flow throughput rank plot (b), with and without the
+// sub-flows and the per-flow throughput rank plot, with and without the
 // pooling (aggregate) utility.
 //
 // Paper result: with pooling, total throughput approaches the full
-// bisection as sub-flows increase to 8, and per-flow allocations are nearly
+// bisection as sub-flows increase to 8 and per-flow allocations are nearly
 // uniform; without pooling, throughput is lower and the distribution is
 // skewed.
-#include <cstdio>
-
+//
+// Thin wrapper over the scenario registry; equivalent to
+//   numfabric_run --scenario=resource-pooling
+#include "app/driver.h"
 #include "bench_util.h"
-#include "exp/pooling_experiment.h"
-
-using namespace numfabric;
-
-namespace {
-
-exp::PoolingResult run_mode(bool pooling, const exp::Scale& scale) {
-  exp::PoolingOptions options;
-  options.topology.hosts_per_leaf = scale.pooling_hosts_per_leaf;
-  options.topology.num_leaves = scale.pooling_leaves;
-  options.topology.num_spines = scale.pooling_spines;
-  // Fig. 8 uses an all-10G fabric (8 leaves x 16 spines at full scale).
-  options.topology.spine_rate_bps = 10e9;
-  options.resource_pooling = pooling;
-  options.subflow_counts =
-      scale.full ? std::vector<int>{1, 2, 3, 4, 5, 6, 7, 8}
-                 : std::vector<int>{1, 2, 4, 8};
-  options.warmup = scale.warmup;
-  options.measure = scale.measure;
-  options.seed = 2;
-  return exp::run_pooling_experiment(options);
-}
-
-}  // namespace
 
 int main() {
-  const exp::Scale scale =
-      bench::announce("Figure 8", "resource pooling via multipath sub-flows");
-
-  const exp::PoolingResult pooled = run_mode(true, scale);
-  const exp::PoolingResult unpooled = run_mode(false, scale);
-
-  std::printf("(a) total throughput, %% of optimal:\n");
-  std::printf("  %9s %18s %18s\n", "subflows", "resource pooling",
-              "no resource pooling");
-  for (std::size_t i = 0; i < pooled.rows.size(); ++i) {
-    std::printf("  %9d %17.1f%% %17.1f%%\n", pooled.rows[i].subflows,
-                100 * pooled.rows[i].total_throughput_fraction,
-                100 * unpooled.rows[i].total_throughput_fraction);
-  }
-
-  std::printf("\n(b) per-flow throughput (%% of optimal), ranked, at max "
-              "subflows (plus 1-subflow reference):\n");
-  const auto& pooled_best = pooled.rows.back();
-  const auto& unpooled_best = unpooled.rows.back();
-  const auto& single = pooled.rows.front();
-  std::printf("  %6s %12s %12s %12s\n", "rank", "pooling", "no pooling",
-              "1 sub-flow");
-  const std::size_t n = pooled_best.per_flow_fraction.size();
-  for (std::size_t r = 0; r < n; r += (n > 16 ? n / 16 : 1)) {
-    std::printf("  %6zu %11.1f%% %11.1f%% %11.1f%%\n", r,
-                100 * pooled_best.per_flow_fraction[r],
-                100 * unpooled_best.per_flow_fraction[r],
-                100 * single.per_flow_fraction[r]);
-  }
-  std::printf("  %6s %11.1f%% %11.1f%% %11.1f%%\n", "max",
-              100 * pooled_best.per_flow_fraction.back(),
-              100 * unpooled_best.per_flow_fraction.back(),
-              100 * single.per_flow_fraction.back());
-  return 0;
+  numfabric::bench::announce("Figure 8",
+                             "resource pooling via multipath sub-flows");
+  return numfabric::app::run_cli({"--scenario=resource-pooling", "seed=2"});
 }

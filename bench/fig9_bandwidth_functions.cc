@@ -4,31 +4,14 @@
 //
 // Paper result: NUMFabric's allocation is almost identical to the expected
 // allocation at all link capacities.
-#include <cstdio>
-
+//
+// Thin wrapper over the scenario registry; equivalent to
+//   numfabric_run --scenario=bwfunc-sweep
+#include "app/driver.h"
 #include "bench_util.h"
-#include "exp/bwfunc_experiment.h"
-
-using namespace numfabric;
 
 int main() {
-  const exp::Scale scale = bench::announce(
-      "Figure 9", "bandwidth-function allocation vs link capacity");
-
-  exp::BwFuncSweepOptions options;
-  options.warmup = scale.warmup;
-  options.measure = scale.measure;
-  const auto result = exp::run_bwfunc_sweep(options);
-
-  std::printf("%10s %12s %12s %12s %12s\n", "C (Gbps)", "flow1 meas",
-              "flow1 expect", "flow2 meas", "flow2 expect");
-  for (const auto& row : result.rows) {
-    std::printf("%10.0f %12.2f %12.2f %12.2f %12.2f\n", row.capacity_gbps,
-                row.flow1_gbps, row.expected1_gbps, row.flow2_gbps,
-                row.expected2_gbps);
-  }
-  std::printf("\n(expected = BwE fair-share water-filling of the Fig. 2 "
-              "functions; Fig. 2's worked examples: C=10 -> (10, 0), "
-              "C=25 -> (15, 10))\n");
-  return 0;
+  numfabric::bench::announce("Figure 9",
+                             "bandwidth-function allocation vs link capacity");
+  return numfabric::app::run_cli({"--scenario=bwfunc-sweep"});
 }

@@ -1,0 +1,699 @@
+// The built-in scenario catalog: the paper's figure experiments ported onto
+// the registry, plus the traffic families the evaluation implies but the
+// seed lacked (incast, permutation, all-to-all shuffle, FCT sweeps over the
+// web-search and data-mining traces).
+//
+// Conventions shared by every scenario:
+//  * the driver's --transport switch arrives as RunContext::scheme;
+//    comparative scenarios additionally take `transports=` (comma list) and
+//    default it to that single scheme;
+//  * quick-scale defaults come from exp::Scale and inflate to paper scale
+//    under NUMFABRIC_FULL=1 (RunContext::full_scale);
+//  * results go through MetricWriter only — the driver decides CSV vs JSON.
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "app/scenario.h"
+#include "exp/bwfunc_experiment.h"
+#include "exp/common.h"
+#include "exp/dynamic_workload.h"
+#include "exp/fct_experiment.h"
+#include "exp/pooling_experiment.h"
+#include "exp/semi_dynamic.h"
+#include "exp/traffic_experiment.h"
+#include "stats/summary.h"
+#include "workload/size_distribution.h"
+
+namespace numfabric::app {
+namespace {
+
+sim::TimeNs ms_time(double ms) {
+  return static_cast<sim::TimeNs>(ms * 1e6);
+}
+
+exp::Scale scale_for(const RunContext& ctx) {
+  return ctx.full_scale ? exp::full_scale() : exp::quick_scale();
+}
+
+net::LeafSpineOptions leaf_spine_options(const RunContext& ctx,
+                                         const exp::Scale& scale) {
+  net::LeafSpineOptions topo;
+  topo.hosts_per_leaf = static_cast<int>(
+      ctx.options.get_int("hosts_per_leaf", scale.hosts_per_leaf));
+  topo.num_leaves = static_cast<int>(ctx.options.get_int("leaves", scale.leaves));
+  topo.num_spines = static_cast<int>(ctx.options.get_int("spines", scale.spines));
+  topo.host_rate_bps = ctx.options.get_double("host_gbps", 10.0) * 1e9;
+  topo.spine_rate_bps = ctx.options.get_double("spine_gbps", 40.0) * 1e9;
+  return topo;
+}
+
+std::vector<ParamSpec> topology_params() {
+  return {
+      {"hosts_per_leaf", "8", "hosts per leaf switch (full scale: 16)"},
+      {"leaves", "4", "number of leaf switches (full scale: 8)"},
+      {"spines", "2", "number of spine switches (full scale: 4)"},
+      {"host_gbps", "10", "host NIC rate"},
+      {"spine_gbps", "40", "leaf-to-spine link rate"},
+  };
+}
+
+std::vector<ParamSpec> merge_params(std::vector<ParamSpec> a,
+                                    std::vector<ParamSpec> b) {
+  a.insert(a.end(), b.begin(), b.end());
+  return a;
+}
+
+std::vector<transport::Scheme> transports_param(const RunContext& ctx) {
+  std::vector<transport::Scheme> schemes;
+  for (const std::string& token :
+       ctx.options.get_list("transports", {scheme_token(ctx.scheme)})) {
+    schemes.push_back(parse_scheme(token));
+  }
+  return schemes;
+}
+
+double percentile_or_nan(const std::vector<double>& samples, double p) {
+  return samples.empty() ? std::numeric_limits<double>::quiet_NaN()
+                         : stats::percentile(samples, p);
+}
+
+// ---------------------------------------------------------------------------
+// convergence (Fig. 4a): semi-dynamic convergence-time CDF.
+// ---------------------------------------------------------------------------
+
+void run_convergence(RunContext& ctx) {
+  const exp::Scale scale = scale_for(ctx);
+  MetricTable& summary = ctx.metrics.table(
+      "convergence",
+      {"transport", "events_measured", "events_converged", "median_us",
+       "p95_us", "sim_events", "queue_drops"});
+  MetricTable& cdf = ctx.metrics.table("convergence_cdf",
+                                       {"transport", "time_us", "fraction"});
+
+  for (const transport::Scheme scheme : transports_param(ctx)) {
+    exp::SemiDynamicOptions options;
+    options.scheme = scheme;
+    options.topology = leaf_spine_options(ctx, scale);
+    options.num_paths =
+        static_cast<int>(ctx.options.get_int("paths", scale.num_paths));
+    options.initial_active = static_cast<int>(
+        ctx.options.get_int("initial_active", scale.initial_active));
+    options.flows_per_event = static_cast<int>(
+        ctx.options.get_int("flows_per_event", scale.flows_per_event));
+    options.num_events =
+        static_cast<int>(ctx.options.get_int("events", scale.num_events));
+    options.min_active =
+        static_cast<int>(ctx.options.get_int("min_active", scale.min_active));
+    options.max_active =
+        static_cast<int>(ctx.options.get_int("max_active", scale.max_active));
+    options.convergence.timeout = ms_time(ctx.options.get_double(
+        "timeout_ms", sim::to_seconds(scale.convergence_timeout) * 1e3));
+    options.alpha = ctx.options.get_double("alpha", 1.0);
+    options.seed = static_cast<std::uint64_t>(ctx.options.get_int("seed", 1));
+    const exp::SemiDynamicResult result = exp::run_semi_dynamic(options);
+
+    const std::string name = scheme_token(scheme);
+    summary.add_row({name, result.events_measured, result.events_converged,
+                     percentile_or_nan(result.convergence_times_us, 50),
+                     percentile_or_nan(result.convergence_times_us, 95),
+                     result.sim_events, result.total_queue_drops});
+    if (!result.convergence_times_us.empty()) {
+      for (const auto& [value, fraction] :
+           stats::cdf(result.convergence_times_us, 21)) {
+        cdf.add_row({name, value, fraction});
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// rate-timeseries (Fig. 4b,c): one tracked flow across network events.
+// ---------------------------------------------------------------------------
+
+void run_rate_timeseries(RunContext& ctx) {
+  const exp::Scale scale = scale_for(ctx);
+  exp::SemiDynamicOptions options;
+  options.scheme = ctx.scheme;
+  options.topology = leaf_spine_options(ctx, scale);
+  options.num_paths =
+      static_cast<int>(ctx.options.get_int("paths", scale.num_paths / 2));
+  options.initial_active = static_cast<int>(
+      ctx.options.get_int("initial_active", scale.initial_active / 2));
+  options.flows_per_event = static_cast<int>(
+      ctx.options.get_int("flows_per_event", scale.flows_per_event / 2));
+  options.num_events = static_cast<int>(ctx.options.get_int("events", 8));
+  options.min_active =
+      static_cast<int>(ctx.options.get_int("min_active", scale.min_active / 2));
+  options.max_active =
+      static_cast<int>(ctx.options.get_int("max_active", scale.max_active / 2));
+  options.alpha = ctx.options.get_double("alpha", 1.0);
+  options.record_trace = true;
+  options.trace_sample_interval =
+      sim::micros(ctx.options.get_int("sample_us", 20));
+  // A fixed event schedule keeps schemes comparable (DCTCP never converges
+  // at these time scales, so convergence-gated events would stall).
+  options.fixed_event_interval =
+      ms_time(ctx.options.get_double("event_interval_ms", 4));
+  options.use_maxmin_targets = ctx.scheme == transport::Scheme::kDctcp;
+  options.seed = static_cast<std::uint64_t>(ctx.options.get_int("seed", 7));
+  const exp::SemiDynamicResult result = exp::run_semi_dynamic(options);
+
+  ctx.metrics.scalar("transport", scheme_token(ctx.scheme));
+  ctx.metrics.scalar("sim_events", result.sim_events);
+  MetricTable& trace = ctx.metrics.table("trace", {"time_ms", "rate_bps"});
+  for (const auto& [at_ms, rate] : result.trace) trace.add_row({at_ms, rate});
+  MetricTable& expected =
+      ctx.metrics.table("expected_steps", {"time_ms", "rate_bps"});
+  for (const auto& [at_ms, rate] : result.expected_steps) {
+    expected.add_row({at_ms, rate});
+  }
+}
+
+// ---------------------------------------------------------------------------
+// dynamic-deviation (Fig. 5): deviation from fluid-oracle rates by size bin.
+// ---------------------------------------------------------------------------
+
+const workload::SizeDistribution& distribution_param(const RunContext& ctx,
+                                                     const std::string& fallback) {
+  const std::string name = ctx.options.get("workload", fallback);
+  if (name == "websearch") return workload::websearch_distribution();
+  if (name == "enterprise") return workload::enterprise_distribution();
+  if (name == "datamining") return workload::datamining_distribution();
+  throw std::invalid_argument(
+      "unknown workload '" + name +
+      "' (expected websearch, enterprise or datamining)");
+}
+
+void run_dynamic_deviation(RunContext& ctx) {
+  const exp::Scale scale = scale_for(ctx);
+  MetricTable& table = ctx.metrics.table(
+      "deviation", {"transport", "bin_bdps", "count", "whisker_low", "p25",
+                    "median", "p75", "whisker_high"});
+  MetricTable& totals = ctx.metrics.table(
+      "flows", {"transport", "completed", "incomplete", "bdp_kb"});
+
+  for (const transport::Scheme scheme : transports_param(ctx)) {
+    exp::DynamicWorkloadOptions options;
+    options.scheme = scheme;
+    options.topology = leaf_spine_options(ctx, scale);
+    options.sizes = &distribution_param(ctx, "websearch");
+    options.load = ctx.options.get_double("load", 0.6);
+    options.flow_count = static_cast<int>(
+        ctx.options.get_int("flows", scale.dynamic_flow_count));
+    options.alpha = ctx.options.get_double("alpha", 1.0);
+    options.seed = static_cast<std::uint64_t>(ctx.options.get_int("seed", 11));
+    options.horizon =
+        ms_time(ctx.options.get_double("horizon_ms", 20'000));
+    const exp::DynamicWorkloadResult result = exp::run_dynamic_workload(options);
+
+    const std::string name = scheme_token(scheme);
+    totals.add_row({name, static_cast<std::int64_t>(result.flows.size()),
+                    result.incomplete, result.bdp_bytes / 1e3});
+    std::vector<std::vector<double>> bins(5);
+    for (const auto& flow : result.flows) {
+      const int bin = exp::bdp_bin(static_cast<double>(flow.size_bytes),
+                                   result.bdp_bytes);
+      if (bin < 0) continue;
+      bins[static_cast<std::size_t>(bin)].push_back(
+          (flow.rate_bps - flow.ideal_rate_bps) / flow.ideal_rate_bps);
+    }
+    for (std::size_t b = 0; b < bins.size(); ++b) {
+      if (bins[b].empty()) continue;
+      const stats::BoxPlot box = stats::box_plot(bins[b]);
+      table.add_row({name, exp::kBdpBinLabels[b],
+                     static_cast<std::int64_t>(bins[b].size()), box.whisker_low,
+                     box.p25, box.p50, box.p75, box.whisker_high});
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// fct-vs-pfabric (Fig. 7): NUMFabric's FCT-min utility against pFabric.
+// ---------------------------------------------------------------------------
+
+void run_fct_vs_pfabric(RunContext& ctx) {
+  const exp::Scale scale = scale_for(ctx);
+  exp::FctExperimentOptions options;
+  options.topology = leaf_spine_options(ctx, scale);
+  options.loads = ctx.options.get_double_list(
+      "loads", ctx.full_scale
+                   ? std::vector<double>{0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8}
+                   : std::vector<double>{0.2, 0.4, 0.6, 0.8});
+  options.flow_count = static_cast<int>(
+      ctx.options.get_int("flows", scale.dynamic_flow_count));
+  options.epsilon = ctx.options.get_double("epsilon", 0.125);
+  options.slowdown = ctx.options.get_double("slowdown", 2.0);
+  options.seed = static_cast<std::uint64_t>(ctx.options.get_int("seed", 5));
+  const exp::FctExperimentResult result = exp::run_fct_experiment(options);
+
+  MetricTable& table = ctx.metrics.table(
+      "fct", {"load", "numfabric_mean_norm_fct", "pfabric_mean_norm_fct",
+              "ratio", "numfabric_completed", "pfabric_completed",
+              "numfabric_incomplete", "pfabric_incomplete"});
+  for (const auto& row : result.rows) {
+    table.add_row({row.load, row.numfabric_mean_norm_fct,
+                   row.pfabric_mean_norm_fct,
+                   row.pfabric_mean_norm_fct > 0
+                       ? row.numfabric_mean_norm_fct / row.pfabric_mean_norm_fct
+                       : std::numeric_limits<double>::quiet_NaN(),
+                   row.numfabric_completed, row.pfabric_completed,
+                   row.numfabric_incomplete, row.pfabric_incomplete});
+  }
+}
+
+// ---------------------------------------------------------------------------
+// resource-pooling (Fig. 8): multipath sub-flows with/without pooling.
+// ---------------------------------------------------------------------------
+
+void run_resource_pooling(RunContext& ctx) {
+  const exp::Scale scale = scale_for(ctx);
+  exp::PoolingOptions options;
+  options.topology.hosts_per_leaf = static_cast<int>(
+      ctx.options.get_int("hosts_per_leaf", scale.pooling_hosts_per_leaf));
+  options.topology.num_leaves = static_cast<int>(
+      ctx.options.get_int("leaves", scale.pooling_leaves));
+  options.topology.num_spines = static_cast<int>(
+      ctx.options.get_int("spines", scale.pooling_spines));
+  options.topology.spine_rate_bps =
+      ctx.options.get_double("spine_gbps", 10.0) * 1e9;  // Fig. 8: all-10G
+  options.subflow_counts = ctx.options.get_int_list(
+      "subflows", ctx.full_scale ? std::vector<int>{1, 2, 3, 4, 5, 6, 7, 8}
+                                 : std::vector<int>{1, 2, 4, 8});
+  options.warmup = ms_time(ctx.options.get_double(
+      "warmup_ms", sim::to_seconds(scale.warmup) * 1e3));
+  options.measure = ms_time(ctx.options.get_double(
+      "measure_ms", sim::to_seconds(scale.measure) * 1e3));
+  options.seed = static_cast<std::uint64_t>(ctx.options.get_int("seed", 2));
+
+  MetricTable& totals = ctx.metrics.table(
+      "throughput", {"mode", "subflows", "fraction_of_optimal"});
+  MetricTable& ranks = ctx.metrics.table(
+      "per_flow_rank", {"mode", "subflows", "rank", "fraction_of_nic"});
+  for (const bool pooling : {true, false}) {
+    options.resource_pooling = pooling;
+    const exp::PoolingResult result = exp::run_pooling_experiment(options);
+    const std::string mode = pooling ? "pooling" : "no-pooling";
+    for (const auto& row : result.rows) {
+      totals.add_row({mode, row.subflows, row.total_throughput_fraction});
+      for (std::size_t r = 0; r < row.per_flow_fraction.size(); ++r) {
+        ranks.add_row({mode, row.subflows, static_cast<std::int64_t>(r),
+                       row.per_flow_fraction[r]});
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// bwfunc-sweep (Fig. 9) and bwfunc-pooling (Fig. 10).
+// ---------------------------------------------------------------------------
+
+void run_bwfunc_sweep(RunContext& ctx) {
+  const exp::Scale scale = scale_for(ctx);
+  exp::BwFuncSweepOptions options;
+  options.capacities_gbps = ctx.options.get_double_list(
+      "capacities_gbps", {5, 10, 15, 20, 25, 30, 35});
+  options.alpha = ctx.options.get_double("alpha", 5.0);
+  options.slowdown = ctx.options.get_double("slowdown", 4.0);
+  // Measurement windows track exp::Scale (quick 8/12 ms, full 10/20 ms),
+  // matching the seed fig9 bench.
+  options.warmup = ms_time(ctx.options.get_double(
+      "warmup_ms", sim::to_seconds(scale.warmup) * 1e3));
+  options.measure = ms_time(ctx.options.get_double(
+      "measure_ms", sim::to_seconds(scale.measure) * 1e3));
+  const exp::BwFuncSweepResult result = exp::run_bwfunc_sweep(options);
+
+  MetricTable& table = ctx.metrics.table(
+      "bwfunc", {"capacity_gbps", "flow1_gbps", "flow2_gbps",
+                 "expected1_gbps", "expected2_gbps"});
+  for (const auto& row : result.rows) {
+    table.add_row({row.capacity_gbps, row.flow1_gbps, row.flow2_gbps,
+                   row.expected1_gbps, row.expected2_gbps});
+  }
+}
+
+void run_bwfunc_pooling(RunContext& ctx) {
+  exp::BwFuncPoolingOptions options;
+  options.alpha = ctx.options.get_double("alpha", 5.0);
+  options.slowdown = ctx.options.get_double("slowdown", 4.0);
+  options.middle_before_gbps = ctx.options.get_double("middle_before_gbps", 5);
+  options.middle_after_gbps = ctx.options.get_double("middle_after_gbps", 17);
+  options.switch_time = ms_time(ctx.options.get_double("switch_ms", 10));
+  options.end_time = ms_time(ctx.options.get_double("end_ms", 20));
+  const exp::BwFuncPoolingResult result = exp::run_bwfunc_pooling(options);
+
+  MetricTable& phases = ctx.metrics.table(
+      "phases", {"phase", "flow1_gbps", "flow2_gbps", "expected1_gbps",
+                 "expected2_gbps"});
+  phases.add_row({"before", result.flow1_before_gbps, result.flow2_before_gbps,
+                  result.expected1_before_gbps, result.expected2_before_gbps});
+  phases.add_row({"after", result.flow1_after_gbps, result.flow2_after_gbps,
+                  result.expected1_after_gbps, result.expected2_after_gbps});
+  MetricTable& series = ctx.metrics.table(
+      "series", {"time_ms", "flow1_bps", "flow2_bps"});
+  for (const auto& [at_ms, f1, f2] : result.series) {
+    series.add_row({at_ms, f1, f2});
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Traffic families: incast / permutation / shuffle.
+// ---------------------------------------------------------------------------
+
+void emit_traffic_result(RunContext& ctx, const exp::TrafficResult& result) {
+  ctx.metrics.scalar("transport", scheme_token(ctx.scheme));
+  ctx.metrics.scalar("flow_count", result.flow_count);
+  ctx.metrics.scalar("sim_events", result.sim_events);
+  ctx.metrics.scalar("queue_drops", result.queue_drops);
+
+  if (!result.flow_rates_bps.empty()) {
+    MetricTable& summary = ctx.metrics.table(
+        "throughput", {"total_gbps", "optimal_gbps", "fraction", "jain_index",
+                       "min_flow_mbps", "median_flow_mbps", "max_flow_mbps"});
+    std::vector<double> rates = result.flow_rates_bps;
+    std::sort(rates.begin(), rates.end());
+    summary.add_row({result.total_goodput_bps / 1e9, result.optimal_bps / 1e9,
+                     result.total_goodput_bps / result.optimal_bps,
+                     result.jain_index, rates.front() / 1e6,
+                     stats::percentile(rates, 50) / 1e6, rates.back() / 1e6});
+    MetricTable& flows = ctx.metrics.table("flow_rates", {"rank", "rate_mbps"});
+    for (std::size_t i = 0; i < rates.size(); ++i) {
+      flows.add_row({static_cast<std::int64_t>(i), rates[i] / 1e6});
+    }
+  }
+  if (result.completed + result.incomplete > 0) {
+    MetricTable& fct = ctx.metrics.table(
+        "fct", {"completed", "incomplete", "min_us", "mean_us", "p50_us",
+                "p95_us", "p99_us", "max_us"});
+    std::vector<double> fcts = result.fct_us;
+    std::sort(fcts.begin(), fcts.end());
+    fct.add_row({result.completed, result.incomplete,
+                 fcts.empty() ? std::numeric_limits<double>::quiet_NaN()
+                              : fcts.front(),
+                 fcts.empty() ? std::numeric_limits<double>::quiet_NaN()
+                              : stats::mean(fcts),
+                 percentile_or_nan(fcts, 50), percentile_or_nan(fcts, 95),
+                 percentile_or_nan(fcts, 99),
+                 fcts.empty() ? std::numeric_limits<double>::quiet_NaN()
+                              : fcts.back()});
+  }
+}
+
+void run_traffic(RunContext& ctx, exp::TrafficPattern pattern,
+                 std::int64_t default_flow_kb) {
+  const exp::Scale scale = scale_for(ctx);
+  exp::TrafficOptions options;
+  options.scheme = ctx.scheme;
+  options.topology = leaf_spine_options(ctx, scale);
+  options.pattern = pattern;
+  const int host_count =
+      options.topology.hosts_per_leaf * options.topology.num_leaves;
+  options.incast_fanin = static_cast<int>(
+      ctx.options.get_int("fanin", std::min(16, host_count - 1)));
+  options.flow_size_bytes = static_cast<std::uint64_t>(
+      ctx.options.get_int("flow_kb", default_flow_kb) * 1000);
+  options.alpha = ctx.options.get_double("alpha", 1.0);
+  options.warmup = ms_time(ctx.options.get_double(
+      "warmup_ms", sim::to_seconds(scale.warmup) * 1e3));
+  options.measure = ms_time(ctx.options.get_double(
+      "measure_ms", sim::to_seconds(scale.measure) * 1e3));
+  options.horizon = ms_time(ctx.options.get_double("horizon_ms", 5'000));
+  options.seed = static_cast<std::uint64_t>(ctx.options.get_int("seed", 1));
+  emit_traffic_result(ctx, exp::run_traffic_experiment(options));
+}
+
+// ---------------------------------------------------------------------------
+// FCT sweeps over a measured trace (web-search / data-mining).
+// ---------------------------------------------------------------------------
+
+void run_fct_sweep(RunContext& ctx, const std::string& default_workload) {
+  const exp::Scale scale = scale_for(ctx);
+  MetricTable& table = ctx.metrics.table(
+      "fct_sweep", {"load", "completed", "incomplete", "mean_norm_fct",
+                    "p50_norm_fct", "p95_norm_fct", "p99_norm_fct"});
+  MetricTable& bins = ctx.metrics.table(
+      "fct_by_size", {"load", "bin_bdps", "count", "mean_norm_fct"});
+
+  const std::vector<double> loads =
+      ctx.options.get_double_list("loads", {0.2, 0.4, 0.6, 0.8});
+  for (const double load : loads) {
+    exp::DynamicWorkloadOptions options;
+    options.scheme = ctx.scheme;
+    options.topology = leaf_spine_options(ctx, scale);
+    options.sizes = &distribution_param(ctx, default_workload);
+    options.load = load;
+    options.flow_count = static_cast<int>(
+        ctx.options.get_int("flows", scale.dynamic_flow_count / 2));
+    options.alpha = ctx.options.get_double("alpha", 1.0);
+    options.seed = static_cast<std::uint64_t>(ctx.options.get_int("seed", 13));
+    options.horizon = ms_time(ctx.options.get_double("horizon_ms", 20'000));
+    const exp::DynamicWorkloadResult result = exp::run_dynamic_workload(options);
+
+    // Normalized FCT = measured FCT / oracle-ideal FCT = ideal_rate / rate.
+    std::vector<double> norms;
+    std::vector<std::vector<double>> by_bin(5);
+    for (const auto& flow : result.flows) {
+      const double norm = flow.ideal_rate_bps / flow.rate_bps;
+      norms.push_back(norm);
+      const int bin = exp::bdp_bin(static_cast<double>(flow.size_bytes),
+                                   result.bdp_bytes);
+      if (bin >= 0) by_bin[static_cast<std::size_t>(bin)].push_back(norm);
+    }
+    table.add_row({load, static_cast<std::int64_t>(result.flows.size()),
+                   result.incomplete,
+                   norms.empty() ? std::numeric_limits<double>::quiet_NaN()
+                                 : stats::mean(norms),
+                   percentile_or_nan(norms, 50), percentile_or_nan(norms, 95),
+                   percentile_or_nan(norms, 99)});
+    for (std::size_t b = 0; b < by_bin.size(); ++b) {
+      if (by_bin[b].empty()) continue;
+      bins.add_row({load, exp::kBdpBinLabels[b],
+                    static_cast<std::int64_t>(by_bin[b].size()),
+                    stats::mean(by_bin[b])});
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Registration.
+// ---------------------------------------------------------------------------
+
+std::vector<ParamSpec> semi_dynamic_params() {
+  return merge_params(
+      topology_params(),
+      {{"paths", "240", "random host-pair paths (full scale: 1000)"},
+       {"initial_active", "100", "flows active before the first event"},
+       {"flows_per_event", "25", "flows started/stopped per network event"},
+       {"events", "8", "measured network events (full scale: 100)"},
+       {"min_active", "75", "lower bound on concurrently active flows"},
+       {"max_active", "125", "upper bound on concurrently active flows"},
+       {"alpha", "1", "alpha-fairness of the NUM objective"},
+       {"seed", "1", "workload RNG seed"}});
+}
+
+}  // namespace
+
+void register_builtin_scenarios() {
+  ScenarioRegistry& registry = ScenarioRegistry::global();
+  if (!registry.empty()) return;  // idempotent
+
+  registry.add(Scenario{
+      .name = "convergence",
+      .description = "semi-dynamic convergence-time CDF across transports",
+      .figure = "Fig. 4a",
+      .params = merge_params(semi_dynamic_params(),
+                             {{"timeout_ms", "20",
+                               "per-event convergence verdict timeout"},
+                              {"transports", "<--transport>",
+                               "comma list of schemes to compare"}}),
+      .run = run_convergence});
+
+  registry.add(Scenario{
+      .name = "rate-timeseries",
+      .description = "rate trace of one tracked flow across network events",
+      .figure = "Fig. 4b,c",
+      // Defaults are half the convergence scenario's population (the seed
+      // fig4bc setup) and must match run_rate_timeseries' fallbacks.
+      .params = merge_params(
+          topology_params(),
+          {{"paths", "120", "random host-pair paths (full scale: 500)"},
+           {"initial_active", "50", "flows active before the first event"},
+           {"flows_per_event", "12", "flows started/stopped per network event"},
+           {"events", "8", "network events to trace"},
+           {"min_active", "37", "lower bound on concurrently active flows"},
+           {"max_active", "62", "upper bound on concurrently active flows"},
+           {"alpha", "1", "alpha-fairness of the NUM objective"},
+           {"seed", "7", "workload RNG seed"},
+           {"sample_us", "20", "trace sample interval"},
+           {"event_interval_ms", "4", "fixed gap between network events"}}),
+      .run = run_rate_timeseries});
+
+  registry.add(Scenario{
+      .name = "dynamic-deviation",
+      .description =
+          "deviation from fluid-oracle rates under Poisson arrivals, by "
+          "BDP-relative size bin",
+      .figure = "Fig. 5",
+      .params = merge_params(
+          topology_params(),
+          {{"workload", "websearch", "websearch | enterprise | datamining"},
+           {"load", "0.6", "offered load, fraction of host NIC capacity"},
+           {"flows", "1200", "number of Poisson arrivals"},
+           {"alpha", "1", "alpha-fairness of the NUM objective"},
+           {"horizon_ms", "20000", "hard stop for stragglers"},
+           {"seed", "11", "workload RNG seed"},
+           {"transports", "<--transport>",
+            "comma list of schemes to compare"}}),
+      .run = run_dynamic_deviation});
+
+  registry.add(Scenario{
+      .name = "fct-vs-pfabric",
+      .description =
+          "mean normalized FCT vs load: FCT-min utility against pFabric "
+          "(web-search trace)",
+      .figure = "Fig. 7",
+      .params = merge_params(
+          topology_params(),
+          {{"loads", "0.2,0.4,0.6,0.8", "offered loads to sweep"},
+           {"flows", "1200", "Poisson arrivals per load"},
+           {"epsilon", "0.125", "FCT-utility exponent (Table 1 row 3)"},
+           {"slowdown", "2", "control-loop slowdown (§6.2)"},
+           {"seed", "5", "workload RNG seed"}}),
+      .run = run_fct_vs_pfabric});
+
+  registry.add(Scenario{
+      .name = "resource-pooling",
+      .description =
+          "multipath sub-flows with and without the pooling (aggregate) "
+          "utility on an all-10G leaf-spine",
+      .figure = "Fig. 8",
+      .params = {{"hosts_per_leaf", "8", "hosts per leaf (full scale: 16)"},
+                 {"leaves", "4", "leaf switches (full scale: 8)"},
+                 {"spines", "8", "spine switches (full scale: 16)"},
+                 {"spine_gbps", "10", "spine link rate (Fig. 8: all-10G)"},
+                 {"subflows", "1,2,4,8", "sub-flow counts to sweep"},
+                 {"warmup_ms", "8", "settling time before measurement"},
+                 {"measure_ms", "12", "goodput measurement window"},
+                 {"seed", "2", "permutation RNG seed"}},
+      .run = run_resource_pooling});
+
+  registry.add(Scenario{
+      .name = "bwfunc-sweep",
+      .description =
+          "bandwidth-function utilities vs the BwE water-filling allocation "
+          "over a capacity sweep",
+      .figure = "Fig. 9",
+      .params = {{"capacities_gbps", "5,10,15,20,25,30,35",
+                  "bottleneck capacities to sweep"},
+                 {"alpha", "5", "derived-utility steepness (§6.3)"},
+                 {"slowdown", "4", "control-loop slowdown for extreme alphas"},
+                 {"warmup_ms", "8", "settling time (full scale: 10)"},
+                 {"measure_ms", "12", "measurement window (full scale: 20)"}},
+      .run = run_bwfunc_sweep});
+
+  registry.add(Scenario{
+      .name = "bwfunc-pooling",
+      .description =
+          "bandwidth functions composed with resource pooling; middle link "
+          "steps 5 -> 17 Gbps mid-run",
+      .figure = "Fig. 10",
+      .params = {{"alpha", "5", "derived-utility steepness"},
+                 {"slowdown", "4", "control-loop slowdown"},
+                 {"middle_before_gbps", "5", "middle link rate before the step"},
+                 {"middle_after_gbps", "17", "middle link rate after the step"},
+                 {"switch_ms", "10", "when the middle link steps"},
+                 {"end_ms", "20", "end of the run"}},
+      .run = run_bwfunc_pooling});
+
+  registry.add(Scenario{
+      .name = "incast",
+      .description =
+          "synchronized fan-in burst: `fanin` senders to one receiver "
+          "(FCT mode; flow_kb=0 for long-running rate mode)",
+      .figure = "",
+      .params = merge_params(
+          topology_params(),
+          {{"fanin", "16", "concurrent senders"},
+           {"flow_kb", "64", "KB per sender (0 = long-running)"},
+           {"alpha", "1", "alpha-fairness of the NUM objective"},
+           {"warmup_ms", "8", "rate mode: settling time"},
+           {"measure_ms", "12", "rate mode: measurement window"},
+           {"horizon_ms", "5000", "FCT mode: hard stop"},
+           {"seed", "1", "sender/receiver selection seed"}}),
+      .run = [](RunContext& ctx) {
+        run_traffic(ctx, exp::TrafficPattern::kIncast, 64);
+      }});
+
+  registry.add(Scenario{
+      .name = "permutation",
+      .description =
+          "random perfect-matching traffic, long-running flows: throughput "
+          "fraction and Jain fairness",
+      .figure = "",
+      .params = merge_params(
+          topology_params(),
+          {{"flow_kb", "0", "KB per flow (0 = long-running)"},
+           {"alpha", "1", "alpha-fairness of the NUM objective"},
+           {"warmup_ms", "8", "settling time"},
+           {"measure_ms", "12", "measurement window"},
+           {"horizon_ms", "5000", "FCT mode: hard stop"},
+           {"seed", "1", "matching RNG seed"}}),
+      .run = [](RunContext& ctx) {
+        run_traffic(ctx, exp::TrafficPattern::kPermutation, 0);
+      }});
+
+  registry.add(Scenario{
+      .name = "shuffle",
+      .description =
+          "all-to-all shuffle wave: every host pair transfers flow_kb, "
+          "completion times reported",
+      .figure = "",
+      .params = merge_params(
+          topology_params(),
+          {{"flow_kb", "250", "KB per host pair (0 = long-running)"},
+           {"alpha", "1", "alpha-fairness of the NUM objective"},
+           {"warmup_ms", "8", "rate mode: settling time"},
+           {"measure_ms", "12", "rate mode: measurement window"},
+           {"horizon_ms", "5000", "hard stop"},
+           {"seed", "1", "RNG seed"}}),
+      .run = [](RunContext& ctx) {
+        run_traffic(ctx, exp::TrafficPattern::kAllToAll, 250);
+      }});
+
+  registry.add(Scenario{
+      .name = "websearch-fct",
+      .description =
+          "normalized-FCT sweep over loads, web-search flow sizes, any "
+          "transport",
+      .figure = "",
+      .params = merge_params(
+          topology_params(),
+          {{"workload", "websearch", "websearch | enterprise | datamining"},
+           {"loads", "0.2,0.4,0.6,0.8", "offered loads to sweep"},
+           {"flows", "600", "Poisson arrivals per load"},
+           {"alpha", "1", "alpha-fairness of the NUM objective"},
+           {"horizon_ms", "20000", "hard stop for stragglers"},
+           {"seed", "13", "workload RNG seed"}}),
+      .run = [](RunContext& ctx) { run_fct_sweep(ctx, "websearch"); }});
+
+  registry.add(Scenario{
+      .name = "datamining-fct",
+      .description =
+          "normalized-FCT sweep over loads, data-mining (VL2-style) flow "
+          "sizes, any transport",
+      .figure = "",
+      .params = merge_params(
+          topology_params(),
+          {{"workload", "datamining", "websearch | enterprise | datamining"},
+           {"loads", "0.2,0.4,0.6,0.8", "offered loads to sweep"},
+           {"flows", "600", "Poisson arrivals per load"},
+           {"alpha", "1", "alpha-fairness of the NUM objective"},
+           {"horizon_ms", "20000", "hard stop for stragglers"},
+           {"seed", "13", "workload RNG seed"}}),
+      .run = [](RunContext& ctx) { run_fct_sweep(ctx, "datamining"); }});
+}
+
+}  // namespace numfabric::app

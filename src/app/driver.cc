@@ -1,0 +1,174 @@
+#include "app/driver.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <set>
+#include <stdexcept>
+
+#include "app/scenario.h"
+
+namespace numfabric::app {
+namespace {
+
+void print_usage(std::FILE* out) {
+  std::fputs(
+      "usage: numfabric_run --scenario=<name> [--transport=<scheme>] "
+      "[key=value ...]\n"
+      "       numfabric_run --list | --describe=<name> | --help\n"
+      "\n"
+      "global flags:\n"
+      "  --scenario=<name>     scenario to run (see --list)\n"
+      "  --transport=<scheme>  numfabric | dctcp | pfabric | rcp | dgd "
+      "(default numfabric)\n"
+      "  --config=<file>       key = value lines layered under CLI params\n"
+      "  --format=csv|json     metric output format (default csv)\n"
+      "  --output=<file>       write metrics here instead of stdout\n"
+      "  --full                paper-scale runs (same as NUMFABRIC_FULL=1)\n"
+      "  --list                list registered scenarios\n"
+      "  --describe=<name>     show a scenario's parameter schema\n",
+      out);
+}
+
+void print_list() {
+  std::printf("%-18s %-10s %s\n", "scenario", "figure", "description");
+  for (const Scenario* scenario : ScenarioRegistry::global().list()) {
+    std::printf("%-18s %-10s %s\n", scenario->name.c_str(),
+                scenario->figure.empty() ? "-" : scenario->figure.c_str(),
+                scenario->description.c_str());
+  }
+}
+
+int print_describe(const std::string& name) {
+  const Scenario* scenario = ScenarioRegistry::global().find(name);
+  if (scenario == nullptr) {
+    std::fprintf(stderr, "unknown scenario '%s' (try --list)\n", name.c_str());
+    return 2;
+  }
+  std::printf("%s — %s\n", scenario->name.c_str(),
+              scenario->description.c_str());
+  if (!scenario->figure.empty()) {
+    std::printf("reproduces: %s\n", scenario->figure.c_str());
+  }
+  std::printf("\n%-20s %-16s %s\n", "parameter", "default", "help");
+  for (const ParamSpec& param : scenario->params) {
+    std::printf("%-20s %-16s %s\n", param.key.c_str(),
+                param.default_value.c_str(), param.help.c_str());
+  }
+  return 0;
+}
+
+bool env_full_scale() {
+  const char* env = std::getenv("NUMFABRIC_FULL");
+  return env != nullptr && env[0] != '\0' && env[0] != '0';
+}
+
+}  // namespace
+
+int run_cli(const std::vector<std::string>& args) {
+  register_builtin_scenarios();
+
+  std::string scenario_name, config_path, format = "csv", output_path;
+  std::string transport = "numfabric";
+  bool full = env_full_scale();
+  std::vector<std::string> param_tokens;
+
+  for (const std::string& arg : args) {
+    const auto value_of = [&arg](const char* prefix) {
+      return arg.substr(std::string(prefix).size());
+    };
+    if (arg == "--help" || arg == "-h") {
+      print_usage(stdout);
+      return 0;
+    } else if (arg == "--list") {
+      print_list();
+      return 0;
+    } else if (arg.rfind("--describe=", 0) == 0) {
+      return print_describe(value_of("--describe="));
+    } else if (arg.rfind("--scenario=", 0) == 0) {
+      scenario_name = value_of("--scenario=");
+    } else if (arg.rfind("--transport=", 0) == 0) {
+      transport = value_of("--transport=");
+    } else if (arg.rfind("--config=", 0) == 0) {
+      config_path = value_of("--config=");
+    } else if (arg.rfind("--format=", 0) == 0) {
+      format = value_of("--format=");
+    } else if (arg.rfind("--output=", 0) == 0) {
+      output_path = value_of("--output=");
+    } else if (arg == "--full") {
+      full = true;
+    } else {
+      param_tokens.push_back(arg);
+    }
+  }
+
+  if (format != "csv" && format != "json") {
+    std::fprintf(stderr, "unknown --format '%s' (expected csv or json)\n",
+                 format.c_str());
+    return 2;
+  }
+  if (scenario_name.empty()) {
+    print_usage(stderr);
+    return 2;
+  }
+  const Scenario* scenario = ScenarioRegistry::global().find(scenario_name);
+  if (scenario == nullptr) {
+    std::fprintf(stderr, "unknown scenario '%s' (try --list)\n",
+                 scenario_name.c_str());
+    return 2;
+  }
+
+  try {
+    Options options;
+    if (!config_path.empty()) options.merge(Options::from_file(config_path));
+    options.merge(Options::from_tokens(param_tokens));
+
+    // Reject keys the scenario does not declare: typos fail loudly instead
+    // of silently running defaults.
+    std::set<std::string> declared;
+    for (const ParamSpec& param : scenario->params) declared.insert(param.key);
+    for (const auto& [key, value] : options.values()) {
+      if (declared.count(key) == 0) {
+        std::fprintf(stderr,
+                     "scenario %s does not take parameter '%s' "
+                     "(see --describe=%s)\n",
+                     scenario->name.c_str(), key.c_str(),
+                     scenario->name.c_str());
+        return 2;
+      }
+    }
+
+    MetricWriter metrics;
+    RunContext ctx{options, parse_scheme(transport), metrics, full};
+    metrics.scalar("scenario", scenario->name);
+    scenario->run(ctx);
+
+    std::ofstream file;
+    if (!output_path.empty()) {
+      file.open(output_path);
+      if (!file) {
+        std::fprintf(stderr, "cannot write %s\n", output_path.c_str());
+        return 1;
+      }
+    }
+    std::ostream& out = output_path.empty() ? std::cout : file;
+    if (format == "json") {
+      metrics.write_json(out);
+    } else {
+      metrics.write_csv(out);
+    }
+    return 0;
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "error: %s\n", error.what());
+    return 1;
+  }
+}
+
+int run_cli(int argc, char** argv) {
+  std::vector<std::string> args;
+  for (int i = 1; i < argc; ++i) args.emplace_back(argv[i]);
+  return run_cli(args);
+}
+
+}  // namespace numfabric::app

@@ -1,0 +1,27 @@
+// The numfabric_run command-line driver, reusable from the bench figure
+// wrappers (they synthesize an argument vector and call run_cli).
+//
+//   numfabric_run --list
+//   numfabric_run --describe=incast
+//   numfabric_run --scenario=incast --transport=numfabric fanin=32
+//   numfabric_run --scenario=convergence transports=numfabric,dgd,rcp \
+//                 --format=json --output=conv.json
+//   numfabric_run --scenario=permutation --config=sweep.conf
+//
+// Global flags: --scenario, --transport (default numfabric), --config,
+// --format=csv|json (default csv), --output=FILE (default stdout), --list,
+// --describe, --help, --full (same as NUMFABRIC_FULL=1).  Everything else
+// must be a key=value parameter declared by the selected scenario.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace numfabric::app {
+
+/// Runs the CLI; returns the process exit code.  Registers the built-in
+/// scenarios, so callers don't have to.
+int run_cli(const std::vector<std::string>& args);
+int run_cli(int argc, char** argv);
+
+}  // namespace numfabric::app

@@ -1,0 +1,141 @@
+#include "app/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace numfabric::app {
+namespace {
+
+std::string format_number(double value) {
+  if (std::isnan(value)) return "nan";
+  if (std::isinf(value)) return value > 0 ? "inf" : "-inf";
+  // Integers print without a decimal point; everything else with enough
+  // digits to round-trip typical metric magnitudes.
+  if (value == std::floor(value) && std::abs(value) < 1e15) {
+    std::ostringstream out;
+    out << static_cast<long long>(value);
+    return out.str();
+  }
+  std::ostringstream out;
+  out.precision(10);
+  out << value;
+  return out.str();
+}
+
+std::string escape_json(const std::string& text) {
+  std::string out;
+  out.reserve(text.size() + 2);
+  for (char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string MetricValue::csv() const {
+  if (!is_text_) return format_number(number_);
+  std::string out = text_;
+  std::replace(out.begin(), out.end(), ',', ';');
+  return out;
+}
+
+std::string MetricValue::json() const {
+  if (is_text_) return "\"" + escape_json(text_) + "\"";
+  if (std::isnan(number_) || std::isinf(number_)) {
+    return "\"" + format_number(number_) + "\"";  // JSON has no nan/inf
+  }
+  return format_number(number_);
+}
+
+MetricTable::MetricTable(std::string name, std::vector<std::string> columns)
+    : name_(std::move(name)), columns_(std::move(columns)) {
+  if (columns_.empty()) {
+    throw std::invalid_argument("metric table " + name_ + ": no columns");
+  }
+}
+
+void MetricTable::add_row(std::vector<MetricValue> row) {
+  if (row.size() != columns_.size()) {
+    throw std::invalid_argument(
+        "metric table " + name_ + ": row has " + std::to_string(row.size()) +
+        " cells, expected " + std::to_string(columns_.size()));
+  }
+  rows_.push_back(std::move(row));
+}
+
+MetricTable& MetricWriter::table(const std::string& name,
+                                 const std::vector<std::string>& columns) {
+  for (const auto& existing : tables_) {
+    if (existing->name() == name) {
+      if (existing->columns() != columns) {
+        throw std::invalid_argument("metric table " + name +
+                                    ": redefined with different columns");
+      }
+      return *existing;
+    }
+  }
+  tables_.push_back(std::make_unique<MetricTable>(name, columns));
+  return *tables_.back();
+}
+
+void MetricWriter::scalar(const std::string& name, MetricValue value) {
+  scalars_.emplace_back(name, std::move(value));
+}
+
+void MetricWriter::write_csv(std::ostream& out) const {
+  for (const auto& [name, value] : scalars_) {
+    out << "# scalar," << name << "," << value.csv() << "\n";
+  }
+  for (const auto& table : tables_) {
+    out << "# table," << table->name() << "\n";
+    for (std::size_t c = 0; c < table->columns().size(); ++c) {
+      out << (c ? "," : "") << table->columns()[c];
+    }
+    out << "\n";
+    for (const auto& row : table->rows()) {
+      for (std::size_t c = 0; c < row.size(); ++c) {
+        out << (c ? "," : "") << row[c].csv();
+      }
+      out << "\n";
+    }
+  }
+}
+
+void MetricWriter::write_json(std::ostream& out) const {
+  out << "{\n  \"scalars\": {";
+  for (std::size_t i = 0; i < scalars_.size(); ++i) {
+    out << (i ? ", " : "") << "\"" << escape_json(scalars_[i].first)
+        << "\": " << scalars_[i].second.json();
+  }
+  out << "},\n  \"tables\": [";
+  for (std::size_t t = 0; t < tables_.size(); ++t) {
+    const MetricTable& table = *tables_[t];
+    out << (t ? ",\n" : "\n") << "    {\"name\": \""
+        << escape_json(table.name()) << "\", \"columns\": [";
+    for (std::size_t c = 0; c < table.columns().size(); ++c) {
+      out << (c ? ", " : "") << "\"" << escape_json(table.columns()[c]) << "\"";
+    }
+    out << "], \"rows\": [";
+    for (std::size_t r = 0; r < table.rows().size(); ++r) {
+      out << (r ? ", " : "") << "[";
+      const auto& row = table.rows()[r];
+      for (std::size_t c = 0; c < row.size(); ++c) {
+        out << (c ? ", " : "") << row[c].json();
+      }
+      out << "]";
+    }
+    out << "]}";
+  }
+  out << "\n  ]\n}\n";
+}
+
+}  // namespace numfabric::app

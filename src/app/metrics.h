@@ -1,0 +1,94 @@
+// Structured metric emission for scenarios: named tables plus run-level
+// scalars, serializable as CSV (one block per table) or a single JSON
+// document.  Built to pair with stats/summary.h — scenarios typically push
+// raw samples through stats::percentile/mean/cdf and record the summaries
+// here.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace numfabric::app {
+
+/// One table cell: numeric (default) or text.  Numbers serialize unquoted in
+/// JSON and with shortest round-trip formatting in both formats.
+class MetricValue {
+ public:
+  MetricValue(double value) : number_(value) {}          // NOLINT(google-explicit-constructor)
+  MetricValue(int value) : number_(value) {}             // NOLINT(google-explicit-constructor)
+  MetricValue(std::int64_t value)                        // NOLINT(google-explicit-constructor)
+      : number_(static_cast<double>(value)) {}
+  MetricValue(std::uint64_t value)                       // NOLINT(google-explicit-constructor)
+      : number_(static_cast<double>(value)) {}
+  MetricValue(std::string value)                         // NOLINT(google-explicit-constructor)
+      : text_(std::move(value)), is_text_(true) {}
+  MetricValue(const char* value) : text_(value), is_text_(true) {}  // NOLINT
+
+  bool is_text() const { return is_text_; }
+  double number() const { return number_; }
+  const std::string& text() const { return text_; }
+
+  /// CSV rendering (no quoting; commas in text are replaced by ';').
+  std::string csv() const;
+  /// JSON rendering (quoted + escaped for text, bare number otherwise).
+  std::string json() const;
+
+ private:
+  double number_ = 0;
+  std::string text_;
+  bool is_text_ = false;
+};
+
+class MetricTable {
+ public:
+  MetricTable(std::string name, std::vector<std::string> columns);
+
+  /// Appends a row; throws std::invalid_argument on column-count mismatch.
+  void add_row(std::vector<MetricValue> row);
+
+  const std::string& name() const { return name_; }
+  const std::vector<std::string>& columns() const { return columns_; }
+  const std::vector<std::vector<MetricValue>>& rows() const { return rows_; }
+
+ private:
+  std::string name_;
+  std::vector<std::string> columns_;
+  std::vector<std::vector<MetricValue>> rows_;
+};
+
+/// Collects everything one scenario run emits.
+class MetricWriter {
+ public:
+  /// Creates (or returns the existing) table with this name.  A returned
+  /// reference stays valid for the writer's lifetime.  Throws if an existing
+  /// table's columns differ.
+  MetricTable& table(const std::string& name,
+                     const std::vector<std::string>& columns);
+
+  /// Run-level scalar (e.g. sim_events, total_drops).
+  void scalar(const std::string& name, MetricValue value);
+
+  const std::vector<std::unique_ptr<MetricTable>>& tables() const {
+    return tables_;
+  }
+  const std::vector<std::pair<std::string, MetricValue>>& scalars() const {
+    return scalars_;
+  }
+
+  /// CSV: `# scalar,<name>,<value>` lines, then per table a `# table,<name>`
+  /// marker, a header row and data rows.
+  void write_csv(std::ostream& out) const;
+  /// One JSON object: {"scalars": {...}, "tables": [{name, columns, rows}]}.
+  void write_json(std::ostream& out) const;
+
+ private:
+  // Heap nodes so table references stay stable as more tables are added.
+  std::vector<std::unique_ptr<MetricTable>> tables_;
+  std::vector<std::pair<std::string, MetricValue>> scalars_;
+};
+
+}  // namespace numfabric::app

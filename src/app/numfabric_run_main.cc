@@ -1,0 +1,7 @@
+// Entry point of the unified experiment driver.  All logic lives in
+// app/driver.cc so the bench figure wrappers and tests share it.
+#include "app/driver.h"
+
+int main(int argc, char** argv) {
+  return numfabric::app::run_cli(argc, argv);
+}

@@ -1,0 +1,68 @@
+#include "app/scenario.h"
+
+#include <algorithm>
+#include <cctype>
+#include <stdexcept>
+
+namespace numfabric::app {
+
+ScenarioRegistry& ScenarioRegistry::global() {
+  static ScenarioRegistry registry;
+  return registry;
+}
+
+void ScenarioRegistry::add(Scenario scenario) {
+  if (scenario.name.empty()) {
+    throw std::invalid_argument("scenario with empty name");
+  }
+  if (!scenario.run) {
+    throw std::invalid_argument("scenario " + scenario.name +
+                                ": missing run function");
+  }
+  const auto [it, inserted] =
+      scenarios_.emplace(scenario.name, std::move(scenario));
+  if (!inserted) {
+    throw std::invalid_argument("duplicate scenario name: " + it->first);
+  }
+}
+
+const Scenario* ScenarioRegistry::find(const std::string& name) const {
+  const auto it = scenarios_.find(name);
+  return it == scenarios_.end() ? nullptr : &it->second;
+}
+
+std::vector<const Scenario*> ScenarioRegistry::list() const {
+  std::vector<const Scenario*> out;
+  out.reserve(scenarios_.size());
+  for (const auto& [name, scenario] : scenarios_) out.push_back(&scenario);
+  return out;  // map iteration order is already name order
+}
+
+transport::Scheme parse_scheme(const std::string& name) {
+  std::string token = name;
+  std::transform(token.begin(), token.end(), token.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  if (token == "numfabric") return transport::Scheme::kNumFabric;
+  if (token == "dctcp") return transport::Scheme::kDctcp;
+  if (token == "pfabric") return transport::Scheme::kPFabric;
+  if (token == "rcp" || token == "rcp*" || token == "rcpstar") {
+    return transport::Scheme::kRcpStar;
+  }
+  if (token == "dgd") return transport::Scheme::kDgd;
+  throw std::invalid_argument(
+      "unknown transport '" + name +
+      "' (expected numfabric, dctcp, pfabric, rcp or dgd)");
+}
+
+std::string scheme_token(transport::Scheme scheme) {
+  switch (scheme) {
+    case transport::Scheme::kNumFabric: return "numfabric";
+    case transport::Scheme::kDgd: return "dgd";
+    case transport::Scheme::kRcpStar: return "rcp";
+    case transport::Scheme::kDctcp: return "dctcp";
+    case transport::Scheme::kPFabric: return "pfabric";
+  }
+  return "?";
+}
+
+}  // namespace numfabric::app

@@ -138,16 +138,17 @@ BwFuncPoolingResult run_bwfunc_pooling(const BwFuncPoolingOptions& options) {
     return total;
   };
 
-  // Periodic sampling of the aggregate rates.
-  auto sampler = std::make_shared<std::function<void()>>();
-  *sampler = [&, sampler] {
+  // Periodic sampling of the aggregate rates.  The closure lives on this
+  // stack frame (which outlives the run) and reschedules itself by
+  // reference; a shared_ptr self-capture here would cycle and leak.
+  std::function<void()> sampler = [&] {
     result.series.emplace_back(sim::to_millis(sim.now()), aggregate_rate(flow1),
                                aggregate_rate(flow2));
     if (sim.now() + options.sample_interval <= options.end_time) {
-      sim.schedule_in(options.sample_interval, *sampler);
+      sim.schedule_in(options.sample_interval, sampler);
     }
   };
-  sim.schedule_in(options.sample_interval, *sampler);
+  sim.schedule_in(options.sample_interval, sampler);
 
   // Capacity step on the middle link (both directions).
   sim.schedule_at(options.switch_time, [&] {

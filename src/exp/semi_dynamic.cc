@@ -1,6 +1,7 @@
 #include "exp/semi_dynamic.h"
 
 #include <algorithm>
+#include <functional>
 #include <memory>
 #include <stdexcept>
 
@@ -73,6 +74,11 @@ class Driver {
   std::vector<double> warm_prices_;  // oracle warm start between events
   int events_fired_ = 0;
   SemiDynamicResult result_;
+  /// Self-rescheduling sampler closures.  Owned here (not by shared_ptr
+  /// self-capture, which forms a reference cycle and leaks): the Driver
+  /// outlives the simulation, so closures can reschedule through a plain
+  /// pointer into this list.
+  std::vector<std::unique_ptr<std::function<void()>>> samplers_;
 };
 
 void Driver::build_network() {
@@ -201,7 +207,8 @@ void Driver::begin_measurement(bool record) {
       conv);
 
   const sim::TimeNs event_time = sim_.now();
-  auto sampler = std::make_shared<std::function<void()>>();
+  auto* sampler =
+      samplers_.emplace_back(std::make_unique<std::function<void()>>()).get();
   *sampler = [this, sampler, event_time, record] {
     if (!detector_->sample(sim_.now())) {
       sim_.schedule_in(options_.convergence.sample_interval, *sampler);
@@ -258,7 +265,8 @@ void Driver::apply_event() {
 }
 
 void Driver::schedule_trace_sampler() {
-  auto sampler = std::make_shared<std::function<void()>>();
+  auto* sampler =
+      samplers_.emplace_back(std::make_unique<std::function<void()>>()).get();
   *sampler = [this, sampler] {
     const Flow* flow = slots_[tracked_slot_].flow;
     const double rate = (flow != nullptr && flow->attached())

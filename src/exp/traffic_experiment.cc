@@ -1,0 +1,134 @@
+#include "exp/traffic_experiment.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "exp/common.h"
+#include "net/routing.h"
+#include "num/utility.h"
+#include "sim/random.h"
+#include "transport/receiver.h"
+#include "workload/scenarios.h"
+
+namespace numfabric::exp {
+
+const char* traffic_pattern_name(TrafficPattern pattern) {
+  switch (pattern) {
+    case TrafficPattern::kIncast: return "incast";
+    case TrafficPattern::kPermutation: return "permutation";
+    case TrafficPattern::kAllToAll: return "all-to-all";
+  }
+  return "?";
+}
+
+TrafficPattern parse_traffic_pattern(const std::string& name) {
+  if (name == "incast") return TrafficPattern::kIncast;
+  if (name == "permutation") return TrafficPattern::kPermutation;
+  if (name == "all-to-all" || name == "shuffle") return TrafficPattern::kAllToAll;
+  throw std::invalid_argument("unknown traffic pattern '" + name +
+                              "' (expected incast, permutation or all-to-all)");
+}
+
+TrafficResult run_traffic_experiment(const TrafficOptions& options) {
+  sim::Simulator sim;
+  transport::FabricOptions fabric_options = options.fabric;
+  fabric_options.scheme = options.scheme;
+  transport::Fabric fabric(sim, fabric_options);
+  net::Topology topo(sim);
+  const net::LeafSpine leaf_spine =
+      net::build_leaf_spine(topo, options.topology, fabric.queue_factory());
+  fabric.attach_agents(topo);
+
+  sim::Rng rng(options.seed);
+  std::vector<workload::HostPair> pairs;
+  switch (options.pattern) {
+    case TrafficPattern::kIncast:
+      pairs = workload::incast_pairs(leaf_spine.hosts, options.incast_fanin, rng);
+      break;
+    case TrafficPattern::kPermutation:
+      pairs = workload::permutation_pairs(leaf_spine.hosts, rng);
+      break;
+    case TrafficPattern::kAllToAll:
+      pairs = workload::all_to_all_pairs(leaf_spine.hosts);
+      break;
+  }
+
+  const bool rate_mode = options.flow_size_bytes == 0;
+  const num::AlphaFairUtility utility(options.alpha);
+  int completed = 0;
+  fabric.set_on_complete([&completed](transport::Flow&) { ++completed; });
+
+  std::vector<const transport::Flow*> flows;
+  flows.reserve(pairs.size());
+  for (std::size_t i = 0; i < pairs.size(); ++i) {
+    transport::FlowSpec spec;
+    spec.src = pairs[i].src;
+    spec.dst = pairs[i].dst;
+    spec.size_bytes = options.flow_size_bytes;
+    spec.start_time = 0;
+    spec.utility = &utility;
+    const auto paths = net::all_shortest_paths(topo, pairs[i].src, pairs[i].dst);
+    spec.path = net::ecmp_pick(paths, static_cast<net::FlowId>(i + 1));
+    flows.push_back(fabric.add_flow(std::move(spec)));
+  }
+
+  TrafficResult result;
+  result.flow_count = static_cast<int>(flows.size());
+
+  if (rate_mode) {
+    std::vector<std::uint64_t> start_bytes(flows.size(), 0);
+    sim.schedule_at(options.warmup, [&] {
+      for (std::size_t i = 0; i < flows.size(); ++i) {
+        start_bytes[i] = flows[i]->receiver().total_bytes();
+      }
+    });
+    sim.run_until(options.warmup + options.measure);
+
+    double sum = 0, sum_sq = 0;
+    for (std::size_t i = 0; i < flows.size(); ++i) {
+      const double rate = window_rate_bps(
+          start_bytes[i], flows[i]->receiver().total_bytes(), options.measure);
+      result.flow_rates_bps.push_back(rate);
+      sum += rate;
+      sum_sq += rate * rate;
+    }
+    result.total_goodput_bps = sum;
+    result.jain_index =
+        sum_sq > 0 ? (sum * sum) / (static_cast<double>(flows.size()) * sum_sq)
+                   : 0.0;
+  } else {
+    while (completed < static_cast<int>(flows.size()) &&
+           sim.now() < options.horizon && sim.pending()) {
+      sim.run_until(std::min(sim.now() + sim::millis(5), options.horizon));
+    }
+    for (const transport::Flow* flow : flows) {
+      if (!flow->completed()) {
+        ++result.incomplete;
+        continue;
+      }
+      ++result.completed;
+      result.fct_us.push_back(sim::to_micros(flow->fct()));
+    }
+  }
+
+  const double nic = options.topology.host_rate_bps;
+  switch (options.pattern) {
+    case TrafficPattern::kIncast:
+      result.optimal_bps = nic;
+      break;
+    case TrafficPattern::kPermutation:
+      result.optimal_bps = nic * static_cast<double>(pairs.size());
+      break;
+    case TrafficPattern::kAllToAll:
+      result.optimal_bps = nic * static_cast<double>(leaf_spine.hosts.size());
+      break;
+  }
+
+  result.sim_events = sim.events_executed();
+  for (const auto& link : topo.links()) {
+    result.queue_drops += link->queue().drops();
+  }
+  return result;
+}
+
+}  // namespace numfabric::exp

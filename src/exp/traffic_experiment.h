@@ -1,0 +1,79 @@
+// Generic traffic-pattern experiment: one leaf-spine fabric, one traffic
+// matrix (incast fan-in, permutation, or all-to-all shuffle), any transport
+// scheme.
+//
+// Two modes share the harness:
+//  * rate mode (flow_size_bytes == 0): long-running flows, goodput measured
+//    over [warmup, warmup + measure] — throughput fraction of the pattern's
+//    optimum plus Jain's fairness index;
+//  * FCT mode (flow_size_bytes > 0): all flows start at t = 0 (a
+//    synchronized burst / shuffle wave) and run to completion or `horizon` —
+//    per-flow completion times.
+//
+// These are the workload families the paper's evaluation implies but the
+// seed lacked; they slot every scheme into identical conditions, which is
+// exactly what the scenario registry sweeps.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/topology.h"
+#include "transport/fabric.h"
+
+namespace numfabric::exp {
+
+enum class TrafficPattern {
+  kIncast,       // fanin senders -> one receiver
+  kPermutation,  // random perfect matching (half the hosts send)
+  kAllToAll,     // every ordered host pair
+};
+
+const char* traffic_pattern_name(TrafficPattern pattern);
+/// Parses "incast" / "permutation" / "all-to-all" (alias "shuffle").
+/// Throws std::invalid_argument on anything else.
+TrafficPattern parse_traffic_pattern(const std::string& name);
+
+struct TrafficOptions {
+  transport::Scheme scheme = transport::Scheme::kNumFabric;
+  net::LeafSpineOptions topology;
+  transport::FabricOptions fabric;
+
+  TrafficPattern pattern = TrafficPattern::kPermutation;
+  /// Incast only: number of concurrent senders.
+  int incast_fanin = 16;
+  /// 0 = rate mode (long-running flows); > 0 = FCT mode (bytes per flow).
+  std::uint64_t flow_size_bytes = 0;
+  /// Utility: alpha-fair (NUMFabric / DGD only; others ignore it).
+  double alpha = 1.0;
+
+  sim::TimeNs warmup = sim::millis(8);    // rate mode
+  sim::TimeNs measure = sim::millis(12);  // rate mode
+  sim::TimeNs horizon = sim::seconds(5);  // FCT mode hard stop
+  std::uint64_t seed = 1;
+};
+
+struct TrafficResult {
+  int flow_count = 0;
+
+  // Rate mode.
+  std::vector<double> flow_rates_bps;  // per flow, unsorted
+  double total_goodput_bps = 0;
+  /// Pattern-specific optimum: receiver NIC (incast), pairs * NIC
+  /// (permutation), hosts * NIC (all-to-all, ingress-bound).
+  double optimal_bps = 0;
+  double jain_index = 0;  // fairness over flow_rates_bps
+
+  // FCT mode.
+  std::vector<double> fct_us;  // completed flows
+  int completed = 0;
+  int incomplete = 0;
+
+  std::uint64_t sim_events = 0;
+  std::uint64_t queue_drops = 0;
+};
+
+TrafficResult run_traffic_experiment(const TrafficOptions& options);
+
+}  // namespace numfabric::exp

@@ -33,6 +33,37 @@ std::vector<HostPair> permutation_pairs(const std::vector<net::Host*>& hosts,
   return pairs;
 }
 
+std::vector<HostPair> incast_pairs(const std::vector<net::Host*>& hosts,
+                                   int fanin, sim::Rng& rng) {
+  if (fanin < 1 || static_cast<std::size_t>(fanin) >= hosts.size()) {
+    throw std::invalid_argument(
+        "incast_pairs: fanin must be in [1, hosts-1]");
+  }
+  const std::vector<std::size_t> order = rng.permutation(hosts.size());
+  net::Host* receiver = hosts[order[0]];
+  std::vector<HostPair> pairs;
+  pairs.reserve(static_cast<std::size_t>(fanin));
+  for (int i = 0; i < fanin; ++i) {
+    pairs.push_back(HostPair{hosts[order[static_cast<std::size_t>(i) + 1]],
+                             receiver});
+  }
+  return pairs;
+}
+
+std::vector<HostPair> all_to_all_pairs(const std::vector<net::Host*>& hosts) {
+  if (hosts.size() < 2) {
+    throw std::invalid_argument("all_to_all_pairs: need >= 2 hosts");
+  }
+  std::vector<HostPair> pairs;
+  pairs.reserve(hosts.size() * (hosts.size() - 1));
+  for (net::Host* src : hosts) {
+    for (net::Host* dst : hosts) {
+      if (src != dst) pairs.push_back(HostPair{src, dst});
+    }
+  }
+  return pairs;
+}
+
 std::vector<ArrivedFlow> poisson_flows(const std::vector<net::Host*>& hosts,
                                        double nic_rate_bps, double load,
                                        const SizeDistribution& sizes,

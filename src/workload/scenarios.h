@@ -29,6 +29,16 @@ std::vector<HostPair> random_pairs(const std::vector<net::Host*>& hosts,
 std::vector<HostPair> permutation_pairs(const std::vector<net::Host*>& hosts,
                                         sim::Rng& rng);
 
+/// Incast: `fanin` distinct random senders all transmitting to one random
+/// receiver (the partition/aggregate pattern).  Requires
+/// fanin < hosts.size().
+std::vector<HostPair> incast_pairs(const std::vector<net::Host*>& hosts,
+                                   int fanin, sim::Rng& rng);
+
+/// All-to-all shuffle: every ordered pair of distinct hosts, in a
+/// deterministic order (n * (n-1) pairs).
+std::vector<HostPair> all_to_all_pairs(const std::vector<net::Host*>& hosts);
+
 struct ArrivedFlow {
   sim::TimeNs arrival = 0;
   std::uint64_t size_bytes = 0;

@@ -88,4 +88,23 @@ const SizeDistribution& enterprise_distribution() {
   return dist;
 }
 
+const SizeDistribution& datamining_distribution() {
+  // ~80% of flows under 10 KB; the byte volume concentrates in a sparse
+  // 100 MB+ tail (the classic VL2 data-mining shape).  The tail is capped at
+  // 300 MB to keep quick-scale sweeps bounded.
+  static const SizeDistribution dist(
+      "datamining", {
+                        {300, 0.00},
+                        {1'000, 0.50},
+                        {2'000, 0.60},
+                        {10'000, 0.80},
+                        {100'000, 0.85},
+                        {1'000'000, 0.90},
+                        {10'000'000, 0.95},
+                        {100'000'000, 0.98},
+                        {300'000'000, 1.00},
+                    });
+  return dist;
+}
+
 }  // namespace numfabric::workload

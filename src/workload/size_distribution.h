@@ -53,4 +53,10 @@ const SizeDistribution& websearch_distribution();
 /// Enterprise workload [4]: even more skewed; most flows are 1-2 packets.
 const SizeDistribution& enterprise_distribution();
 
+/// Data-mining workload (VL2-style, as used by the pFabric evaluation):
+/// ~80% of flows under 10 KB while nearly all bytes ride a multi-100MB
+/// tail.  Not in the paper's §6 but the standard third datacenter trace for
+/// FCT sweeps.
+const SizeDistribution& datamining_distribution();
+
 }  // namespace numfabric::workload

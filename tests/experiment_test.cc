@@ -7,6 +7,7 @@
 #include "exp/config.h"
 #include "exp/dynamic_workload.h"
 #include "exp/semi_dynamic.h"
+#include "exp/traffic_experiment.h"
 #include "net/routing.h"
 
 namespace numfabric::exp {
@@ -118,6 +119,56 @@ TEST(SemiDynamicTest, TraceModeRecordsSeries) {
   double max_rate = 0;
   for (const auto& [t, rate] : result.trace) max_rate = std::max(max_rate, rate);
   EXPECT_GT(max_rate, 1e9);
+}
+
+TEST(TrafficExperimentTest, ParsePatternRoundTrips) {
+  for (const TrafficPattern pattern :
+       {TrafficPattern::kIncast, TrafficPattern::kPermutation,
+        TrafficPattern::kAllToAll}) {
+    EXPECT_EQ(parse_traffic_pattern(traffic_pattern_name(pattern)), pattern);
+  }
+  EXPECT_EQ(parse_traffic_pattern("shuffle"), TrafficPattern::kAllToAll);
+  EXPECT_THROW(parse_traffic_pattern("ring"), std::invalid_argument);
+}
+
+TEST(TrafficExperimentTest, PermutationRateModeSaturatesNics) {
+  TrafficOptions options;
+  options.topology.hosts_per_leaf = 2;
+  options.topology.num_leaves = 2;
+  options.topology.num_spines = 2;
+  options.pattern = TrafficPattern::kPermutation;
+  options.warmup = sim::millis(2);
+  options.measure = sim::millis(3);
+  const TrafficResult result = run_traffic_experiment(options);
+  EXPECT_EQ(result.flow_count, 2);
+  ASSERT_EQ(result.flow_rates_bps.size(), 2u);
+  // Permutation traffic on a non-blocking fabric should approach NIC line
+  // rate for every flow, with near-perfect fairness.
+  EXPECT_GT(result.total_goodput_bps / result.optimal_bps, 0.9);
+  EXPECT_GT(result.jain_index, 0.99);
+  EXPECT_EQ(result.queue_drops, 0u);
+}
+
+TEST(TrafficExperimentTest, IncastFctModeCompletesBurst) {
+  TrafficOptions options;
+  options.topology.hosts_per_leaf = 2;
+  options.topology.num_leaves = 2;
+  options.topology.num_spines = 1;
+  options.pattern = TrafficPattern::kIncast;
+  options.incast_fanin = 3;
+  options.flow_size_bytes = 32'000;
+  options.horizon = sim::millis(100);
+  const TrafficResult result = run_traffic_experiment(options);
+  EXPECT_EQ(result.flow_count, 3);
+  EXPECT_EQ(result.completed, 3);
+  EXPECT_EQ(result.incomplete, 0);
+  ASSERT_EQ(result.fct_us.size(), 3u);
+  // The receiver NIC serializes 3 x 32 KB: no flow can finish faster than
+  // its own bytes at line rate, and the burst takes at least the aggregate.
+  for (const double fct : result.fct_us) {
+    EXPECT_GT(fct, 32'000 * 8.0 / 10e9 * 1e6);
+    EXPECT_LT(fct, 100'000.0);
+  }
 }
 
 TEST(BwFuncSweepTest, SinglePointMatchesExpectation) {

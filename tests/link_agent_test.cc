@@ -128,11 +128,12 @@ TEST(XwiLinkAgentTest, UpdatesAreOnTheSynchronizedGrid) {
   LinkRig rig;
   // Construct at a non-grid time: the first update must still land on a
   // multiple of the interval (the paper's PTP-synchronized updates).
+  std::unique_ptr<XwiLinkAgent> agent;
   rig.sim.schedule_at(sim::micros(7), [&] {
-    auto* agent = new XwiLinkAgent(rig.sim, *rig.link,
-                                   {sim::micros(30), 5.0, 0.5, 0.5});
-    rig.sim.schedule_at(sim::micros(29), [agent] { EXPECT_EQ(agent->updates(), 0u); });
-    rig.sim.schedule_at(sim::micros(31), [agent] { EXPECT_EQ(agent->updates(), 1u); });
+    agent = std::make_unique<XwiLinkAgent>(
+        rig.sim, *rig.link, XwiLinkAgent::Params{sim::micros(30), 5.0, 0.5, 0.5});
+    rig.sim.schedule_at(sim::micros(29), [&] { EXPECT_EQ(agent->updates(), 0u); });
+    rig.sim.schedule_at(sim::micros(31), [&] { EXPECT_EQ(agent->updates(), 1u); });
   });
   rig.sim.run_until(sim::micros(40));
 }

@@ -108,6 +108,41 @@ TEST(ScenariosTest, PermutationPairsCoverAllHostsOnce) {
   EXPECT_EQ(used.size(), 32u);
 }
 
+TEST(ScenariosTest, IncastPairsShareOneReceiver) {
+  Hosts rig(16);
+  sim::Rng rng(5);
+  const auto pairs = incast_pairs(rig.hosts, 8, rng);
+  ASSERT_EQ(pairs.size(), 8u);
+  std::set<net::Host*> senders;
+  for (const HostPair& pair : pairs) {
+    EXPECT_EQ(pair.dst, pairs[0].dst);
+    EXPECT_NE(pair.src, pair.dst);
+    EXPECT_TRUE(senders.insert(pair.src).second);  // senders are distinct
+  }
+  EXPECT_THROW(incast_pairs(rig.hosts, 16, rng), std::invalid_argument);
+  EXPECT_THROW(incast_pairs(rig.hosts, 0, rng), std::invalid_argument);
+}
+
+TEST(ScenariosTest, AllToAllCoversEveryOrderedPair) {
+  Hosts rig(6);
+  const auto pairs = all_to_all_pairs(rig.hosts);
+  ASSERT_EQ(pairs.size(), 30u);  // 6 * 5
+  std::set<std::pair<net::Host*, net::Host*>> seen;
+  for (const HostPair& pair : pairs) {
+    EXPECT_NE(pair.src, pair.dst);
+    EXPECT_TRUE(seen.insert({pair.src, pair.dst}).second);
+  }
+}
+
+TEST(SizeDistributionTest, DataminingShapeIsHeavyTailed) {
+  const SizeDistribution& dist = datamining_distribution();
+  // ~80% of flows below 10 KB, yet the mean sits in the MB range because of
+  // the 100 MB+ tail.
+  EXPECT_NEAR(fraction_below(dist, 10e3), 0.8, 0.05);
+  EXPECT_GT(dist.mean_bytes(), 1e6);
+  EXPECT_GT(dist.quantile(0.999), 100e6);
+}
+
 TEST(ScenariosTest, PoissonLoadMatchesTarget) {
   Hosts rig(16);
   sim::Rng rng(5);
