@@ -6,115 +6,35 @@
 // Paper results: dt too small (~3 us) fails to converge, dt too large is
 // slow; convergence time grows with the price update interval; extreme
 // alphas need the 2x slowdown to converge reliably.
+//
+// Thin wrapper over the scenario registry; each panel is one parallel sweep:
+//   numfabric_run --scenario=sensitivity --sweep dt_us=3,6,12,18,24 --jobs=0
 #include <cstdio>
+#include <string>
 #include <vector>
 
+#include "app/driver.h"
 #include "bench_util.h"
-#include "exp/semi_dynamic.h"
-#include "stats/summary.h"
-
-using namespace numfabric;
 
 namespace {
 
-exp::SemiDynamicOptions base_options(const exp::Scale& scale) {
-  exp::SemiDynamicOptions options;
-  options.scheme = transport::Scheme::kNumFabric;
-  options.topology.hosts_per_leaf = scale.hosts_per_leaf;
-  options.topology.num_leaves = scale.leaves;
-  options.topology.num_spines = scale.spines;
-  // Sensitivity sweeps rerun the scenario many times; use fewer events per
-  // point than Fig. 4a.
-  options.num_paths = scale.num_paths / 4;
-  options.initial_active = scale.initial_active / 4;
-  options.flows_per_event = scale.flows_per_event / 4;
-  options.num_events = scale.full ? 30 : 4;
-  options.min_active = scale.min_active / 4;
-  options.max_active = scale.max_active / 4;
-  options.convergence.timeout = scale.convergence_timeout;
-  options.seed = 21;
-  return options;
-}
-
-struct Point {
-  double x = 0;
-  double median_us = 0;
-  double converged_fraction = 0;
-};
-
-Point run_point(double x, const exp::SemiDynamicOptions& options) {
-  const auto result = exp::run_semi_dynamic(options);
-  Point point;
-  point.x = x;
-  point.converged_fraction =
-      result.events_measured > 0
-          ? static_cast<double>(result.events_converged) / result.events_measured
-          : 0.0;
-  point.median_us = result.convergence_times_us.empty()
-                        ? -1
-                        : stats::percentile(result.convergence_times_us, 50);
-  return point;
-}
-
-void print_points(const char* title, const char* x_name,
-                  const std::vector<Point>& points) {
+int run_panel(const char* title, const std::vector<std::string>& args) {
   std::printf("\n--- %s ---\n", title);
-  std::printf("  %-14s %12s %10s\n", x_name, "median (us)", "converged");
-  for (const Point& point : points) {
-    if (point.median_us < 0) {
-      std::printf("  %-14.3g %12s %9.0f%%\n", point.x, "-",
-                  100 * point.converged_fraction);
-    } else {
-      std::printf("  %-14.3g %12.0f %9.0f%%\n", point.x, point.median_us,
-                  100 * point.converged_fraction);
-    }
-  }
+  std::vector<std::string> full_args = {"--scenario=sensitivity", "--jobs=0"};
+  full_args.insert(full_args.end(), args.begin(), args.end());
+  return numfabric::app::run_cli(full_args);
 }
 
 }  // namespace
 
 int main() {
-  const exp::Scale scale =
-      bench::announce("Figure 6", "NUMFabric parameter sensitivity");
-
-  {  // (a) dt slack.
-    std::vector<Point> points;
-    for (double dt_us : {3.0, 6.0, 12.0, 18.0, 24.0}) {
-      exp::SemiDynamicOptions options = base_options(scale);
-      options.fabric.numfabric.dt_slack =
-          static_cast<sim::TimeNs>(dt_us * sim::kMicrosecond);
-      points.push_back(run_point(dt_us, options));
-    }
-    print_points("(a) sensitivity to dt", "dt (us)", points);
-  }
-
-  {  // (b) price update interval.
-    std::vector<Point> points;
-    for (double interval_us : {30.0, 50.0, 80.0, 128.0}) {
-      exp::SemiDynamicOptions options = base_options(scale);
-      options.fabric.numfabric.price_update_interval =
-          static_cast<sim::TimeNs>(interval_us * sim::kMicrosecond);
-      points.push_back(run_point(interval_us, options));
-    }
-    print_points("(b) sensitivity to price update interval", "interval (us)",
-                 points);
-  }
-
-  {  // (c) alpha, at 1x and 2x slowdown.
-    for (double slowdown : {1.0, 2.0}) {
-      std::vector<Point> points;
-      for (double alpha : {0.25, 0.5, 1.0, 2.0, 4.0}) {
-        exp::SemiDynamicOptions options = base_options(scale);
-        options.alpha = alpha;
-        options.fabric.numfabric =
-            options.fabric.numfabric.slowed_down(slowdown);
-        points.push_back(run_point(alpha, options));
-      }
-      char title[80];
-      std::snprintf(title, sizeof(title), "(c) sensitivity to alpha (%.0fx)",
-                    slowdown);
-      print_points(title, "alpha", points);
-    }
-  }
-  return 0;
+  numfabric::bench::announce("Figure 6", "NUMFabric parameter sensitivity");
+  int rc = 0;
+  rc |= run_panel("(a) sensitivity to dt", {"--sweep", "dt_us=3,6,12,18,24"});
+  rc |= run_panel("(b) sensitivity to price update interval",
+                  {"--sweep", "interval_us=30,50,80,128"});
+  rc |= run_panel("(c) sensitivity to alpha (1x and 2x slowdown)",
+                  {"--sweep", "alpha=0.25,0.5,1,2,4", "--sweep",
+                   "slowdown=1,2"});
+  return rc;
 }

@@ -24,9 +24,11 @@
 #include "exp/fct_experiment.h"
 #include "exp/pooling_experiment.h"
 #include "exp/semi_dynamic.h"
+#include "exp/trace_replay.h"
 #include "exp/traffic_experiment.h"
 #include "stats/summary.h"
 #include "workload/size_distribution.h"
+#include "workload/trace.h"
 
 namespace numfabric::app {
 namespace {
@@ -182,7 +184,10 @@ const workload::SizeDistribution& distribution_param(const RunContext& ctx,
   const std::string name = ctx.options.get("workload", fallback);
   if (name == "websearch") return workload::websearch_distribution();
   if (name == "enterprise") return workload::enterprise_distribution();
-  if (name == "datamining") return workload::datamining_distribution();
+  // Full-scale runs use the uncapped 1 GB tail (ROADMAP fidelity note).
+  if (name == "datamining") {
+    return workload::datamining_distribution(ctx.full_scale);
+  }
   throw std::invalid_argument(
       "unknown workload '" + name +
       "' (expected websearch, enterprise or datamining)");
@@ -235,14 +240,24 @@ void run_dynamic_deviation(RunContext& ctx) {
 // fct-vs-pfabric (Fig. 7): NUMFabric's FCT-min utility against pFabric.
 // ---------------------------------------------------------------------------
 
+// A `load=` single point overrides the `loads=` list — the sweep engine
+// sweeps scalars, so `--sweep load=0.2,0.4` fans the list out run-per-run.
+std::vector<double> loads_param(const RunContext& ctx,
+                                const std::vector<double>& fallback) {
+  if (ctx.options.has("load")) {
+    return {ctx.options.get_double("load", 0)};
+  }
+  return ctx.options.get_double_list("loads", fallback);
+}
+
 void run_fct_vs_pfabric(RunContext& ctx) {
   const exp::Scale scale = scale_for(ctx);
   exp::FctExperimentOptions options;
   options.topology = leaf_spine_options(ctx, scale);
-  options.loads = ctx.options.get_double_list(
-      "loads", ctx.full_scale
-                   ? std::vector<double>{0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8}
-                   : std::vector<double>{0.2, 0.4, 0.6, 0.8});
+  options.loads = loads_param(
+      ctx, ctx.full_scale
+               ? std::vector<double>{0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8}
+               : std::vector<double>{0.2, 0.4, 0.6, 0.8});
   options.flow_count = static_cast<int>(
       ctx.options.get_int("flows", scale.dynamic_flow_count));
   options.epsilon = ctx.options.get_double("epsilon", 0.125);
@@ -437,8 +452,7 @@ void run_fct_sweep(RunContext& ctx, const std::string& default_workload) {
   MetricTable& bins = ctx.metrics.table(
       "fct_by_size", {"load", "bin_bdps", "count", "mean_norm_fct"});
 
-  const std::vector<double> loads =
-      ctx.options.get_double_list("loads", {0.2, 0.4, 0.6, 0.8});
+  const std::vector<double> loads = loads_param(ctx, {0.2, 0.4, 0.6, 0.8});
   for (const double load : loads) {
     exp::DynamicWorkloadOptions options;
     options.scheme = ctx.scheme;
@@ -474,6 +488,115 @@ void run_fct_sweep(RunContext& ctx, const std::string& default_workload) {
                     static_cast<std::int64_t>(by_bin[b].size()),
                     stats::mean(by_bin[b])});
     }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// sensitivity (Fig. 6): one semi-dynamic point at explicit NUMFabric control
+// parameters.  One run = one grid point; the Fig. 6 panels are `--sweep`
+// grids over dt_us / interval_us / alpha x slowdown (see bench/fig6).
+// ---------------------------------------------------------------------------
+
+void run_sensitivity(RunContext& ctx) {
+  const exp::Scale scale = scale_for(ctx);
+  exp::SemiDynamicOptions options;
+  options.scheme = ctx.scheme;
+  options.topology = leaf_spine_options(ctx, scale);
+  // Sensitivity grids rerun the scenario at many points; defaults are a
+  // quarter of the convergence scenario's population (the seed fig6 setup).
+  options.num_paths =
+      static_cast<int>(ctx.options.get_int("paths", scale.num_paths / 4));
+  options.initial_active = static_cast<int>(
+      ctx.options.get_int("initial_active", scale.initial_active / 4));
+  options.flows_per_event = static_cast<int>(
+      ctx.options.get_int("flows_per_event", scale.flows_per_event / 4));
+  options.num_events = static_cast<int>(
+      ctx.options.get_int("events", ctx.full_scale ? 30 : 4));
+  options.min_active =
+      static_cast<int>(ctx.options.get_int("min_active", scale.min_active / 4));
+  options.max_active =
+      static_cast<int>(ctx.options.get_int("max_active", scale.max_active / 4));
+  options.convergence.timeout = ms_time(ctx.options.get_double(
+      "timeout_ms", sim::to_seconds(scale.convergence_timeout) * 1e3));
+  options.alpha = ctx.options.get_double("alpha", 1.0);
+  options.seed = static_cast<std::uint64_t>(ctx.options.get_int("seed", 21));
+
+  transport::NumFabricConfig& config = options.fabric.numfabric;
+  const double dt_us =
+      ctx.options.get_double("dt_us", sim::to_micros(config.dt_slack));
+  config.dt_slack = static_cast<sim::TimeNs>(dt_us * sim::kMicrosecond);
+  const double interval_us = ctx.options.get_double(
+      "interval_us", sim::to_micros(config.price_update_interval));
+  config.price_update_interval =
+      static_cast<sim::TimeNs>(interval_us * sim::kMicrosecond);
+  config.eta = ctx.options.get_double("eta", config.eta);
+  config.beta = ctx.options.get_double("beta", config.beta);
+  const double slowdown = ctx.options.get_double("slowdown", 1.0);
+  config = config.slowed_down(slowdown);
+
+  const exp::SemiDynamicResult result = exp::run_semi_dynamic(options);
+  MetricTable& table = ctx.metrics.table(
+      "sensitivity",
+      {"dt_us", "interval_us", "alpha", "eta", "beta", "slowdown",
+       "events_measured", "events_converged", "converged_fraction",
+       "median_us", "p95_us"});
+  table.add_row(
+      {dt_us, interval_us, options.alpha, config.eta, config.beta, slowdown,
+       result.events_measured, result.events_converged,
+       result.events_measured > 0
+           ? static_cast<double>(result.events_converged) /
+                 result.events_measured
+           : 0.0,
+       percentile_or_nan(result.convergence_times_us, 50),
+       percentile_or_nan(result.convergence_times_us, 95)});
+}
+
+// ---------------------------------------------------------------------------
+// trace-replay: external workload trace in, FCT metrics out.
+// ---------------------------------------------------------------------------
+
+void run_trace_replay_scenario(RunContext& ctx) {
+  const exp::Scale scale = scale_for(ctx);
+  exp::TraceReplayOptions options;
+  options.scheme = ctx.scheme;
+  options.topology = leaf_spine_options(ctx, scale);
+  options.alpha = ctx.options.get_double("alpha", 1.0);
+  options.horizon = ms_time(ctx.options.get_double("horizon_ms", 20'000));
+  const std::string path = ctx.options.get("trace", "");
+  options.trace =
+      path.empty() ? workload::example_trace() : workload::load_trace_csv(path);
+  const exp::TraceReplayResult result = exp::run_trace_replay(options);
+
+  ctx.metrics.scalar("transport", scheme_token(ctx.scheme));
+  ctx.metrics.scalar("trace", path.empty() ? "<builtin>" : path);
+  ctx.metrics.scalar("sim_events", result.sim_events);
+
+  std::vector<double> fcts;
+  for (const auto& flow : result.flows) {
+    if (flow.completed) fcts.push_back(flow.fct_seconds * 1e6);
+  }
+  std::sort(fcts.begin(), fcts.end());
+  MetricTable& fct = ctx.metrics.table(
+      "fct", {"completed", "incomplete", "min_us", "mean_us", "p50_us",
+              "p95_us", "p99_us", "max_us"});
+  fct.add_row({result.completed, result.incomplete,
+               fcts.empty() ? std::numeric_limits<double>::quiet_NaN()
+                            : fcts.front(),
+               fcts.empty() ? std::numeric_limits<double>::quiet_NaN()
+                            : stats::mean(fcts),
+               percentile_or_nan(fcts, 50), percentile_or_nan(fcts, 95),
+               percentile_or_nan(fcts, 99),
+               fcts.empty() ? std::numeric_limits<double>::quiet_NaN()
+                            : fcts.back()});
+  MetricTable& flows = ctx.metrics.table(
+      "flows",
+      {"src", "dst", "size_bytes", "arrival_ms", "completed", "fct_us"});
+  for (const auto& flow : result.flows) {
+    flows.add_row({flow.src, flow.dst,
+                   static_cast<std::int64_t>(flow.size_bytes),
+                   flow.arrival_seconds * 1e3, flow.completed ? 1 : 0,
+                   flow.completed ? flow.fct_seconds * 1e6
+                                  : std::numeric_limits<double>::quiet_NaN()});
   }
 }
 
@@ -558,6 +681,7 @@ void register_builtin_scenarios() {
       .params = merge_params(
           topology_params(),
           {{"loads", "0.2,0.4,0.6,0.8", "offered loads to sweep"},
+           {"load", "", "single offered load (overrides loads)"},
            {"flows", "1200", "Poisson arrivals per load"},
            {"epsilon", "0.125", "FCT-utility exponent (Table 1 row 3)"},
            {"slowdown", "2", "control-loop slowdown (§6.2)"},
@@ -673,6 +797,7 @@ void register_builtin_scenarios() {
           topology_params(),
           {{"workload", "websearch", "websearch | enterprise | datamining"},
            {"loads", "0.2,0.4,0.6,0.8", "offered loads to sweep"},
+           {"load", "", "single offered load (overrides loads)"},
            {"flows", "600", "Poisson arrivals per load"},
            {"alpha", "1", "alpha-fairness of the NUM objective"},
            {"horizon_ms", "20000", "hard stop for stragglers"},
@@ -689,11 +814,51 @@ void register_builtin_scenarios() {
           topology_params(),
           {{"workload", "datamining", "websearch | enterprise | datamining"},
            {"loads", "0.2,0.4,0.6,0.8", "offered loads to sweep"},
+           {"load", "", "single offered load (overrides loads)"},
            {"flows", "600", "Poisson arrivals per load"},
            {"alpha", "1", "alpha-fairness of the NUM objective"},
            {"horizon_ms", "20000", "hard stop for stragglers"},
            {"seed", "13", "workload RNG seed"}}),
       .run = [](RunContext& ctx) { run_fct_sweep(ctx, "datamining"); }});
+
+  registry.add(Scenario{
+      .name = "sensitivity",
+      .description =
+          "one semi-dynamic convergence point at explicit NUMFabric control "
+          "parameters (grid it with --sweep)",
+      .figure = "Fig. 6",
+      .params = merge_params(
+          topology_params(),
+          {{"paths", "60", "random host-pair paths (1/4 of convergence)"},
+           {"initial_active", "25", "flows active before the first event"},
+           {"flows_per_event", "6", "flows started/stopped per network event"},
+           {"events", "4", "measured network events (full scale: 30)"},
+           {"min_active", "18", "lower bound on concurrently active flows"},
+           {"max_active", "31", "upper bound on concurrently active flows"},
+           {"timeout_ms", "20", "per-event convergence verdict timeout"},
+           {"alpha", "1", "alpha-fairness of the NUM objective"},
+           {"dt_us", "6", "Swift delay slack d_t (Table 2: 6 us)"},
+           {"interval_us", "30", "xWI price update interval (Table 2: 30 us)"},
+           {"eta", "5", "xWI under-utilization gain (Eq. 10)"},
+           {"beta", "0.5", "xWI price averaging factor (Eq. 11)"},
+           {"slowdown", "1", "control-loop slowdown factor (§6.2)"},
+           {"seed", "21", "workload RNG seed"}}),
+      .run = run_sensitivity});
+
+  registry.add(Scenario{
+      .name = "trace-replay",
+      .description =
+          "replay an external arrival/size/src/dst trace CSV and report "
+          "flow completion times",
+      .figure = "",
+      .params = merge_params(
+          topology_params(),
+          {{"trace", "",
+            "trace CSV path (arrival_s,size_bytes,src,dst); empty = built-in "
+            "demo trace"},
+           {"alpha", "1", "alpha-fairness of the NUM objective"},
+           {"horizon_ms", "20000", "hard stop for stragglers"}}),
+      .run = run_trace_replay_scenario});
 }
 
 }  // namespace numfabric::app

@@ -6,8 +6,13 @@
 #include <iostream>
 #include <set>
 #include <stdexcept>
+#include <utility>
 
+#include "app/run_plan.h"
 #include "app/scenario.h"
+#include "app/sweep.h"
+#include "app/worker_pool.h"
+#include "util/parse.h"
 
 namespace numfabric::app {
 namespace {
@@ -16,6 +21,8 @@ void print_usage(std::FILE* out) {
   std::fputs(
       "usage: numfabric_run --scenario=<name> [--transport=<scheme>] "
       "[key=value ...]\n"
+      "       numfabric_run --scenario=<name> --sweep key=a,b,c "
+      "[--sweep key=lo:hi:step ...] [--jobs=N]\n"
       "       numfabric_run --list | --describe=<name> | --help\n"
       "\n"
       "global flags:\n"
@@ -25,6 +32,11 @@ void print_usage(std::FILE* out) {
       "  --config=<file>       key = value lines layered under CLI params\n"
       "  --format=csv|json     metric output format (default csv)\n"
       "  --output=<file>       write metrics here instead of stdout\n"
+      "  --sweep key=<values>  sweep a declared parameter over a comma list\n"
+      "                        (a,b,c) or inclusive range (lo:hi:step);\n"
+      "                        repeat for a cross-product grid\n"
+      "  --jobs=<N>            parallel sweep runs (default 1; 0 = all cores)\n"
+      "  --vary-seed           per-run seed = base seed + run index\n"
       "  --full                paper-scale runs (same as NUMFABRIC_FULL=1)\n"
       "  --list                list registered scenarios\n"
       "  --describe=<name>     show a scenario's parameter schema\n",
@@ -72,9 +84,13 @@ int run_cli(const std::vector<std::string>& args) {
   std::string scenario_name, config_path, format = "csv", output_path;
   std::string transport = "numfabric";
   bool full = env_full_scale();
+  bool vary_seed = false;
+  int jobs = 1;
+  std::vector<std::string> sweep_tokens;
   std::vector<std::string> param_tokens;
 
-  for (const std::string& arg : args) {
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
     const auto value_of = [&arg](const char* prefix) {
       return arg.substr(std::string(prefix).size());
     };
@@ -96,6 +112,24 @@ int run_cli(const std::vector<std::string>& args) {
       format = value_of("--format=");
     } else if (arg.rfind("--output=", 0) == 0) {
       output_path = value_of("--output=");
+    } else if (arg.rfind("--sweep=", 0) == 0) {
+      sweep_tokens.push_back(value_of("--sweep="));
+    } else if (arg == "--sweep") {
+      if (i + 1 >= args.size()) {
+        std::fputs("--sweep needs a key=values argument\n", stderr);
+        return 2;
+      }
+      sweep_tokens.push_back(args[++i]);
+    } else if (arg.rfind("--jobs=", 0) == 0) {
+      const auto value = util::parse_int(value_of("--jobs="));
+      if (!value || *value < 0 || *value > 4096) {
+        std::fprintf(stderr, "bad --jobs value '%s' (expected 0..4096)\n",
+                     arg.c_str());
+        return 2;
+      }
+      jobs = static_cast<int>(*value);
+    } else if (arg == "--vary-seed") {
+      vary_seed = true;
     } else if (arg == "--full") {
       full = true;
     } else {
@@ -139,10 +173,73 @@ int run_cli(const std::vector<std::string>& args) {
       }
     }
 
+    // Sweep flags are usage errors when malformed, so validate them (and
+    // expand the grid) before anything runs.
+    RunPlan plan;
+    if (!sweep_tokens.empty()) {
+      std::vector<SweepSpec> specs;
+      try {
+        for (const std::string& token : sweep_tokens) {
+          specs.push_back(parse_sweep_spec(token));
+        }
+        plan = RunPlan::expand(specs);
+      } catch (const std::exception& error) {
+        std::fprintf(stderr, "%s\n", error.what());
+        return 2;
+      }
+      for (const SweepSpec& spec : specs) {
+        if (declared.count(spec.key) == 0) {
+          std::fprintf(stderr,
+                       "scenario %s does not take swept parameter '%s' "
+                       "(see --describe=%s)\n",
+                       scenario->name.c_str(), spec.key.c_str(),
+                       scenario->name.c_str());
+          return 2;
+        }
+        if (options.has(spec.key)) {
+          std::fprintf(stderr,
+                       "parameter '%s' is both fixed (%s=%s) and swept\n",
+                       spec.key.c_str(), spec.key.c_str(),
+                       options.get(spec.key, "").c_str());
+          return 2;
+        }
+        if (vary_seed && spec.key == "seed") {
+          std::fputs(
+              "--vary-seed would override the swept seed values; sweep "
+              "seed= or use --vary-seed, not both\n",
+              stderr);
+          return 2;
+        }
+      }
+    } else if (vary_seed) {
+      std::fputs("--vary-seed only applies to --sweep runs\n", stderr);
+      return 2;
+    }
+
     MetricWriter metrics;
-    RunContext ctx{options, parse_scheme(transport), metrics, full};
     metrics.scalar("scenario", scenario->name);
-    scenario->run(ctx);
+    int exit_code = 0;
+    if (sweep_tokens.empty()) {
+      RunContext ctx{options, parse_scheme(transport), metrics, full};
+      scenario->run(ctx);
+    } else {
+      SweepRequest request;
+      request.scenario = scenario;
+      request.base_options = options;
+      request.plan = std::move(plan);
+      request.scheme = parse_scheme(transport);
+      request.full_scale = full;
+      request.jobs = WorkerPool::resolve_jobs(jobs);
+      request.vary_seed = vary_seed;
+      const SweepResult result = run_sweep(request, metrics);
+      for (const SweepRunStatus& status : result.statuses) {
+        if (!status.ok) {
+          std::fprintf(stderr, "sweep run %d failed: %s\n", status.index,
+                       status.error.c_str());
+        }
+      }
+      if (result.failed > 0) exit_code = 1;
+    }
 
     std::ofstream file;
     if (!output_path.empty()) {
@@ -158,7 +255,7 @@ int run_cli(const std::vector<std::string>& args) {
     } else {
       metrics.write_csv(out);
     }
-    return 0;
+    return exit_code;
   } catch (const std::exception& error) {
     std::fprintf(stderr, "error: %s\n", error.what());
     return 1;

@@ -6,15 +6,12 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "util/parse.h"
+
 namespace numfabric::app {
 namespace {
 
-std::string trim(const std::string& s) {
-  const auto begin = s.find_first_not_of(" \t\r\n");
-  if (begin == std::string::npos) return "";
-  const auto end = s.find_last_not_of(" \t\r\n");
-  return s.substr(begin, end - begin + 1);
-}
+using util::trim;
 
 std::string lower(std::string s) {
   std::transform(s.begin(), s.end(), s.begin(),
@@ -101,30 +98,24 @@ std::string Options::get(const std::string& key,
 double Options::get_double(const std::string& key, double fallback) const {
   const auto it = values_.find(key);
   if (it == values_.end()) return fallback;
-  try {
-    std::size_t consumed = 0;
-    const double value = std::stod(it->second, &consumed);
-    if (consumed != it->second.size()) throw std::invalid_argument("trailing");
-    return value;
-  } catch (const std::exception&) {
+  const auto value = util::parse_double(it->second);
+  if (!value) {
     throw std::invalid_argument("option " + key + ": '" + it->second +
                                 "' is not a number");
   }
+  return *value;
 }
 
 std::int64_t Options::get_int(const std::string& key,
                               std::int64_t fallback) const {
   const auto it = values_.find(key);
   if (it == values_.end()) return fallback;
-  try {
-    std::size_t consumed = 0;
-    const std::int64_t value = std::stoll(it->second, &consumed);
-    if (consumed != it->second.size()) throw std::invalid_argument("trailing");
-    return value;
-  } catch (const std::exception&) {
+  const auto value = util::parse_int(it->second);
+  if (!value) {
     throw std::invalid_argument("option " + key + ": '" + it->second +
                                 "' is not an integer");
   }
+  return *value;
 }
 
 bool Options::get_bool(const std::string& key, bool fallback) const {
@@ -160,15 +151,12 @@ std::vector<double> Options::get_double_list(
   if (!has(key)) return fallback;
   std::vector<double> out;
   for (const std::string& item : get_list(key, {})) {
-    try {
-      std::size_t consumed = 0;
-      const double value = std::stod(item, &consumed);
-      if (consumed != item.size()) throw std::invalid_argument("trailing");
-      out.push_back(value);
-    } catch (const std::exception&) {
+    const auto value = util::parse_double(item);
+    if (!value) {
       throw std::invalid_argument("option " + key + ": '" + item +
                                   "' is not a number");
     }
+    out.push_back(*value);
   }
   return out;
 }
@@ -178,15 +166,12 @@ std::vector<int> Options::get_int_list(const std::string& key,
   if (!has(key)) return fallback;
   std::vector<int> out;
   for (const std::string& item : get_list(key, {})) {
-    try {
-      std::size_t consumed = 0;
-      const int value = std::stoi(item, &consumed);
-      if (consumed != item.size()) throw std::invalid_argument("trailing");
-      out.push_back(value);
-    } catch (const std::exception&) {
+    const auto value = util::parse_int(item);
+    if (!value) {
       throw std::invalid_argument("option " + key + ": '" + item +
                                   "' is not an integer");
     }
+    out.push_back(static_cast<int>(*value));
   }
   return out;
 }

@@ -1,0 +1,135 @@
+#include "app/run_plan.h"
+
+#include <cmath>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/parse.h"
+
+namespace numfabric::app {
+namespace {
+
+using util::trim;
+
+double parse_number(const std::string& token, const std::string& what) {
+  const auto value = util::parse_double(token);
+  if (!value) {
+    throw std::invalid_argument("sweep " + what + ": '" + token +
+                                "' is not a number");
+  }
+  return *value;
+}
+
+// Shortest clean rendering of a range point, so `0.2:0.8:0.2` expands to the
+// same tokens a user would type by hand ("0.4", not "0.4000000000000001").
+std::string format_value(double value) {
+  if (value == std::floor(value) && std::abs(value) < 1e15) {
+    std::ostringstream out;
+    out << static_cast<long long>(value);
+    return out.str();
+  }
+  std::ostringstream out;
+  out.precision(10);
+  out << value;
+  return out.str();
+}
+
+std::vector<std::string> expand_range(const std::string& spec,
+                                      const std::string& key) {
+  std::vector<std::string> parts;
+  std::istringstream in(spec);
+  std::string part;
+  while (std::getline(in, part, ':')) parts.push_back(trim(part));
+  if (parts.size() != 3) {
+    throw std::invalid_argument("sweep " + key +
+                                ": range must be lo:hi:step, got '" + spec +
+                                "'");
+  }
+  const double lo = parse_number(parts[0], key);
+  const double hi = parse_number(parts[1], key);
+  const double step = parse_number(parts[2], key);
+  if (step <= 0) {
+    throw std::invalid_argument("sweep " + key + ": step must be > 0, got '" +
+                                parts[2] + "'");
+  }
+  if (hi < lo) {
+    throw std::invalid_argument("sweep " + key + ": range is empty (" +
+                                parts[1] + " < " + parts[0] + ")");
+  }
+  // Inclusive endpoint; the epsilon absorbs float drift in (hi-lo)/step
+  // (e.g. (0.8-0.2)/0.2 == 2.9999999999999996 must still yield 4 points).
+  const int count = static_cast<int>(std::floor((hi - lo) / step + 1e-6)) + 1;
+  std::vector<std::string> values;
+  values.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    values.push_back(format_value(lo + static_cast<double>(i) * step));
+  }
+  return values;
+}
+
+}  // namespace
+
+SweepSpec parse_sweep_spec(const std::string& token) {
+  const auto eq = token.find('=');
+  if (eq == std::string::npos) {
+    throw std::invalid_argument("sweep spec '" + token +
+                                "': expected key=a,b,c or key=lo:hi:step");
+  }
+  SweepSpec spec;
+  spec.key = trim(token.substr(0, eq));
+  if (spec.key.empty()) {
+    throw std::invalid_argument("sweep spec '" + token + "': empty key");
+  }
+  const std::string value = trim(token.substr(eq + 1));
+  if (value.find(':') != std::string::npos) {
+    spec.values = expand_range(value, spec.key);
+    return spec;
+  }
+  std::istringstream in(value);
+  std::string item;
+  while (std::getline(in, item, ',')) {
+    item = trim(item);
+    if (!item.empty()) spec.values.push_back(item);
+  }
+  if (spec.values.empty()) {
+    throw std::invalid_argument("sweep " + spec.key + ": no values");
+  }
+  return spec;
+}
+
+RunPlan RunPlan::expand(const std::vector<SweepSpec>& specs) {
+  RunPlan plan;
+  std::set<std::string> seen;
+  for (const SweepSpec& spec : specs) {
+    if (spec.values.empty()) {
+      throw std::invalid_argument("sweep " + spec.key + ": no values");
+    }
+    if (!seen.insert(spec.key).second) {
+      throw std::invalid_argument("duplicate sweep key '" + spec.key + "'");
+    }
+    plan.keys_.push_back(spec.key);
+  }
+
+  std::size_t total = specs.empty() ? 0 : 1;
+  for (const SweepSpec& spec : specs) total *= spec.values.size();
+  plan.runs_.reserve(total);
+  // Odometer over the value indices; the first spec is the slowest digit, so
+  // runs come out in nested-loop order.
+  std::vector<std::size_t> digits(specs.size(), 0);
+  for (std::size_t run = 0; run < total; ++run) {
+    RunSpec item;
+    item.index = static_cast<int>(run);
+    for (std::size_t s = 0; s < specs.size(); ++s) {
+      item.assignments.emplace_back(specs[s].key, specs[s].values[digits[s]]);
+    }
+    plan.runs_.push_back(std::move(item));
+    for (std::size_t s = specs.size(); s-- > 0;) {
+      if (++digits[s] < specs[s].values.size()) break;
+      digits[s] = 0;
+    }
+  }
+  return plan;
+}
+
+}  // namespace numfabric::app

@@ -1,0 +1,53 @@
+// Sweep grid expansion: `--sweep key=a,b,c` / `--sweep key=lo:hi:step`
+// tokens parse into SweepSpecs, and a list of specs expands into a RunPlan —
+// the cross-product of swept values, one RunSpec per independent run.
+//
+// The plan is pure data: it fixes the run order (first spec outermost) and
+// the per-run parameter assignments before anything executes, so the sweep
+// engine can fan runs out across threads and still merge results in a
+// deterministic, thread-count-independent order.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace numfabric::app {
+
+/// One swept parameter and its expanded value list, in declaration order.
+struct SweepSpec {
+  std::string key;
+  std::vector<std::string> values;
+};
+
+/// Parses a --sweep argument: `key=a,b,c` (comma list, values kept verbatim)
+/// or `key=lo:hi:step` (inclusive numeric range, step > 0).  Throws
+/// std::invalid_argument on a missing '=', empty key, empty value list or a
+/// malformed range.
+SweepSpec parse_sweep_spec(const std::string& token);
+
+/// One run of the plan: its index (row order in merged tables) and the
+/// swept key=value assignments, in spec order.
+struct RunSpec {
+  int index = 0;
+  std::vector<std::pair<std::string, std::string>> assignments;
+};
+
+class RunPlan {
+ public:
+  /// Cross-product expansion; the first spec varies slowest.  Throws
+  /// std::invalid_argument on duplicate keys or an empty spec list entry.
+  static RunPlan expand(const std::vector<SweepSpec>& specs);
+
+  /// Swept keys in declaration order (the merged tables' leading columns).
+  const std::vector<std::string>& keys() const { return keys_; }
+  const std::vector<RunSpec>& runs() const { return runs_; }
+  bool empty() const { return runs_.empty(); }
+  std::size_t size() const { return runs_.size(); }
+
+ private:
+  std::vector<std::string> keys_;
+  std::vector<RunSpec> runs_;
+};
+
+}  // namespace numfabric::app

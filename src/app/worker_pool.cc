@@ -1,0 +1,83 @@
+#include "app/worker_pool.h"
+
+#include <algorithm>
+#include <cstdint>
+
+namespace numfabric::app {
+
+WorkerPool::WorkerPool(int jobs) : jobs_(std::max(1, jobs)) {
+  // jobs_ == 1 runs everything on the calling thread; no workers needed.
+  for (int i = 1; i < jobs_; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  work_ready_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+int WorkerPool::resolve_jobs(int requested) {
+  if (requested > 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+void WorkerPool::parallel_for(int count, const std::function<void(int)>& fn) {
+  if (count <= 0) return;
+  if (workers_.empty()) {
+    for (int i = 0; i < count; ++i) fn(i);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    fn_ = &fn;
+    count_ = count;
+    next_ = 0;
+    remaining_ = count;
+  }
+  work_ready_.notify_all();
+
+  // The calling thread is a worker too: claim tasks until none are left.
+  for (;;) {
+    int task;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (next_ >= count_) break;
+      task = next_++;
+    }
+    fn(task);
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (--remaining_ == 0) work_done_.notify_all();
+  }
+  std::unique_lock<std::mutex> lock(mutex_);
+  work_done_.wait(lock, [this] { return remaining_ == 0; });
+  fn_ = nullptr;
+}
+
+void WorkerPool::worker_loop() {
+  for (;;) {
+    int task;
+    const std::function<void(int)>* fn;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      // next_ < count_ means unclaimed work exists; a drained batch leaves
+      // next_ == count_, so workers sleep until the next parallel_for resets
+      // the cursor.
+      work_ready_.wait(lock, [&] { return stopping_ || next_ < count_; });
+      if (stopping_) return;
+      task = next_++;
+      fn = fn_;
+    }
+    (*fn)(task);
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (--remaining_ == 0) work_done_.notify_all();
+  }
+}
+
+}  // namespace numfabric::app
+

@@ -1,0 +1,80 @@
+#include "exp/trace_replay.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+#include "net/routing.h"
+#include "num/utility.h"
+#include "sim/simulator.h"
+
+namespace numfabric::exp {
+
+TraceReplayResult run_trace_replay(const TraceReplayOptions& options) {
+  sim::Simulator sim;
+  transport::FabricOptions fabric_options = options.fabric;
+  fabric_options.scheme = options.scheme;
+  transport::Fabric fabric(sim, fabric_options);
+  net::Topology topo(sim);
+  const net::LeafSpine leaf_spine =
+      net::build_leaf_spine(topo, options.topology, fabric.queue_factory());
+  fabric.attach_agents(topo);
+
+  const int host_count = static_cast<int>(leaf_spine.hosts.size());
+  for (std::size_t i = 0; i < options.trace.size(); ++i) {
+    const workload::TraceFlow& flow = options.trace[i];
+    if (flow.src >= host_count || flow.dst >= host_count) {
+      throw std::invalid_argument(
+          "trace flow " + std::to_string(i) + ": host " +
+          std::to_string(std::max(flow.src, flow.dst)) +
+          " is outside the topology (" + std::to_string(host_count) +
+          " hosts)");
+    }
+  }
+
+  const num::AlphaFairUtility utility(options.alpha);
+  std::vector<const transport::Flow*> flows;
+  flows.reserve(options.trace.size());
+  int completed = 0;
+  fabric.set_on_complete([&completed](transport::Flow&) { ++completed; });
+
+  for (std::size_t i = 0; i < options.trace.size(); ++i) {
+    const workload::TraceFlow& entry = options.trace[i];
+    transport::FlowSpec spec;
+    spec.src = leaf_spine.hosts[static_cast<std::size_t>(entry.src)];
+    spec.dst = leaf_spine.hosts[static_cast<std::size_t>(entry.dst)];
+    spec.size_bytes = entry.size_bytes;
+    spec.start_time =
+        static_cast<sim::TimeNs>(entry.arrival_seconds * sim::kSecond + 0.5);
+    spec.utility = &utility;
+    const auto paths = net::all_shortest_paths(topo, spec.src, spec.dst);
+    spec.path = net::ecmp_pick(paths, static_cast<net::FlowId>(i + 1));
+    flows.push_back(fabric.add_flow(std::move(spec)));
+  }
+
+  while (completed < static_cast<int>(options.trace.size()) &&
+         sim.now() < options.horizon && sim.pending()) {
+    sim.run_until(std::min(sim.now() + sim::millis(5), options.horizon));
+  }
+
+  TraceReplayResult result;
+  result.sim_events = sim.events_executed();
+  for (std::size_t i = 0; i < flows.size(); ++i) {
+    TraceReplayResult::PerFlow row;
+    row.src = options.trace[i].src;
+    row.dst = options.trace[i].dst;
+    row.size_bytes = options.trace[i].size_bytes;
+    row.arrival_seconds = options.trace[i].arrival_seconds;
+    row.completed = flows[i]->completed();
+    if (row.completed) {
+      row.fct_seconds = sim::to_seconds(flows[i]->fct());
+      ++result.completed;
+    } else {
+      ++result.incomplete;
+    }
+    result.flows.push_back(row);
+  }
+  return result;
+}
+
+}  // namespace numfabric::exp

@@ -1,0 +1,36 @@
+#include "util/parse.h"
+
+#include <exception>
+
+namespace numfabric::util {
+
+std::string trim(const std::string& s) {
+  const auto begin = s.find_first_not_of(" \t\r\n");
+  if (begin == std::string::npos) return "";
+  const auto end = s.find_last_not_of(" \t\r\n");
+  return s.substr(begin, end - begin + 1);
+}
+
+std::optional<double> parse_double(const std::string& token) {
+  try {
+    std::size_t consumed = 0;
+    const double value = std::stod(token, &consumed);
+    if (consumed != token.size()) return std::nullopt;
+    return value;
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+}
+
+std::optional<std::int64_t> parse_int(const std::string& token) {
+  try {
+    std::size_t consumed = 0;
+    const std::int64_t value = std::stoll(token, &consumed);
+    if (consumed != token.size()) return std::nullopt;
+    return value;
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+}
+
+}  // namespace numfabric::util

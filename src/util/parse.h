@@ -1,0 +1,23 @@
+// Shared string-parsing helpers: whitespace trimming and strict numeric
+// parsing (the whole token must be consumed — "4x" and "1O" are rejected,
+// not truncated).  Callers attach their own context to the error, so these
+// return std::nullopt instead of throwing.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace numfabric::util {
+
+/// Strips leading/trailing spaces, tabs, CR and LF.
+std::string trim(const std::string& s);
+
+/// std::stod over the full token; nullopt on empty, trailing junk or
+/// out-of-range input.
+std::optional<double> parse_double(const std::string& token);
+
+/// std::stoll over the full token; same strictness.
+std::optional<std::int64_t> parse_int(const std::string& token);
+
+}  // namespace numfabric::util

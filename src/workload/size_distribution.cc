@@ -88,11 +88,12 @@ const SizeDistribution& enterprise_distribution() {
   return dist;
 }
 
-const SizeDistribution& datamining_distribution() {
+const SizeDistribution& datamining_distribution(bool full_tail) {
   // ~80% of flows under 10 KB; the byte volume concentrates in a sparse
   // 100 MB+ tail (the classic VL2 data-mining shape).  The tail is capped at
-  // 300 MB to keep quick-scale sweeps bounded.
-  static const SizeDistribution dist(
+  // 300 MB to keep quick-scale sweeps bounded; full-tail runs carry it out
+  // to VL2's 1 GB maximum.
+  static const SizeDistribution capped(
       "datamining", {
                         {300, 0.00},
                         {1'000, 0.50},
@@ -104,7 +105,20 @@ const SizeDistribution& datamining_distribution() {
                         {100'000'000, 0.98},
                         {300'000'000, 1.00},
                     });
-  return dist;
+  static const SizeDistribution full(
+      "datamining-full", {
+                             {300, 0.00},
+                             {1'000, 0.50},
+                             {2'000, 0.60},
+                             {10'000, 0.80},
+                             {100'000, 0.85},
+                             {1'000'000, 0.90},
+                             {10'000'000, 0.95},
+                             {100'000'000, 0.98},
+                             {300'000'000, 0.995},
+                             {1'000'000'000, 1.00},
+                         });
+  return full_tail ? full : capped;
 }
 
 }  // namespace numfabric::workload

@@ -56,7 +56,9 @@ const SizeDistribution& enterprise_distribution();
 /// Data-mining workload (VL2-style, as used by the pFabric evaluation):
 /// ~80% of flows under 10 KB while nearly all bytes ride a multi-100MB
 /// tail.  Not in the paper's §6 but the standard third datacenter trace for
-/// FCT sweeps.
-const SizeDistribution& datamining_distribution();
+/// FCT sweeps.  The default tail is capped at 300 MB so quick-scale sweeps
+/// stay bounded; `full_tail` (NUMFABRIC_FULL=1 runs) extends it to the
+/// VL2-reported 1 GB maximum.
+const SizeDistribution& datamining_distribution(bool full_tail = false);
 
 }  // namespace numfabric::workload

@@ -182,8 +182,8 @@ TEST(BuiltinScenariosTest, RegistersAtLeastEightAndIsIdempotent) {
   for (const char* name :
        {"convergence", "rate-timeseries", "dynamic-deviation",
         "fct-vs-pfabric", "resource-pooling", "bwfunc-sweep", "bwfunc-pooling",
-        "incast", "permutation", "shuffle", "websearch-fct",
-        "datamining-fct"}) {
+        "incast", "permutation", "shuffle", "websearch-fct", "datamining-fct",
+        "sensitivity", "trace-replay"}) {
     EXPECT_NE(registry.find(name), nullptr) << name;
   }
 }
@@ -226,6 +226,12 @@ const std::map<std::string, std::vector<std::string>>& smoke_params() {
       {"datamining-fct",
        {"hosts_per_leaf=2", "leaves=2", "spines=1", "loads=0.3", "flows=30",
         "horizon_ms=150"}},
+      {"sensitivity",
+       {"hosts_per_leaf=2", "leaves=2", "spines=1", "paths=8",
+        "initial_active=4", "flows_per_event=2", "events=1", "min_active=2",
+        "max_active=6", "timeout_ms=10", "seed=3"}},
+      {"trace-replay",
+       {"hosts_per_leaf=2", "leaves=2", "spines=1", "horizon_ms=200"}},
   };
   return params;
 }

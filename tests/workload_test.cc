@@ -143,6 +143,17 @@ TEST(SizeDistributionTest, DataminingShapeIsHeavyTailed) {
   EXPECT_GT(dist.quantile(0.999), 100e6);
 }
 
+TEST(SizeDistributionTest, DataminingFullTailLiftsTheCap) {
+  const SizeDistribution& capped = datamining_distribution(false);
+  const SizeDistribution& full = datamining_distribution(true);
+  // Quick scale stays bounded at 300 MB; full scale extends to VL2's 1 GB.
+  EXPECT_NEAR(capped.quantile(1.0), 300e6, 1);
+  EXPECT_NEAR(full.quantile(1.0), 1e9, 1);
+  // The body is unchanged — only the extreme tail differs.
+  EXPECT_NEAR(fraction_below(full, 10e3), fraction_below(capped, 10e3), 0.01);
+  EXPECT_GT(full.mean_bytes(), capped.mean_bytes());
+}
+
 TEST(ScenariosTest, PoissonLoadMatchesTarget) {
   Hosts rig(16);
   sim::Rng rng(5);
