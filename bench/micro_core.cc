@@ -4,6 +4,7 @@
 // quoted in README.
 #include <benchmark/benchmark.h>
 
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -26,11 +27,31 @@ void BM_EventQueuePushPop(benchmark::State& state) {
   int sink = 0;
   for (auto _ : state) {
     for (int i = 0; i < 64; ++i) queue.push(t += 7, [&sink] { ++sink; });
-    while (!queue.empty()) queue.pop().second();
+    while (!queue.empty()) queue.pop().action();
   }
   state.SetItemsProcessed(state.iterations() * 64);
 }
 BENCHMARK(BM_EventQueuePushPop);
+
+void BM_EventQueueCancelChurn(benchmark::State& state) {
+  // The transports' dominant cancellation shape: every ACK pushes the RTO
+  // timer out, i.e. cancel-the-old + push-a-new far-future event, and only
+  // the last survivor of a burst ever fires.
+  sim::EventQueue queue;
+  sim::TimeNs t = 0;
+  int sink = 0;
+  for (auto _ : state) {
+    sim::EventId pending = sim::kNoEvent;
+    for (int i = 0; i < 64; ++i) {
+      if (pending != sim::kNoEvent) queue.cancel(pending);
+      pending = queue.push(t + 1'000'000, [&sink] { ++sink; });
+      ++t;
+    }
+    while (!queue.empty()) queue.pop().action();
+  }
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_EventQueueCancelChurn);
 
 void BM_SimulatorSelfScheduling(benchmark::State& state) {
   for (auto _ : state) {
@@ -66,6 +87,35 @@ void BM_WfqEnqueueDequeue(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * num_flows * 2);
 }
 BENCHMARK(BM_WfqEnqueueDequeue)->Arg(16)->Arg(256);
+
+void BM_WfqFlowChurn(benchmark::State& state) {
+  // Short flows arriving and dying at a high rate: every burst is 32
+  // brand-new flows of two packets each.  The second packet pushes each
+  // flow's finish tag ahead of the virtual clock, so the clock advances and
+  // earlier flows' state becomes idle — exactly the churn
+  // garbage_collect_idle_flows exists for.  Per-flow scheduler state
+  // accumulates to the GC interval's high-water mark, then gets swept.
+  net::WfqQueue queue(1 << 30);
+  std::uint64_t seq = 0;
+  net::FlowId next_flow = 1;
+  for (auto _ : state) {
+    for (int i = 0; i < 32; ++i) {
+      const net::FlowId flow = next_flow++;
+      for (int k = 0; k < 2; ++k) {
+        net::Packet p;
+        p.flow = flow;
+        p.type = net::PacketType::kData;
+        p.size = 1500;
+        p.seq = seq++;
+        p.virtual_packet_len = 1500.0;
+        queue.enqueue(std::move(p));
+      }
+    }
+    for (int i = 0; i < 64; ++i) benchmark::DoNotOptimize(queue.dequeue());
+  }
+  state.SetItemsProcessed(state.iterations() * 64 * 2);
+}
+BENCHMARK(BM_WfqFlowChurn);
 
 num::NumProblem make_problem(int flows, int links, sim::Rng& rng,
                              std::vector<std::unique_ptr<num::AlphaFairUtility>>& store) {

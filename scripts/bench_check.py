@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Perf-smoke gate: fail if micro_core regresses against BENCH_core.json.
+
+Runs the benchmark binary once and compares each benchmark's cpu time to the
+recorded after_ns baseline; anything slower than --factor (default 2.0 —
+deliberately tolerant, CI runners are noisy) fails the check:
+
+    scripts/bench_check.py <micro_core-binary> <BENCH_core.json> \
+        [--factor 2.0] [--results results.json]
+
+Benchmarks present in the binary but not in the baseline are reported and
+skipped (record them with scripts/bench_record.py).  CMake exposes this as
+the `bench_check` target; CI runs it in the perf-smoke job and uploads
+--results as an artifact.
+"""
+import argparse
+import json
+import subprocess
+import sys
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("binary", help="path to the micro_core benchmark binary")
+    parser.add_argument("baseline", help="path to BENCH_core.json")
+    parser.add_argument("--factor", type=float, default=2.0,
+                        help="fail when cpu time exceeds factor * after_ns")
+    parser.add_argument("--min-time", default="0.1")
+    parser.add_argument("--results", help="write the fresh run's JSON here")
+    parser.add_argument(
+        "--anchor",
+        help="benchmark name used to normalize machine speed: every ratio is "
+        "divided by this benchmark's fresh/baseline ratio, so a uniformly "
+        "slower machine (CI runner vs the recording host) does not trip the "
+        "gate.  Pick one the change under test does not touch "
+        "(e.g. BM_NumSolver/50).")
+    args = parser.parse_args()
+
+    with open(args.baseline) as fp:
+        baseline = json.load(fp)["benchmarks"]
+
+    cmd = [
+        args.binary,
+        "--benchmark_format=json",
+        f"--benchmark_min_time={args.min_time}",
+    ]
+    out = subprocess.run(cmd, check=True, capture_output=True, text=True)
+    if args.results:
+        with open(args.results, "w") as fp:
+            fp.write(out.stdout)
+    report = json.loads(out.stdout)
+
+    fresh_times = {b["run_name"]: b["cpu_time"] for b in report["benchmarks"]}
+    scale = 1.0
+    if args.anchor:
+        anchor_recorded = baseline.get(args.anchor, {}).get("after_ns")
+        anchor_fresh = fresh_times.get(args.anchor)
+        if not anchor_recorded or not anchor_fresh:
+            print(f"anchor {args.anchor} missing from baseline or fresh run",
+                  file=sys.stderr)
+            return 1
+        scale = anchor_fresh / anchor_recorded
+        print(f"machine-speed scale via {args.anchor}: {scale:.2f}x\n")
+
+    failures = []
+    print(f"{'benchmark':35s} {'baseline':>12s} {'fresh':>12s} {'ratio':>7s}")
+    for name, fresh in fresh_times.items():
+        recorded = baseline.get(name, {}).get("after_ns")
+        if recorded is None:
+            print(f"{name:35s} {'(unrecorded)':>12s} {fresh:12.1f}")
+            continue
+        ratio = fresh / recorded / scale
+        verdict = "FAIL" if ratio > args.factor else "ok"
+        print(f"{name:35s} {recorded:12.1f} {fresh:12.1f} {ratio:6.2f}x {verdict}")
+        if ratio > args.factor:
+            failures.append(name)
+
+    if failures:
+        print(f"\nperf regression (> {args.factor}x) in: {', '.join(failures)}",
+              file=sys.stderr)
+        return 1
+    print(f"\nall benchmarks within {args.factor}x of the recorded baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

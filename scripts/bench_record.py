@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Record bench/micro_core results into the checked-in BENCH_core.json.
+
+Runs the micro_core binary several times (separate processes) and records
+each benchmark's minimum cpu time — the noise-robust estimator of what the
+code can do on an otherwise idle machine; medians of a single process run
+drift with background load:
+
+    scripts/bench_record.py <micro_core-binary> <BENCH_core.json>
+    scripts/bench_record.py <micro_core-binary> <BENCH_core.json> --update-before
+
+By default only the "after_ns" numbers (the current implementation) are
+rewritten; "before_ns" (the tracked pre-refactor baseline a change is judged
+against) is only touched with --update-before, which is how a future
+substrate rework re-baselines: first --update-before on the old tree, then a
+plain run on the new one.  For a fair before/after pair, record both on the
+same machine in the same sitting.
+
+CMake exposes this as the `bench_record` target.
+"""
+import argparse
+import json
+import subprocess
+import sys
+from datetime import date
+
+
+def run_benchmarks(binary, min_time, runs):
+    mins = {}
+    for _ in range(runs):
+        cmd = [
+            binary,
+            "--benchmark_format=json",
+            f"--benchmark_min_time={min_time}",
+        ]
+        out = subprocess.run(cmd, check=True, capture_output=True, text=True)
+        for bench in json.loads(out.stdout)["benchmarks"]:
+            name = bench["run_name"]
+            record = mins.get(name)
+            if record is None or bench["cpu_time"] < record["cpu_ns"]:
+                mins[name] = {
+                    "cpu_ns": round(bench["cpu_time"], 1),
+                    "items_per_second": round(bench.get("items_per_second", 0.0)),
+                }
+    return mins
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("binary", help="path to the micro_core benchmark binary")
+    parser.add_argument("baseline", help="path to BENCH_core.json")
+    parser.add_argument(
+        "--update-before",
+        action="store_true",
+        help="record into before_ns (re-baseline) instead of after_ns",
+    )
+    parser.add_argument("--min-time", default="0.25")
+    parser.add_argument("--runs", type=int, default=5,
+                        help="process repetitions; the minimum is recorded")
+    args = parser.parse_args()
+
+    try:
+        with open(args.baseline) as fp:
+            baseline = json.load(fp)
+    except FileNotFoundError:
+        baseline = {"benchmarks": {}}
+
+    field = "before_ns" if args.update_before else "after_ns"
+    mins = run_benchmarks(args.binary, args.min_time, args.runs)
+    benches = baseline.setdefault("benchmarks", {})
+    for name, result in sorted(mins.items()):
+        entry = benches.setdefault(name, {})
+        entry[field] = result["cpu_ns"]
+        entry["items_per_second"] = result["items_per_second"]
+        if entry.get("before_ns") and entry.get("after_ns"):
+            entry["speedup"] = round(entry["before_ns"] / entry["after_ns"], 2)
+    baseline["unit"] = "ns (cpu time)"
+    baseline["method"] = (
+        f"per-benchmark minimum cpu time over {args.runs} process runs of "
+        f"bench/micro_core (--benchmark_min_time={args.min_time}) on an "
+        "otherwise idle machine; record before/after in the same sitting "
+        "(scripts/bench_record.py)"
+    )
+    baseline["recorded"] = str(date.today())
+
+    with open(args.baseline, "w") as fp:
+        json.dump(baseline, fp, indent=2, sort_keys=True)
+        fp.write("\n")
+    print(f"recorded {field} for {len(mins)} benchmarks into {args.baseline}")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,5 +1,6 @@
 #include "app/driver.h"
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -8,6 +9,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "app/perf.h"
 #include "app/run_plan.h"
 #include "app/scenario.h"
 #include "app/sweep.h"
@@ -221,7 +223,19 @@ int run_cli(const std::vector<std::string>& args) {
     int exit_code = 0;
     if (sweep_tokens.empty()) {
       RunContext ctx{options, parse_scheme(transport), metrics, full};
+      const PerfSnapshot perf_snapshot;
+      const auto wall_start = std::chrono::steady_clock::now();
       scenario->run(ctx);
+      const double wall_ms = std::chrono::duration<double, std::milli>(
+                                 std::chrono::steady_clock::now() - wall_start)
+                                 .count();
+      const sim::SubstrateStats delta = perf_snapshot.delta();
+      record_perf(metrics, delta);
+      metrics.scalar("wall_ms", wall_ms);
+      metrics.scalar("events_per_sec",
+                     wall_ms > 0 ? static_cast<double>(delta.events_fired) *
+                                       1000.0 / wall_ms
+                                 : 0.0);
     } else {
       SweepRequest request;
       request.scenario = scenario;

@@ -1,0 +1,37 @@
+// Substrate perf reporting: turns SubstrateStats deltas into the `perf`
+// metric table every numfabric_run / sweep invocation emits.
+//
+// Usage (one scenario run, on the thread that runs it):
+//   PerfSnapshot snapshot;
+//   scenario.run(ctx);
+//   record_perf(metrics, snapshot.delta());
+//
+// The table contains only deterministic counters (event/packet counts and
+// substrate allocation counts), so merged sweep output stays byte-identical
+// across --jobs settings.  Wall-clock throughput is reported separately by
+// the driver as top-level scalars (wall_ms, events_per_sec), which golden
+// tests normalize away.
+#pragma once
+
+#include "app/metrics.h"
+#include "sim/substrate_stats.h"
+
+namespace numfabric::app {
+
+/// Captures the calling thread's substrate counters at construction.
+class PerfSnapshot {
+ public:
+  PerfSnapshot() : start_(sim::substrate_stats()) {}
+
+  /// Counters accumulated on this thread since construction.
+  sim::SubstrateStats delta() const { return sim::substrate_stats() - start_; }
+
+ private:
+  sim::SubstrateStats start_;
+};
+
+/// Appends the counters to the writer's `perf` table ({counter, value} rows,
+/// fixed order).
+void record_perf(MetricWriter& metrics, const sim::SubstrateStats& delta);
+
+}  // namespace numfabric::app

@@ -6,6 +6,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "app/perf.h"
 #include "app/worker_pool.h"
 #include "util/parse.h"
 
@@ -76,7 +77,11 @@ SweepResult run_sweep(const SweepRequest& request, MetricWriter& merged) {
     try {
       RunContext ctx{options, request.scheme,
                      buffers[static_cast<std::size_t>(i)], request.full_scale};
+      // Counters are thread-local and this run executes entirely on this
+      // worker, so the delta isolates the run's substrate activity.
+      const PerfSnapshot perf_snapshot;
       scenario.run(ctx);
+      record_perf(buffers[static_cast<std::size_t>(i)], perf_snapshot.delta());
       status.ok = true;
     } catch (const std::exception& error) {
       status.error = error.what();

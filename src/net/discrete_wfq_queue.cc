@@ -87,9 +87,9 @@ std::optional<Packet> DiscreteWfqQueue::dequeue() {
       band.deficit -= p.size;
       account_pop(p);
       if (p.virtual_packet_len > 0.0) {
-        auto it = flow_state_.find(p.flow);
-        if (it != flow_state_.end() && --it->second.queued_packets <= 0) {
-          flow_state_.erase(it);
+        FlowState* state = flow_state_.find(p.flow);
+        if (state != nullptr && --state->queued_packets <= 0) {
+          flow_state_.erase(p.flow);
         }
       }
       if (band.fifo.empty() || band.deficit < band.fifo.front().size) {

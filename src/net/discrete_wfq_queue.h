@@ -11,11 +11,11 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
-#include <unordered_map>
 #include <vector>
 
+#include "net/flow_table.h"
 #include "net/queue.h"
+#include "util/ring_buffer.h"
 
 namespace numfabric::net {
 
@@ -35,7 +35,7 @@ class DiscreteWfqQueue : public Queue {
 
  private:
   struct Band {
-    std::deque<Packet> fifo;
+    util::RingBuffer<Packet> fifo;
     double weight = 1.0;   // representative weight of the band
     double deficit = 0.0;  // DRR deficit counter, in bytes
   };
@@ -55,7 +55,7 @@ class DiscreteWfqQueue : public Queue {
   // A flow is pinned to one band while it has packets queued; re-banding a
   // flow with a backlog would let DRR serve its packets out of order, which
   // the go-back-N transports punish with full timeouts.
-  std::unordered_map<FlowId, FlowState> flow_state_;
+  DenseFlowTable<FlowState> flow_state_;
 };
 
 }  // namespace numfabric::net

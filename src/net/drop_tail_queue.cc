@@ -19,9 +19,9 @@ bool DropTailQueue::enqueue(Packet&& p) {
 
 std::optional<Packet> DropTailQueue::dequeue() {
   if (fifo_.empty()) return std::nullopt;
-  Packet p = std::move(fifo_.front());
+  account_pop(fifo_.front());
+  std::optional<Packet> p(std::move(fifo_.front()));
   fifo_.pop_front();
-  account_pop(p);
   return p;
 }
 

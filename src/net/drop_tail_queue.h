@@ -1,9 +1,12 @@
 // FIFO tail-drop queue, with optional DCTCP-style ECN marking.
+//
+// Backing store is a reusable ring rather than a deque, so steady-state
+// forwarding allocates nothing once the ring has grown to the backlog's
+// high-water mark.
 #pragma once
 
-#include <deque>
-
 #include "net/queue.h"
+#include "util/ring_buffer.h"
 
 namespace numfabric::net {
 
@@ -20,7 +23,7 @@ class DropTailQueue : public Queue {
   std::optional<Packet> dequeue() override;
 
  private:
-  std::deque<Packet> fifo_;
+  util::RingBuffer<Packet> fifo_;
   std::size_t ecn_threshold_bytes_;
 };
 

@@ -1,0 +1,147 @@
+// Dense open-addressing map from FlowId to small per-flow scheduler state.
+//
+// The WFQ virtual-finish tags and the discrete-WFQ band assignments were
+// `std::unordered_map`s: every insert allocated a node, every lookup hashed
+// into a bucket chain, and the periodic idle-flow GC churned node frees.
+// This table stores {key, value} inline in one power-of-two slab with linear
+// probing (Fibonacci hashing spreads sequential flow ids), so lookups are one
+// or two cache lines and steady state performs zero allocations — growth
+// rehashes are counted in SubstrateStats::allocs_flow_table.
+//
+// Keys are stored biased by +1 so 0 marks an empty cell without a separate
+// flag byte: with an 8-byte Value a cell is exactly 16 bytes, four per cache
+// line.  Deletion uses backward-shift (no tombstones), so load stays honest
+// under the flow churn the schedulers see.  Value must be cheap to move; the
+// table is not a general container (no iterators — retain_if covers the GC
+// sweep).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "net/packet.h"
+#include "sim/substrate_stats.h"
+
+namespace numfabric::net {
+
+template <typename Value>
+class DenseFlowTable {
+ public:
+  std::size_t size() const { return count_; }
+  bool empty() const { return count_ == 0; }
+
+  /// Pointer to the value for `key`, or nullptr when absent.  Stays valid
+  /// only until the next mutating call.
+  Value* find(FlowId key) {
+    if (cells_.empty()) return nullptr;
+    const std::uint64_t stored = key + 1;
+    for (std::size_t i = home(key);; i = next(i)) {
+      Cell& cell = cells_[i];
+      if (cell.key_plus_1 == stored) return &cell.value;
+      if (cell.key_plus_1 == 0) return nullptr;
+    }
+  }
+
+  /// Value for `key`, default-constructed and inserted when absent.
+  Value& operator[](FlowId key) {
+    if (cells_.empty() || (count_ + 1) * 4 > cells_.size() * 3) grow();
+    const std::uint64_t stored = key + 1;
+    for (std::size_t i = home(key);; i = next(i)) {
+      Cell& cell = cells_[i];
+      if (cell.key_plus_1 == stored) return cell.value;
+      if (cell.key_plus_1 == 0) {
+        cell.key_plus_1 = stored;
+        cell.value = Value{};
+        ++count_;
+        return cell.value;
+      }
+    }
+  }
+
+  /// Removes `key` if present (backward-shift deletion, no tombstones).
+  void erase(FlowId key) {
+    if (cells_.empty()) return;
+    const std::uint64_t stored = key + 1;
+    std::size_t i = home(key);
+    for (;; i = next(i)) {
+      if (cells_[i].key_plus_1 == 0) return;
+      if (cells_[i].key_plus_1 == stored) break;
+    }
+    backward_shift(i);
+    --count_;
+  }
+
+  /// Keeps entries where `keep(key, value)` is true; drops the rest.  Used
+  /// by the idle-flow GC.  Rebuilds in-place via a reused scratch buffer, so
+  /// after the first sweep it allocates nothing.
+  template <typename Keep>
+  void retain_if(Keep keep) {
+    scratch_.clear();
+    for (Cell& cell : cells_) {
+      if (cell.key_plus_1 != 0 && keep(cell.key_plus_1 - 1, cell.value)) {
+        if (scratch_.size() == scratch_.capacity()) {
+          ++sim::substrate_stats().allocs_flow_table;
+        }
+        scratch_.push_back({cell.key_plus_1 - 1, std::move(cell.value)});
+      }
+      cell.key_plus_1 = 0;
+    }
+    count_ = 0;
+    for (auto& [key, value] : scratch_) {
+      (*this)[key] = std::move(value);
+    }
+  }
+
+ private:
+  struct Cell {
+    std::uint64_t key_plus_1 = 0;  // 0 == empty
+    Value value{};
+  };
+
+  std::size_t home(FlowId key) const {
+    // Fibonacci (multiplicative) hashing onto the power-of-two table.
+    return static_cast<std::size_t>((key * 0x9E3779B97F4A7C15ull) >> shift_);
+  }
+  std::size_t next(std::size_t i) const { return (i + 1) & (cells_.size() - 1); }
+
+  void grow() {
+    ++sim::substrate_stats().allocs_flow_table;
+    const std::size_t new_size = cells_.empty() ? 16 : cells_.size() * 2;
+    std::vector<Cell> old = std::move(cells_);
+    cells_.assign(new_size, Cell{});
+    shift_ = 64;
+    for (std::size_t s = new_size; s > 1; s >>= 1) --shift_;
+    count_ = 0;
+    for (Cell& cell : old) {
+      if (cell.key_plus_1 != 0) {
+        (*this)[cell.key_plus_1 - 1] = std::move(cell.value);
+      }
+    }
+  }
+
+  void backward_shift(std::size_t hole) {
+    for (std::size_t i = next(hole);; i = next(i)) {
+      if (cells_[i].key_plus_1 == 0) break;
+      // An entry may fill the hole only if its home position does not lie
+      // in (hole, i] — otherwise the probe chain to it would break.
+      const std::size_t h = home(cells_[i].key_plus_1 - 1);
+      const bool movable =
+          hole <= i ? (h <= hole || h > i) : (h <= hole && h > i);
+      if (movable) {
+        cells_[hole] = std::move(cells_[i]);
+        cells_[i].key_plus_1 = 0;
+        hole = i;
+      }
+    }
+    cells_[hole].key_plus_1 = 0;
+  }
+
+  std::vector<Cell> cells_;
+  std::vector<std::pair<FlowId, Value>> scratch_;
+  std::size_t count_ = 0;
+  int shift_ = 64;
+};
+
+}  // namespace numfabric::net

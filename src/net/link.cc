@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "net/node.h"
+#include "sim/substrate_stats.h"
 
 namespace numfabric::net {
 
@@ -38,15 +39,25 @@ void Link::try_start_tx() {
   busy_ = true;
   if (agent_) agent_->on_dequeue(*next);
   bytes_sent_ += next->size;
+  auto& stats = sim::substrate_stats();
+  ++stats.packets_forwarded;
+  stats.bytes_forwarded += next->size;
   const sim::TimeNs tx = sim::transmission_time(next->size, rate_bps_);
   // Serialization finishes at +tx: free the transmitter and continue.
   sim_.schedule_in(tx, [this] {
     busy_ = false;
     try_start_tx();
   });
-  // The packet reaches the peer a propagation delay after serialization.
-  sim_.schedule_in(tx + delay_,
-                   [this, p = std::move(*next)]() mutable { dst_->receive(std::move(p)); });
+  // The packet reaches the peer a propagation delay after serialization; it
+  // waits in the in-flight ring rather than in a heap-allocated closure.
+  inflight_.push_back(std::move(*next));
+  sim_.schedule_in(tx + delay_, [this] { deliver_front(); });
+}
+
+void Link::deliver_front() {
+  Packet p = std::move(inflight_.front());
+  inflight_.pop_front();
+  dst_->receive(std::move(p));
 }
 
 }  // namespace numfabric::net

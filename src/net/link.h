@@ -14,6 +14,7 @@
 #include "net/packet.h"
 #include "net/queue.h"
 #include "sim/simulator.h"
+#include "util/ring_buffer.h"
 
 namespace numfabric::net {
 
@@ -66,6 +67,7 @@ class Link {
 
  private:
   void try_start_tx();
+  void deliver_front();
 
   sim::Simulator& sim_;
   std::string name_;
@@ -77,6 +79,13 @@ class Link {
   std::unique_ptr<LinkAgent> agent_;
   bool busy_ = false;
   std::uint64_t bytes_sent_ = 0;
+  // Packets serialized but not yet delivered, in transmit order.  Delivery
+  // times are (serialization finish + constant delay) and finishes are
+  // strictly increasing, so deliveries pop FIFO.  Keeping the packet here —
+  // rather than captured by value in the delivery closure — is what makes
+  // per-packet forwarding allocation-free: the delivery event captures only
+  // `this`, and the ring's slots are reused.
+  util::RingBuffer<Packet> inflight_;
 };
 
 }  // namespace numfabric::net

@@ -33,14 +33,14 @@ enum class PacketType : std::uint8_t {
   kAck,   // control: acknowledgment with echoed feedback
 };
 
+// Fields are laid out widest-first (8-byte, then 4-byte, then 1-byte) so the
+// struct packs into exactly two cache lines (128 bytes, vs 168 naturally
+// ordered) — packets are copied into and out of queue pools and in-flight
+// rings on every hop, so the copy width is hot-path cost.
 struct Packet {
   FlowId flow = 0;
-  PacketType type = PacketType::kData;
-  std::uint64_t seq = 0;   // data: offset of first payload byte
-  std::uint32_t size = 0;  // bytes on the wire (payload + header)
-
+  std::uint64_t seq = 0;       // data: offset of first payload byte
   const Path* path = nullptr;  // route of THIS packet (ACKs use reverse path)
-  std::uint32_t hop = 0;       // index into path->links of the link last used
 
   // --- NUMFabric header fields (§5) ------------------------------------
   // L(p)/w: the packet length divided by the flow's Swift weight.  Written
@@ -49,8 +49,6 @@ struct Packet {
   double virtual_packet_len = 0.0;
   // Sum of link prices accumulated along the path (xWI).
   double path_price = 0.0;
-  // Number of links traversed (|L(i)|).
-  std::uint32_t path_len = 0;
   // (U'(x) - path price) / path length, written by the sender; switches take
   // the min over flows (Eq. 9 / Fig. 3).
   double normalized_residual = 0.0;
@@ -63,20 +61,27 @@ struct Packet {
   // Remaining flow size at send time; smaller = more urgent.
   double priority = 0.0;
 
+  // --- ACK-echoed feedback -------------------------------------------------
+  std::uint64_t ack_seq = 0;               // cumulative bytes received in order
+  sim::TimeNs echo_inter_packet_time = 0;  // receiver-measured gap (Swift)
+  double echo_path_price = 0.0;
+  double echo_path_feedback = 0.0;
+
+  sim::TimeNs sent_time = 0;  // stamped by the sender (RTT estimation)
+
+  std::uint32_t size = 0;  // bytes on the wire (payload + header)
+  std::uint32_t hop = 0;   // index into path->links of the link last used
+  // Number of links traversed (|L(i)|).
+  std::uint32_t path_len = 0;
+  std::uint32_t acked_bytes = 0;  // bytes covered by the acked packet
+  std::uint32_t echo_path_len = 0;
+
+  PacketType type = PacketType::kData;
+
   // --- ECN (DCTCP) --------------------------------------------------------
   bool ecn_capable = false;
   bool ecn_marked = false;
-
-  // --- ACK-echoed feedback -------------------------------------------------
-  std::uint64_t ack_seq = 0;           // cumulative bytes received in order
-  std::uint32_t acked_bytes = 0;       // bytes covered by the acked packet
-  sim::TimeNs echo_inter_packet_time = 0;  // receiver-measured gap (Swift)
-  double echo_path_price = 0.0;
-  std::uint32_t echo_path_len = 0;
-  double echo_path_feedback = 0.0;
   bool echo_ecn = false;
-
-  sim::TimeNs sent_time = 0;  // stamped by the sender (RTT estimation)
 
   bool is_data() const { return type == PacketType::kData; }
 };

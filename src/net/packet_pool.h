@@ -1,0 +1,79 @@
+// Free-list pool of Packet slots, shared by the scheduling queues.
+//
+// Queues that sort small POD entries (WFQ's packed keys, pFabric's scan
+// entries) park the packets themselves here and refer to them by slot
+// index.  Free slots form an intrusive list threaded through their own
+// bytes — Packet is trivially copyable, so a released slot's storage is the
+// pool's to scribble on until reuse — which makes acquire/release pure
+// index arithmetic with zero side allocations.  Growth (the only
+// allocation) is counted in SubstrateStats::allocs_packet_pool.
+//
+// Slot indices are kSlotBits wide so they can be packed into sort keys
+// alongside sequence numbers.  acquire() throws std::length_error rather
+// than silently overflowing the packed keys if a single port ever holds
+// 2^24 packets (a >24 GB backlog of MTU frames — far beyond any sane
+// configuration, so failing loudly is the right behavior).
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <stdexcept>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "net/packet.h"
+#include "sim/substrate_stats.h"
+
+namespace numfabric::net {
+
+class PacketPool {
+ public:
+  /// Width of a slot index; callers may pack indices into wider sort keys.
+  static constexpr unsigned kSlotBits = 24;
+  static constexpr std::uint32_t kEnd = 0xffffffffu;  // empty free list
+
+  /// Stores `p` and returns its slot.  Throws std::length_error if the
+  /// pool would exceed 2^kSlotBits live slots.
+  std::uint32_t acquire(Packet&& p) {
+    if (free_head_ != kEnd) {
+      const std::uint32_t slot = free_head_;
+      free_head_ = next_free(slot);
+      slots_[slot] = std::move(p);
+      return slot;
+    }
+    if (slots_.size() >= (1u << kSlotBits)) {
+      throw std::length_error("PacketPool: more than 2^24 packets queued");
+    }
+    if (slots_.size() == slots_.capacity()) {
+      ++sim::substrate_stats().allocs_packet_pool;
+    }
+    slots_.push_back(std::move(p));
+    return static_cast<std::uint32_t>(slots_.size() - 1);
+  }
+
+  /// Returns `slot` to the free list.  The packet's storage is reused for
+  /// the list link, so move the packet out *before* releasing.
+  void release(std::uint32_t slot) {
+    static_assert(std::is_trivially_copyable_v<Packet>,
+                  "the intrusive free list reuses Packet storage for links");
+    std::memcpy(static_cast<void*>(&slots_[slot]), &free_head_,
+                sizeof(free_head_));
+    free_head_ = slot;
+  }
+
+  Packet& operator[](std::uint32_t slot) { return slots_[slot]; }
+  const Packet& operator[](std::uint32_t slot) const { return slots_[slot]; }
+
+ private:
+  std::uint32_t next_free(std::uint32_t slot) const {
+    std::uint32_t next;
+    std::memcpy(&next, &slots_[slot], sizeof(next));
+    return next;
+  }
+
+  std::vector<Packet> slots_;
+  std::uint32_t free_head_ = kEnd;
+};
+
+}  // namespace numfabric::net

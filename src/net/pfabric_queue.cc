@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "sim/substrate_stats.h"
+
 namespace numfabric::net {
 
 bool PFabricQueue::enqueue(Packet&& p) {
@@ -9,43 +11,59 @@ bool PFabricQueue::enqueue(Packet&& p) {
     // Evict the least urgent packet; if that is the incoming packet itself,
     // drop it.  Control packets (ACKs) are never evicted — they are tiny and
     // losing them costs retransmission timeouts.
-    auto worst = packets_.end();
-    for (auto it = packets_.begin(); it != packets_.end(); ++it) {
-      if (!it->packet.is_data()) continue;
-      if (worst == packets_.end() || it->packet.priority > worst->packet.priority) {
-        worst = it;
+    std::size_t worst = entries_.size();
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+      if (!entries_[i].data) continue;
+      if (worst == entries_.size() ||
+          entries_[i].priority > entries_[worst].priority) {
+        worst = i;
       }
     }
-    if (worst == packets_.end() || (p.is_data() && worst->packet.priority <= p.priority)) {
+    if (worst == entries_.size() ||
+        (p.is_data() && entries_[worst].priority <= p.priority)) {
       account_drop();
       return false;
     }
-    account_pop(worst->packet);
+    account_pop(pool_[entries_[worst].slot]);
     account_drop();
-    packets_.erase(worst);
+    pool_.release(entries_[worst].slot);
+    entries_.erase(entries_.begin() +
+                   static_cast<std::ptrdiff_t>(worst));
   }
   account_push(p);
-  packets_.push_back(Entry{arrival_seq_++, std::move(p)});
+  if (entries_.size() == entries_.capacity()) {
+    ++sim::substrate_stats().allocs_queue;
+  }
+  const Entry entry{p.priority, p.flow, arrival_seq_++, 0, p.is_data()};
+  const std::uint32_t slot = pool_.acquire(std::move(p));
+  entries_.push_back(entry);
+  entries_.back().slot = slot;
   return true;
 }
 
 std::optional<Packet> PFabricQueue::dequeue() {
-  if (packets_.empty()) return std::nullopt;
+  if (entries_.empty()) return std::nullopt;
   // Find the most urgent packet ...
-  auto best = packets_.begin();
-  for (auto it = packets_.begin(); it != packets_.end(); ++it) {
-    if (it->packet.priority < best->packet.priority) best = it;
+  std::size_t best = 0;
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    if (entries_[i].priority < entries_[best].priority) best = i;
   }
   // ... then serve the earliest packet of that flow to preserve ordering.
-  auto serve = packets_.end();
-  for (auto it = packets_.begin(); it != packets_.end(); ++it) {
-    if (it->packet.flow != best->packet.flow) continue;
-    if (serve == packets_.end() || it->seq < serve->seq) serve = it;
+  std::size_t serve = entries_.size();
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    if (entries_[i].flow != entries_[best].flow) continue;
+    if (serve == entries_.size() || entries_[i].seq < entries_[serve].seq) {
+      serve = i;
+    }
   }
-  Packet p = std::move(serve->packet);
-  packets_.erase(serve);
-  account_pop(p);
-  return p;
+  const std::uint32_t slot = entries_[serve].slot;
+  entries_.erase(entries_.begin() + static_cast<std::ptrdiff_t>(serve));
+  account_pop(pool_[slot]);
+  // Move out of the pool slot before releasing it — release() reuses the
+  // packet's first bytes for the free-list link.
+  std::optional<Packet> out(std::move(pool_[slot]));
+  pool_.release(slot);
+  return out;
 }
 
 }  // namespace numfabric::net

@@ -8,12 +8,17 @@
 // least urgent).
 //
 // Scans are linear; pFabric queues are intentionally tiny (a couple of BDPs)
-// so this matches the reference implementation's complexity argument.
+// so this matches the reference implementation's complexity argument.  The
+// scan walks a flat vector of 32-byte {priority, flow, seq, slot} entries in
+// arrival order (replacing the former std::list, which allocated a node per
+// packet); packets themselves sit in a free-list pool and never move during
+// scans or mid-queue eviction.
 #pragma once
 
 #include <cstdint>
-#include <list>
+#include <vector>
 
+#include "net/packet_pool.h"
 #include "net/queue.h"
 
 namespace numfabric::net {
@@ -27,10 +32,15 @@ class PFabricQueue : public Queue {
 
  private:
   struct Entry {
-    std::uint64_t seq;  // arrival order
-    Packet packet;
+    double priority;
+    FlowId flow;
+    std::uint64_t seq;   // arrival order
+    std::uint32_t slot;  // index into pool_
+    bool data;
   };
-  std::list<Entry> packets_;
+
+  std::vector<Entry> entries_;  // arrival order; erase preserves it
+  PacketPool pool_;
   std::uint64_t arrival_seq_ = 0;
 };
 

@@ -10,6 +10,7 @@
 #include <optional>
 
 #include "net/packet.h"
+#include "sim/substrate_stats.h"
 
 namespace numfabric::net {
 
@@ -47,7 +48,10 @@ class Queue {
     bytes_ -= p.size;
     --packets_;
   }
-  void account_drop() { ++drops_; }
+  void account_drop() {
+    ++drops_;
+    ++sim::substrate_stats().packets_dropped;
+  }
 
  private:
   std::size_t capacity_bytes_;

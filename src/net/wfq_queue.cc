@@ -3,53 +3,28 @@
 #include <algorithm>
 #include <utility>
 
+#include "util/dary_heap.h"
+
 namespace numfabric::net {
 namespace {
-// How often (in dequeues) to sweep scheduler state of idle flows.  A flow
-// whose last finish tag is behind the virtual clock would get S = V anyway,
-// so dropping its entry does not change the schedule.
-constexpr std::uint64_t kGcInterval = 4096;
+constexpr auto kNoMove = [](const auto&, std::size_t) {};
 }  // namespace
 
-bool WfqQueue::enqueue(Packet&& p) {
-  if (would_overflow(p)) {
-    account_drop();
-    return false;
+void WfqQueue::repair_heap() {
+  const std::size_t n = heap_.size();
+  if (pending_ * 4 >= n) {
+    util::dary_make_heap(heap_, Before{}, kNoMove);
+  } else {
+    for (std::size_t i = n - pending_; i < n; ++i) {
+      util::dary_sift_up(heap_, i, Before{}, kNoMove);
+    }
   }
-  double start = virtual_time_;
-  if (auto it = last_finish_.find(p.flow); it != last_finish_.end()) {
-    start = std::max(start, it->second);
-  }
-  const double finish = start + p.virtual_packet_len;
-  last_finish_[p.flow] = finish;
-  account_push(p);
-  heap_.push_back(Entry{start, arrival_seq_++, std::move(p)});
-  std::push_heap(heap_.begin(), heap_.end(), Later{});
-  return true;
-}
-
-std::optional<Packet> WfqQueue::dequeue() {
-  if (heap_.empty()) return std::nullopt;
-  std::pop_heap(heap_.begin(), heap_.end(), Later{});
-  Entry entry = std::move(heap_.back());
-  heap_.pop_back();
-  virtual_time_ = entry.start;  // V = start tag of packet entering service
-  account_pop(entry.packet);
-  if (++pops_since_gc_ >= kGcInterval) {
-    pops_since_gc_ = 0;
-    garbage_collect_idle_flows();
-  }
-  return std::move(entry.packet);
+  pending_ = 0;
 }
 
 void WfqQueue::garbage_collect_idle_flows() {
-  for (auto it = last_finish_.begin(); it != last_finish_.end();) {
-    if (it->second <= virtual_time_) {
-      it = last_finish_.erase(it);
-    } else {
-      ++it;
-    }
-  }
+  last_finish_.retain_if(
+      [this](FlowId, double finish) { return finish > virtual_time_; });
 }
 
 }  // namespace numfabric::net

@@ -14,13 +14,22 @@
 //
 // Control packets carry virtual_packet_len == 0, so they consume no virtual
 // time (S == F) and effectively ride for free, as in the paper.
+//
+// Storage: packets live in a free-list pool; the 4-ary min-heap orders
+// 24-byte {start, seq, slot} PODs, so heap sifts never move whole Packets.
+// Per-flow finish tags live in a DenseFlowTable instead of an
+// unordered_map.  Steady-state enqueue/dequeue performs zero allocations.
 #pragma once
 
+#include <cassert>
 #include <cstdint>
-#include <unordered_map>
+#include <cstring>
 #include <vector>
 
+#include "net/flow_table.h"
+#include "net/packet_pool.h"
 #include "net/queue.h"
+#include "util/dary_heap.h"
 
 namespace numfabric::net {
 
@@ -28,6 +37,9 @@ class WfqQueue : public Queue {
  public:
   explicit WfqQueue(std::size_t capacity_bytes) : Queue(capacity_bytes) {}
 
+  // Definitions are inline (bottom of this header): when the concrete type
+  // is known — the micro-benchmarks, scheme-specialized drain loops — the
+  // compiler can inline the whole hot path instead of a virtual call.
   bool enqueue(Packet&& p) override;
   std::optional<Packet> dequeue() override;
 
@@ -38,26 +50,108 @@ class WfqQueue : public Queue {
   std::size_t tracked_flows() const { return last_finish_.size(); }
 
  private:
+  // 16-byte heap node holding one packed sort key.  Virtual start tags are
+  // non-negative, so the IEEE-754 bit pattern of `start` orders exactly like
+  // the double itself; below it sit the arrival sequence and the pool slot
+  // ((seq << kSlotBits) | slot).  Sequences are unique, so ordering by the
+  // single 128-bit key equals lexicographic (start, seq) — STFQ order with
+  // the deterministic FIFO tie-break — in one integer compare per sift step
+  // instead of a two-stage float-then-int compare.
+  static constexpr unsigned kSlotBits = PacketPool::kSlotBits;
   struct Entry {
-    double start;       // virtual start time S
-    std::uint64_t seq;  // arrival order; breaks ties deterministically
-    Packet packet;
-  };
-  // Inverted so the std:: heap algorithms yield a min-heap on (start, seq).
-  struct Later {
-    bool operator()(const Entry& a, const Entry& b) const {
-      if (a.start != b.start) return a.start > b.start;
-      return a.seq > b.seq;
+    unsigned __int128 key;
+
+    static Entry make(double start, std::uint64_t seq, std::uint32_t slot) {
+      std::uint64_t start_bits;
+      static_assert(sizeof(start_bits) == sizeof(start));
+      std::memcpy(&start_bits, &start, sizeof(start));
+      return Entry{(static_cast<unsigned __int128>(start_bits) << 64) |
+                   (seq << kSlotBits) | slot};
+    }
+    double start() const {
+      const auto bits = static_cast<std::uint64_t>(key >> 64);
+      double s;
+      std::memcpy(&s, &bits, sizeof(s));
+      return s;
+    }
+    std::uint32_t slot() const {
+      return static_cast<std::uint32_t>(key) & ((1u << kSlotBits) - 1);
     }
   };
 
+  // A functor type (not a function pointer) so the sift loops inline it.
+  struct Before {
+    bool operator()(const Entry& a, const Entry& b) const {
+      return a.key < b.key;
+    }
+  };
+
+  void repair_heap();
   void garbage_collect_idle_flows();
 
-  std::vector<Entry> heap_;  // std::push_heap / std::pop_heap
-  std::unordered_map<FlowId, double> last_finish_;  // F(p_i^{k-1}) per flow
+  std::vector<Entry> heap_;  // 4-ary min-heap on (start, seq)
+  PacketPool pool_;          // packet storage behind the heap's slot indices
+  DenseFlowTable<double> last_finish_;   // F(p_i^{k-1}) per flow
   double virtual_time_ = 0.0;
   std::uint64_t arrival_seq_ = 0;
   std::uint64_t pops_since_gc_ = 0;
+  std::size_t pending_ = 0;  // raw appends since the last heap repair
 };
+
+
+// How often (in dequeues) to sweep scheduler state of idle flows.  A flow
+// whose last finish tag is behind the virtual clock would get S = V anyway,
+// so dropping its entry does not change the schedule.
+inline constexpr std::uint64_t kWfqGcInterval = 4096;
+
+inline bool WfqQueue::enqueue(Packet&& p) {
+  if (would_overflow(p)) {
+    account_drop();
+    return false;
+  }
+  // V only grows and start tags are >= 0, so a flow without a tracked tag
+  // (default 0.0) gets S = V exactly as if its entry had been dropped by GC.
+  double& finish = last_finish_[p.flow];
+  const double start = std::max(virtual_time_, finish);
+  finish = start + p.virtual_packet_len;
+  account_push(p);
+  const std::uint32_t slot = pool_.acquire(std::move(p));
+  if (heap_.size() == heap_.capacity()) {
+    ++sim::substrate_stats().allocs_queue;
+  }
+  // Deferred sift: the entry is appended raw and the heap repaired at the
+  // next dequeue.  Legal because the sort key is a strict total order
+  // (sequences are unique), so the pop sequence — and therefore every
+  // scheduling decision — is identical for any valid heap arrangement.
+  // Bursty arrivals (incast waves hitting a port between drains) then pay
+  // one O(burst) Floyd heapify instead of burst * log(n) sift-ups.
+  heap_.push_back(Entry::make(start, arrival_seq_++, slot));
+  ++pending_;
+  return true;
+}
+
+inline std::optional<Packet> WfqQueue::dequeue() {
+  if (heap_.empty()) return std::nullopt;
+  if (pending_ > 0) repair_heap();
+  const Entry entry = heap_.front();
+  // Pull the served packet's cache lines in while the sift below runs; the
+  // 128-byte copy out of the pool is the tail of this function.
+  __builtin_prefetch(&pool_[entry.slot()]);
+  __builtin_prefetch(reinterpret_cast<const char*>(&pool_[entry.slot()]) + 64);
+  util::dary_pop_root(heap_, Before{},
+                      [](const auto&, std::size_t) {});
+  virtual_time_ = entry.start();  // V = start tag of packet entering service
+  account_pop(pool_[entry.slot()]);
+  if (++pops_since_gc_ >= kWfqGcInterval) {
+    pops_since_gc_ = 0;
+    garbage_collect_idle_flows();
+  }
+  // Move straight from the pool slot into the return value — one packet
+  // copy, not two — and only then release the slot (the free-list link
+  // overwrites the packet's first bytes).
+  std::optional<Packet> out(std::move(pool_[entry.slot()]));
+  pool_.release(entry.slot());
+  return out;
+}
 
 }  // namespace numfabric::net

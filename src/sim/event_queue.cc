@@ -1,46 +1,73 @@
 #include "sim/event_queue.h"
 
-#include <algorithm>
-#include <cassert>
 #include <utility>
 
 namespace numfabric::sim {
 
-EventId EventQueue::push(TimeNs at, std::function<void()> action) {
-  const EventId id = next_id_++;
-  heap_.push_back(Entry{at, id, std::move(action)});
-  std::push_heap(heap_.begin(), heap_.end(), Later{});
-  live_.insert(id);
-  return id;
+std::uint32_t EventQueue::acquire_slot() {
+  if (!free_slots_.empty()) {
+    const std::uint32_t slot = free_slots_.back();
+    free_slots_.pop_back();
+    return slot;
+  }
+  if (slots_.size() == slots_.capacity()) {
+    ++substrate_stats().allocs_event_queue;
+  }
+  slots_.emplace_back();
+  return static_cast<std::uint32_t>(slots_.size() - 1);
+}
+
+void EventQueue::release_slot(std::uint32_t slot) {
+  Slot& s = slots_[slot];
+  s.action.reset();
+  if (++s.generation == 0) s.generation = 1;  // keep handles != kNoEvent
+  if (free_slots_.size() == free_slots_.capacity()) {
+    ++substrate_stats().allocs_event_queue;
+  }
+  free_slots_.push_back(slot);
+}
+
+void EventQueue::sift_up(std::size_t pos) {
+  util::dary_sift_up(heap_, pos, Before{}, track_position());
+}
+
+void EventQueue::sift_down(std::size_t pos) {
+  util::dary_sift_down(heap_, pos, Before{}, track_position());
+}
+
+void EventQueue::remove_entry(std::size_t pos) {
+  const std::size_t last = heap_.size() - 1;
+  if (pos == last) {
+    heap_.pop_back();
+    return;
+  }
+  heap_[pos] = heap_[last];
+  slots_[heap_[pos].slot].heap_pos = static_cast<std::uint32_t>(pos);
+  heap_.pop_back();
+  // The migrated element may violate the property in either direction.
+  sift_down(pos);
+  sift_up(pos);
 }
 
 void EventQueue::cancel(EventId id) {
-  // A cancelled entry stays in the heap as a tombstone (absent from live_)
-  // and is skipped lazily when it reaches the head.
-  live_.erase(id);
-}
-
-void EventQueue::drop_cancelled_head() {
-  while (!heap_.empty() && live_.find(heap_.front().id) == live_.end()) {
-    std::pop_heap(heap_.begin(), heap_.end(), Later{});
-    heap_.pop_back();
+  const auto slot = static_cast<std::uint32_t>(id & 0xffffffffu);
+  const auto generation = static_cast<std::uint32_t>(id >> 32);
+  if (slot >= slots_.size() || slots_[slot].generation != generation) {
+    return;  // already fired, already cancelled, or never scheduled
   }
+  remove_entry(slots_[slot].heap_pos);
+  release_slot(slot);
+  ++substrate_stats().events_cancelled;
 }
 
-TimeNs EventQueue::next_time() {
-  drop_cancelled_head();
+EventQueue::Fired EventQueue::pop() {
   assert(!heap_.empty());
-  return heap_.front().at;
-}
-
-std::pair<TimeNs, std::function<void()>> EventQueue::pop() {
-  drop_cancelled_head();
-  assert(!heap_.empty());
-  std::pop_heap(heap_.begin(), heap_.end(), Later{});
-  Entry entry = std::move(heap_.back());
-  heap_.pop_back();
-  live_.erase(entry.id);
-  return {entry.at, std::move(entry.action)};
+  const Entry root = heap_.front();
+  Fired fired{root.at, std::move(slots_[root.slot].action)};
+  util::dary_pop_root(heap_, Before{}, track_position());
+  release_slot(root.slot);
+  ++substrate_stats().events_fired;
+  return fired;
 }
 
 }  // namespace numfabric::sim

@@ -1,0 +1,120 @@
+// A move-only `void()` callable with small-buffer inline storage.
+//
+// `std::function` heap-allocates any capture larger than its ~16-byte SBO
+// and drags virtual dispatch through every heap sift.  Event callbacks in
+// this simulator capture at most a few pointers/refs (`[this]`,
+// `[this, flow]`, a handful of `&` refs in experiment samplers), so a
+// 48-byte inline buffer holds every hot-path callable with zero heap
+// traffic.  Oversized or throwing-move captures still work — they spill to
+// a single heap allocation, counted in SubstrateStats::allocs_callable_spill
+// so benchmarks and tests can prove the hot path never spills.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+#include "sim/substrate_stats.h"
+
+namespace numfabric::sim {
+
+class InlineEvent {
+ public:
+  static constexpr std::size_t kInlineBytes = 48;
+
+  InlineEvent() = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, InlineEvent> &&
+                std::is_invocable_v<std::decay_t<F>&>>>
+  InlineEvent(F&& fn) {  // NOLINT(google-explicit-constructor)
+    using Fn = std::decay_t<F>;
+    if constexpr (fits_inline<Fn>()) {
+      ::new (static_cast<void*>(buf_)) Fn(std::forward<F>(fn));
+      ops_ = &kInlineOps<Fn>;
+    } else {
+      ::new (static_cast<void*>(buf_)) Fn*(new Fn(std::forward<F>(fn)));
+      ops_ = &kHeapOps<Fn>;
+      ++substrate_stats().allocs_callable_spill;
+    }
+  }
+
+  InlineEvent(InlineEvent&& other) noexcept { move_from(other); }
+  InlineEvent& operator=(InlineEvent&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(other);
+    }
+    return *this;
+  }
+
+  InlineEvent(const InlineEvent&) = delete;
+  InlineEvent& operator=(const InlineEvent&) = delete;
+
+  ~InlineEvent() { reset(); }
+
+  void operator()() { ops_->invoke(buf_); }
+
+  explicit operator bool() const { return ops_ != nullptr; }
+
+  void reset() {
+    if (ops_ != nullptr) {
+      ops_->destroy(buf_);
+      ops_ = nullptr;
+    }
+  }
+
+ private:
+  struct Ops {
+    void (*invoke)(void*);
+    // Move-construct `dst` from the object in `src`, then destroy `src`.
+    void (*relocate)(void* dst, void* src);
+    void (*destroy)(void*);
+  };
+
+  template <typename Fn>
+  static constexpr bool fits_inline() {
+    return sizeof(Fn) <= kInlineBytes &&
+           alignof(Fn) <= alignof(std::max_align_t) &&
+           std::is_nothrow_move_constructible_v<Fn>;
+  }
+
+  template <typename Fn>
+  static Fn* as(void* p) {
+    return std::launder(reinterpret_cast<Fn*>(p));
+  }
+
+  template <typename Fn>
+  static constexpr Ops kInlineOps{
+      [](void* p) { (*as<Fn>(p))(); },
+      [](void* dst, void* src) {
+        Fn* from = as<Fn>(src);
+        ::new (dst) Fn(std::move(*from));
+        from->~Fn();
+      },
+      [](void* p) { as<Fn>(p)->~Fn(); }};
+
+  template <typename Fn>
+  static constexpr Ops kHeapOps{
+      [](void* p) { (**as<Fn*>(p))(); },
+      // The stored pointer is trivially destructible; copying it moves
+      // ownership.
+      [](void* dst, void* src) { ::new (dst) Fn*(*as<Fn*>(src)); },
+      [](void* p) { delete *as<Fn*>(p); }};
+
+  void move_from(InlineEvent& other) noexcept {
+    ops_ = other.ops_;
+    if (ops_ != nullptr) {
+      ops_->relocate(buf_, other.buf_);
+      other.ops_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) std::byte buf_[kInlineBytes];
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace numfabric::sim

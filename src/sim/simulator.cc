@@ -1,36 +1,24 @@
 #include "sim/simulator.h"
 
-#include <utility>
-
 namespace numfabric::sim {
-
-EventId Simulator::schedule_in(TimeNs delay, std::function<void()> action) {
-  if (delay < 0) throw std::invalid_argument("Simulator: negative delay");
-  return queue_.push(now_ + delay, std::move(action));
-}
-
-EventId Simulator::schedule_at(TimeNs at, std::function<void()> action) {
-  if (at < now_) throw std::invalid_argument("Simulator: schedule in the past");
-  return queue_.push(at, std::move(action));
-}
 
 void Simulator::run() {
   stopped_ = false;
   while (!queue_.empty() && !stopped_) {
-    auto [at, action] = queue_.pop();
-    now_ = at;
+    EventQueue::Fired fired = queue_.pop();
+    now_ = fired.at;
     ++events_executed_;
-    action();
+    fired.action();
   }
 }
 
 void Simulator::run_until(TimeNs until) {
   stopped_ = false;
   while (!queue_.empty() && !stopped_ && queue_.next_time() <= until) {
-    auto [at, action] = queue_.pop();
-    now_ = at;
+    EventQueue::Fired fired = queue_.pop();
+    now_ = fired.at;
     ++events_executed_;
-    action();
+    fired.action();
   }
   if (!stopped_ && now_ < until) now_ = until;
 }

@@ -2,10 +2,13 @@
 //
 // This replaces ns-3 used by the paper.  All network components hold a
 // reference to one Simulator and drive themselves by scheduling callbacks.
+// The schedule API is typed: any callable (lambda, std::function, function
+// object) is stored directly in the event queue's inline small-buffer slots,
+// so scheduling never heap-allocates for captures up to
+// InlineEvent::kInlineBytes.
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <stdexcept>
 
 #include "sim/event_queue.h"
@@ -24,10 +27,18 @@ class Simulator {
 
   /// Schedules `action` to run `delay` from now.  Negative delays are an
   /// error (they would rewind the clock).
-  EventId schedule_in(TimeNs delay, std::function<void()> action);
+  template <typename F>
+  EventId schedule_in(TimeNs delay, F&& action) {
+    if (delay < 0) throw std::invalid_argument("Simulator: negative delay");
+    return queue_.push(now_ + delay, std::forward<F>(action));
+  }
 
   /// Schedules `action` at the absolute time `at` (must be >= now()).
-  EventId schedule_at(TimeNs at, std::function<void()> action);
+  template <typename F>
+  EventId schedule_at(TimeNs at, F&& action) {
+    if (at < now_) throw std::invalid_argument("Simulator: schedule in the past");
+    return queue_.push(at, std::forward<F>(action));
+  }
 
   void cancel(EventId id) { queue_.cancel(id); }
 

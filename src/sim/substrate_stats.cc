@@ -1,0 +1,26 @@
+#include "sim/substrate_stats.h"
+
+namespace numfabric::sim {
+
+SubstrateStats SubstrateStats::operator-(const SubstrateStats& rhs) const {
+  SubstrateStats out;
+  out.events_scheduled = events_scheduled - rhs.events_scheduled;
+  out.events_fired = events_fired - rhs.events_fired;
+  out.events_cancelled = events_cancelled - rhs.events_cancelled;
+  out.packets_forwarded = packets_forwarded - rhs.packets_forwarded;
+  out.bytes_forwarded = bytes_forwarded - rhs.bytes_forwarded;
+  out.packets_dropped = packets_dropped - rhs.packets_dropped;
+  out.allocs_callable_spill = allocs_callable_spill - rhs.allocs_callable_spill;
+  out.allocs_event_queue = allocs_event_queue - rhs.allocs_event_queue;
+  out.allocs_packet_pool = allocs_packet_pool - rhs.allocs_packet_pool;
+  out.allocs_flow_table = allocs_flow_table - rhs.allocs_flow_table;
+  out.allocs_queue = allocs_queue - rhs.allocs_queue;
+  return out;
+}
+
+SubstrateStats& substrate_stats() {
+  thread_local SubstrateStats stats;
+  return stats;
+}
+
+}  // namespace numfabric::sim

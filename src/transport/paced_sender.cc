@@ -23,14 +23,14 @@ PacedSender::PacedSender(sim::Simulator& sim, const FlowSpec& spec,
 }
 
 PacedSender::~PacedSender() {
-  if (pacing_event_ != 0) sim().cancel(pacing_event_);
+  if (pacing_event_ != sim::kNoEvent) sim().cancel(pacing_event_);
 }
 
 void PacedSender::start() { pace(); }
 
 void PacedSender::pace() {
   pacing_ = false;
-  pacing_event_ = 0;
+  pacing_event_ = sim::kNoEvent;
   if (stopped() || complete() || !data_remaining()) return;
   if (static_cast<double>(inflight() + next_packet_bytes()) > inflight_cap_bytes_) {
     return;  // cap reached; an ACK will restart pacing
@@ -59,9 +59,9 @@ void PacedSender::on_timeout() {
 }
 
 void PacedSender::on_stop() {
-  if (pacing_event_ != 0) {
+  if (pacing_event_ != sim::kNoEvent) {
     sim().cancel(pacing_event_);
-    pacing_event_ = 0;
+    pacing_event_ = sim::kNoEvent;
     pacing_ = false;
   }
 }

@@ -36,7 +36,7 @@ class PacedSender : public SenderBase {
 
   double rate_bps_;
   double inflight_cap_bytes_;
-  sim::EventId pacing_event_ = 0;
+  sim::EventId pacing_event_ = sim::kNoEvent;
   bool pacing_ = false;  // a pacing event is pending
 };
 

@@ -21,15 +21,15 @@ SenderBase::SenderBase(sim::Simulator& sim, const FlowSpec& spec,
 }
 
 SenderBase::~SenderBase() {
-  if (rto_event_ != 0) sim_.cancel(rto_event_);
+  if (rto_event_ != sim::kNoEvent) sim_.cancel(rto_event_);
 }
 
 void SenderBase::stop() {
   if (stopped_) return;
   stopped_ = true;
-  if (rto_event_ != 0) {
+  if (rto_event_ != sim::kNoEvent) {
     sim_.cancel(rto_event_);
-    rto_event_ = 0;
+    rto_event_ = sim::kNoEvent;
   }
   on_stop();
 }
@@ -73,16 +73,16 @@ void SenderBase::handle_packet(net::Packet&& packet) {
 
   if (newly_acked > 0 && inflight() > 0) {
     arm_rto();  // progress: push the retransmission timer out
-  } else if (inflight() == 0 && rto_event_ != 0) {
+  } else if (inflight() == 0 && rto_event_ != sim::kNoEvent) {
     sim_.cancel(rto_event_);
-    rto_event_ = 0;
+    rto_event_ = sim::kNoEvent;
   }
 
   if (!complete_ && spec_.size_bytes > 0 && cum_ack_ >= spec_.size_bytes) {
     complete_ = true;
-    if (rto_event_ != 0) {
+    if (rto_event_ != sim::kNoEvent) {
       sim_.cancel(rto_event_);
-      rto_event_ = 0;
+      rto_event_ = sim::kNoEvent;
     }
     if (callbacks_.on_complete) callbacks_.on_complete(spec_.id, sim_.now());
     return;
@@ -92,12 +92,12 @@ void SenderBase::handle_packet(net::Packet&& packet) {
 
 void SenderBase::arm_rto() {
   if (rto_ <= 0) return;
-  if (rto_event_ != 0) sim_.cancel(rto_event_);
+  if (rto_event_ != sim::kNoEvent) sim_.cancel(rto_event_);
   rto_event_ = sim_.schedule_in(rto_, [this] { fire_rto(); });
 }
 
 void SenderBase::fire_rto() {
-  rto_event_ = 0;
+  rto_event_ = sim::kNoEvent;
   if (stopped_ || complete_) return;
   // Go-back-N: rewind to the last cumulatively acknowledged byte.
   next_seq_ = cum_ack_;

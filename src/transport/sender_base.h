@@ -88,7 +88,7 @@ class SenderBase {
   std::uint64_t bytes_sent_ = 0;
   bool stopped_ = false;
   bool complete_ = false;
-  sim::EventId rto_event_ = 0;
+  sim::EventId rto_event_ = sim::kNoEvent;
 };
 
 }  // namespace numfabric::transport

@@ -1,0 +1,108 @@
+// Generic d-ary min-heap sift primitives over a std::vector.
+//
+// A 4-ary layout halves tree depth versus the std:: binary-heap algorithms
+// and keeps each node's children in one cache line, which is what the event
+// queue and WFQ scheduler spend their time traversing.  The `on_move`
+// callback fires for every element that lands in a new position (including
+// the sifted element's final slot) so callers that index into the heap —
+// the event queue's cancellable entries — can maintain back-pointers; plain
+// heaps pass a no-op.
+//
+// `before(a, b)` must be a strict weak ordering; the element at `pos` is the
+// only one allowed to violate the heap property on entry.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace numfabric::util {
+
+inline constexpr std::size_t kHeapArity = 4;
+
+template <typename T, typename Before, typename OnMove>
+void dary_sift_up(std::vector<T>& heap, std::size_t pos, Before before,
+                  OnMove on_move) {
+  T moving = std::move(heap[pos]);
+  while (pos > 0) {
+    const std::size_t parent = (pos - 1) / kHeapArity;
+    if (!before(moving, heap[parent])) break;
+    heap[pos] = std::move(heap[parent]);
+    on_move(heap[pos], pos);
+    pos = parent;
+  }
+  heap[pos] = std::move(moving);
+  on_move(heap[pos], pos);
+}
+
+// Removes heap[0] (bottom-up pop): the hole is promoted to a leaf by moving
+// the best child up at each level — no compare against a sifting element —
+// then the last element drops into the hole and sifts up, which for a
+// just-removed leaf almost always terminates immediately.  Fewer comparisons
+// than the classic move-last-to-root-and-sift-down on pop-heavy workloads.
+template <typename T, typename Before, typename OnMove>
+void dary_pop_root(std::vector<T>& heap, Before before, OnMove on_move) {
+  const std::size_t size = heap.size() - 1;  // logical size after the pop
+  if (size == 0) {
+    heap.pop_back();
+    return;
+  }
+  std::size_t hole = 0;
+  for (;;) {
+    const std::size_t first_child = hole * kHeapArity + 1;
+    if (first_child >= size) break;
+    std::size_t best = first_child;
+    const std::size_t last_child = std::min(first_child + kHeapArity, size);
+    for (std::size_t c = first_child + 1; c < last_child; ++c) {
+      if (before(heap[c], heap[best])) best = c;
+    }
+    heap[hole] = std::move(heap[best]);
+    on_move(heap[hole], hole);
+    hole = best;
+  }
+  if (hole != size) {
+    heap[hole] = std::move(heap[size]);
+    on_move(heap[hole], hole);
+  }
+  heap.pop_back();
+  if (hole != heap.size()) {
+    dary_sift_up(heap, hole, before, on_move);
+  }
+}
+
+template <typename T, typename Before, typename OnMove>
+void dary_sift_down(std::vector<T>& heap, std::size_t pos, Before before,
+                    OnMove on_move) {
+  const std::size_t size = heap.size();
+  T moving = std::move(heap[pos]);
+  for (;;) {
+    const std::size_t first_child = pos * kHeapArity + 1;
+    if (first_child >= size) break;
+    std::size_t best = first_child;
+    const std::size_t last_child =
+        std::min(first_child + kHeapArity, size);
+    for (std::size_t c = first_child + 1; c < last_child; ++c) {
+      if (before(heap[c], heap[best])) best = c;
+    }
+    if (!before(heap[best], moving)) break;
+    heap[pos] = std::move(heap[best]);
+    on_move(heap[pos], pos);
+    pos = best;
+  }
+  heap[pos] = std::move(moving);
+  on_move(heap[pos], pos);
+}
+
+// Heapifies the whole vector in O(n) (Floyd): sift_down from the last parent
+// to the root.  Used to repair a heap after a batch of raw appends — cheaper
+// than per-append sift_up when the batch is a sizable fraction of the heap.
+template <typename T, typename Before, typename OnMove>
+void dary_make_heap(std::vector<T>& heap, Before before, OnMove on_move) {
+  if (heap.size() < 2) return;
+  for (std::size_t i = (heap.size() - 2) / kHeapArity + 1; i-- > 0;) {
+    dary_sift_down(heap, i, before, on_move);
+  }
+}
+
+}  // namespace numfabric::util

@@ -1,0 +1,62 @@
+// A growable FIFO ring over a flat power-of-two array.
+//
+// std::deque allocates and frees fixed-size blocks as a steady FIFO stream
+// walks through memory, so even a bounded-depth queue keeps the allocator on
+// the hot path.  This ring reuses one contiguous slab: after it has grown to
+// the workload's high-water mark, push/pop cycles are pure index arithmetic.
+// Growth (the only allocation) is counted in
+// SubstrateStats::allocs_packet_pool, which is how the zero-allocation
+// steady-state guarantee is measured.
+//
+// T must be default-constructible and movable (Packet and friends are).
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "sim/substrate_stats.h"
+
+namespace numfabric::util {
+
+template <typename T>
+class RingBuffer {
+ public:
+  bool empty() const { return count_ == 0; }
+  std::size_t size() const { return count_; }
+  std::size_t capacity() const { return slots_.size(); }
+
+  T& front() { return slots_[head_]; }
+  const T& front() const { return slots_[head_]; }
+
+  void push_back(T&& value) {
+    if (count_ == slots_.size()) grow();
+    slots_[(head_ + count_) & mask_] = std::move(value);
+    ++count_;
+  }
+
+  void pop_front() {
+    head_ = (head_ + 1) & mask_;
+    --count_;
+  }
+
+ private:
+  void grow() {
+    ++sim::substrate_stats().allocs_packet_pool;
+    const std::size_t new_capacity = slots_.empty() ? 8 : slots_.size() * 2;
+    std::vector<T> bigger(new_capacity);
+    for (std::size_t i = 0; i < count_; ++i) {
+      bigger[i] = std::move(slots_[(head_ + i) & mask_]);
+    }
+    slots_ = std::move(bigger);
+    head_ = 0;
+    mask_ = new_capacity - 1;
+  }
+
+  std::vector<T> slots_;
+  std::size_t head_ = 0;
+  std::size_t count_ = 0;
+  std::size_t mask_ = 0;
+};
+
+}  // namespace numfabric::util

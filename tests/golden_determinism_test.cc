@@ -1,0 +1,115 @@
+// Golden determinism guard for the simulation substrate.
+//
+// Runs fig4a (the `convergence` scenario) and one incast point at fixed
+// seeds and asserts (a) the merged sweep CSV is byte-identical whether run
+// on 1 worker or 4, and (b) both outputs hash to checked-in golden values.
+// The hashes cover scenario tables AND the substrate `perf` counters, so any
+// change to event ordering, packet forwarding, queue scheduling or counter
+// accounting — the things the allocation-free substrate refactor must
+// preserve — trips this test.
+//
+// If a change intentionally alters simulation behavior, rerun the test: the
+// failure message prints the new hash to paste into the constants below.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+
+#include "app/metrics.h"
+#include "app/options.h"
+#include "app/perf.h"
+#include "app/run_plan.h"
+#include "app/scenario.h"
+#include "app/sweep.h"
+
+namespace numfabric::app {
+namespace {
+
+// Checked-in golden hashes (FNV-1a 64 of the normalized CSV).
+constexpr const char* kConvergenceGolden = "602ea638da78220c";
+constexpr const char* kIncastSweepGolden = "e86f0de6df6f00a1";
+
+std::string fnv1a_hex(const std::string& text) {
+  std::uint64_t hash = 1469598103934665603ull;
+  for (const unsigned char c : text) {
+    hash ^= c;
+    hash *= 1099511628211ull;
+  }
+  std::ostringstream out;
+  out << std::hex << hash;
+  return out.str();
+}
+
+// Blanks the wall_ms column of sweep_runs rows — the only nondeterministic
+// bytes in merged sweep output.
+std::string normalize(const MetricWriter& metrics) {
+  std::ostringstream raw;
+  metrics.write_csv(raw);
+  std::istringstream in(raw.str());
+  std::ostringstream cleaned;
+  std::string line;
+  bool in_sweep_runs = false;
+  while (std::getline(in, line)) {
+    if (line.rfind("# table,", 0) == 0) {
+      in_sweep_runs = line == "# table,sweep_runs";
+    } else if (in_sweep_runs && line.find("wall_ms") == std::string::npos) {
+      line = line.substr(0, line.rfind(',') + 1) + "<wall>";
+    }
+    cleaned << line << "\n";
+  }
+  return cleaned.str();
+}
+
+TEST(GoldenDeterminismTest, Fig4aConvergenceMatchesGoldenHash) {
+  register_builtin_scenarios();
+  const Scenario* scenario = ScenarioRegistry::global().find("convergence");
+  ASSERT_NE(scenario, nullptr);
+  Options options;  // declared defaults, fixed seed
+  MetricWriter metrics;
+  RunContext ctx{options, transport::Scheme::kNumFabric, metrics, false};
+  const PerfSnapshot snapshot;
+  scenario->run(ctx);
+  record_perf(metrics, snapshot.delta());
+  const std::string csv = normalize(metrics);
+  EXPECT_EQ(fnv1a_hex(csv), kConvergenceGolden)
+      << "fig4a output changed. If intentional, update kConvergenceGolden.\n"
+      << "--- normalized CSV (first 2000 chars) ---\n"
+      << csv.substr(0, 2000);
+}
+
+TEST(GoldenDeterminismTest, IncastSweepIsJobCountInvariantAndMatchesGolden) {
+  register_builtin_scenarios();
+  const Scenario* scenario = ScenarioRegistry::global().find("incast");
+  ASSERT_NE(scenario, nullptr);
+
+  const auto run_with_jobs = [scenario](int jobs) {
+    SweepRequest request;
+    request.scenario = scenario;
+    Options options;
+    options.set("hosts_per_leaf", "2");
+    options.set("leaves", "2");
+    options.set("spines", "1");
+    options.set("fanin", "3");
+    options.set("flow_kb", "32");
+    request.base_options = options;
+    request.plan = RunPlan::expand({parse_sweep_spec("seed=1,2")});
+    request.jobs = jobs;
+    MetricWriter merged;
+    const SweepResult result = run_sweep(request, merged);
+    EXPECT_EQ(result.failed, 0) << "golden sweep runs must succeed";
+    return normalize(merged);
+  };
+
+  const std::string serial = run_with_jobs(1);
+  const std::string parallel = run_with_jobs(4);
+  EXPECT_EQ(serial, parallel)
+      << "merged sweep output depends on the worker count";
+  EXPECT_EQ(fnv1a_hex(serial), kIncastSweepGolden)
+      << "incast sweep output changed. If intentional, update "
+         "kIncastSweepGolden.\n--- normalized CSV (first 2000 chars) ---\n"
+      << serial.substr(0, 2000);
+}
+
+}  // namespace
+}  // namespace numfabric::app

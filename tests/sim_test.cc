@@ -1,7 +1,9 @@
 // Unit tests for the discrete-event core.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <vector>
 
 #include "sim/event_queue.h"
@@ -33,7 +35,7 @@ TEST(EventQueueTest, OrdersByTime) {
   queue.push(30, [&] { order.push_back(3); });
   queue.push(10, [&] { order.push_back(1); });
   queue.push(20, [&] { order.push_back(2); });
-  while (!queue.empty()) queue.pop().second();
+  while (!queue.empty()) queue.pop().action();
   EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
 }
 
@@ -43,7 +45,7 @@ TEST(EventQueueTest, FifoTieBreakAtSameTime) {
   for (int i = 0; i < 10; ++i) {
     queue.push(42, [&order, i] { order.push_back(i); });
   }
-  while (!queue.empty()) queue.pop().second();
+  while (!queue.empty()) queue.pop().action();
   for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
 }
 
@@ -54,14 +56,14 @@ TEST(EventQueueTest, CancelPreventsExecution) {
   queue.push(6, [] {});
   queue.cancel(id);
   EXPECT_EQ(queue.size(), 1u);
-  while (!queue.empty()) queue.pop().second();
+  while (!queue.empty()) queue.pop().action();
   EXPECT_FALSE(ran);
 }
 
 TEST(EventQueueTest, CancelFiredEventIsNoop) {
   EventQueue queue;
   const EventId id = queue.push(1, [] {});
-  queue.pop().second();
+  queue.pop().action();
   queue.cancel(id);  // must not corrupt accounting
   EXPECT_TRUE(queue.empty());
   queue.push(2, [] {});
@@ -74,6 +76,128 @@ TEST(EventQueueTest, CancelHeadThenNextTime) {
   queue.push(9, [] {});
   queue.cancel(id);
   EXPECT_EQ(queue.next_time(), 9);
+}
+
+TEST(EventQueueTest, CancelOfCancelledIsNoop) {
+  EventQueue queue;
+  bool survivor_ran = false;
+  const EventId id = queue.push(5, [] {});
+  queue.push(6, [&] { survivor_ran = true; });
+  queue.cancel(id);
+  queue.cancel(id);  // double cancel: generation no longer matches
+  EXPECT_EQ(queue.size(), 1u);
+  while (!queue.empty()) queue.pop().action();
+  EXPECT_TRUE(survivor_ran);
+}
+
+TEST(EventQueueTest, StaleHandleDoesNotCancelSlotReuse) {
+  // After an event fires (or is cancelled) its slot is recycled for the next
+  // push.  The old handle carries the old generation, so cancelling it must
+  // not kill the slot's new occupant.
+  EventQueue queue;
+  const EventId stale = queue.push(1, [] {});
+  queue.pop().action();  // fires; slot 0 returns to the free list
+  bool second_ran = false;
+  const EventId fresh = queue.push(2, [&] { second_ran = true; });
+  EXPECT_NE(stale, fresh);
+  queue.cancel(stale);  // must be a no-op
+  EXPECT_EQ(queue.size(), 1u);
+  queue.pop().action();
+  EXPECT_TRUE(second_ran);
+}
+
+TEST(EventQueueTest, HandlesAreNeverTheNoEventSentinel) {
+  EventQueue queue;
+  for (int i = 0; i < 100; ++i) {
+    const EventId id = queue.push(i, [] {});
+    EXPECT_NE(id, kNoEvent);
+    if (i % 3 == 0) queue.cancel(id);
+  }
+  while (!queue.empty()) queue.pop().action();
+}
+
+TEST(EventQueueTest, LargeCapturesSpillButStillRun) {
+  // Captures beyond the inline buffer fall back to one heap allocation and
+  // must behave identically.
+  EventQueue queue;
+  struct Big {
+    std::uint64_t payload[16];
+  };
+  Big big{};
+  big.payload[7] = 42;
+  std::uint64_t seen = 0;
+  queue.push(1, [big, &seen] { seen = big.payload[7]; });
+  queue.pop().action();
+  EXPECT_EQ(seen, 42u);
+}
+
+// Randomized push/cancel/pop stress, cross-checked against a naive reference
+// queue (linear scan for the (time, push-order) minimum).
+TEST(EventQueueTest, RandomizedStressMatchesNaiveReference) {
+  struct RefEvent {
+    TimeNs at;
+    std::uint64_t order;
+    int tag;
+    bool alive;
+  };
+  EventQueue queue;
+  std::vector<RefEvent> reference;
+  std::vector<EventId> handles;
+  std::vector<int> fired;
+  std::vector<int> expected;
+  Rng rng(1234);
+  std::uint64_t order = 0;
+  int next_tag = 0;
+
+  for (int step = 0; step < 20'000; ++step) {
+    const double dice = rng.uniform();
+    if (dice < 0.5) {
+      const auto at = static_cast<TimeNs>(rng.uniform_int(0, 1000));
+      const int tag = next_tag++;
+      handles.push_back(queue.push(at, [tag, &fired] { fired.push_back(tag); }));
+      reference.push_back({at, order++, tag, true});
+    } else if (dice < 0.75 && !reference.empty()) {
+      // Cancel a random event — possibly one already popped or cancelled, to
+      // exercise the stale-handle path.
+      const std::size_t i = rng.index(reference.size());
+      queue.cancel(handles[i]);
+      reference[i].alive = false;
+    } else if (!queue.empty()) {
+      // Pop from the real queue; the reference picks its (time, order) min.
+      std::size_t best = reference.size();
+      for (std::size_t i = 0; i < reference.size(); ++i) {
+        if (!reference[i].alive) continue;
+        if (best == reference.size() || reference[i].at < reference[best].at ||
+            (reference[i].at == reference[best].at &&
+             reference[i].order < reference[best].order)) {
+          best = i;
+        }
+      }
+      ASSERT_NE(best, reference.size());
+      EXPECT_EQ(queue.next_time(), reference[best].at);
+      queue.pop().action();
+      expected.push_back(reference[best].tag);
+      reference[best].alive = false;
+    }
+    ASSERT_EQ(queue.size(), static_cast<std::size_t>(std::count_if(
+                                reference.begin(), reference.end(),
+                                [](const RefEvent& e) { return e.alive; })));
+  }
+  while (!queue.empty()) {
+    std::size_t best = reference.size();
+    for (std::size_t i = 0; i < reference.size(); ++i) {
+      if (!reference[i].alive) continue;
+      if (best == reference.size() || reference[i].at < reference[best].at ||
+          (reference[i].at == reference[best].at &&
+           reference[i].order < reference[best].order)) {
+        best = i;
+      }
+    }
+    queue.pop().action();
+    expected.push_back(reference[best].tag);
+    reference[best].alive = false;
+  }
+  EXPECT_EQ(fired, expected);
 }
 
 TEST(SimulatorTest, ClockAdvancesWithEvents) {

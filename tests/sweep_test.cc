@@ -158,6 +158,14 @@ std::string csv_without_wall_times(const MetricWriter& metrics) {
   return cleaned.str();
 }
 
+const MetricTable* find_table(const MetricWriter& metrics,
+                              const std::string& name) {
+  for (const auto& table : metrics.tables()) {
+    if (table->name() == name) return table.get();
+  }
+  return nullptr;
+}
+
 SweepRequest square_request(const Scenario& scenario, int jobs) {
   SweepRequest request;
   request.scenario = &scenario;
@@ -182,8 +190,9 @@ TEST(SweepTest, MergedTablesPrependSweptKeysInOrder) {
     EXPECT_GE(status.wall_ms, 0);
   }
 
-  // Table order: sweep_runs first, then first-encounter order.
-  ASSERT_EQ(merged.tables().size(), 3u);
+  // Table order: sweep_runs first, then first-encounter order (the engine
+  // appends each run's substrate `perf` table after the scenario's own).
+  ASSERT_EQ(merged.tables().size(), 4u);
   EXPECT_EQ(merged.tables()[0]->name(), "sweep_runs");
   EXPECT_EQ(merged.tables()[0]->columns(),
             (std::vector<std::string>{"run", "x", "k", "status", "wall_ms"}));
@@ -195,6 +204,10 @@ TEST(SweepTest, MergedTablesPrependSweptKeysInOrder) {
   EXPECT_EQ(points->name(), "points");
   EXPECT_EQ(points->columns(),
             (std::vector<std::string>{"x", "k", "x_plus_k", "x_squared"}));
+  const MetricTable* perf = merged.tables()[3].get();
+  EXPECT_EQ(perf->name(), "perf");
+  EXPECT_EQ(perf->columns(),
+            (std::vector<std::string>{"x", "k", "counter", "value"}));
 
   // Rows in plan order, swept cells numeric.
   ASSERT_EQ(points->rows().size(), 4u);
@@ -220,8 +233,8 @@ TEST(SweepTest, SweptKeyAlreadyInTableIsNotDuplicated) {
   request.jobs = 1;
   MetricWriter merged;
   run_sweep(request, merged);
-  const MetricTable* echo = merged.tables().back().get();
-  ASSERT_EQ(echo->name(), "echo");
+  const MetricTable* echo = find_table(merged, "echo");
+  ASSERT_NE(echo, nullptr);
   // Only the non-colliding key `k` is prepended.
   EXPECT_EQ(echo->columns(), (std::vector<std::string>{"k", "x", "x_squared"}));
   ASSERT_EQ(echo->rows().size(), 4u);
@@ -268,9 +281,14 @@ TEST(SweepTest, PerRunErrorsLandInStatusNotThrow) {
   EXPECT_FALSE(result.statuses[2].ok);
   EXPECT_EQ(result.statuses[2].error, "x=3 is cursed");
   // The failed run contributes no data rows; the others still merge.
-  const MetricTable* points = merged.tables().back().get();
-  ASSERT_EQ(points->name(), "points");
+  const MetricTable* points = find_table(merged, "points");
+  ASSERT_NE(points, nullptr);
   EXPECT_EQ(points->rows().size(), 3u);
+  // Nor does it contribute perf counters (3 successful runs only).
+  const MetricTable* perf = find_table(merged, "perf");
+  ASSERT_NE(perf, nullptr);
+  EXPECT_EQ(perf->rows().size() % 3, 0u);
+  EXPECT_GT(perf->rows().size(), 0u);
 }
 
 TEST(SweepTest, RejectsMalformedRequests) {
