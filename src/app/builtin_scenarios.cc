@@ -11,7 +11,9 @@
 //    under NUMFABRIC_FULL=1 (RunContext::full_scale);
 //  * results go through MetricWriter only — the driver decides CSV vs JSON.
 #include <algorithm>
+#include <cstddef>
 #include <cstdint>
+#include <cstdio>
 #include <limits>
 #include <stdexcept>
 #include <string>
@@ -20,6 +22,7 @@
 #include "app/scenario.h"
 #include "exp/bwfunc_experiment.h"
 #include "exp/common.h"
+#include "exp/contention_experiment.h"
 #include "exp/dynamic_workload.h"
 #include "exp/fct_experiment.h"
 #include "exp/pooling_experiment.h"
@@ -41,25 +44,63 @@ exp::Scale scale_for(const RunContext& ctx) {
   return ctx.full_scale ? exp::full_scale() : exp::quick_scale();
 }
 
+/// Resolves the fabric: the optional `topology=HxLxS` shape token, the three
+/// explicit counts, per-tier rates and delays, then the `oversub=` re-rating
+/// (which derives the spine rate from host demand, overriding spine_gbps).
 net::LeafSpineOptions leaf_spine_options(const RunContext& ctx,
                                          const exp::Scale& scale) {
+  int hosts_per_leaf = scale.hosts_per_leaf;
+  int leaves = scale.leaves;
+  int spines = scale.spines;
+  const std::string shape = ctx.options.get("topology", "");
+  if (!shape.empty()) {
+    for (const char* key : {"hosts_per_leaf", "leaves", "spines"}) {
+      if (ctx.options.has(key)) {
+        throw std::invalid_argument("topology= already fixes " +
+                                    std::string(key) + "; drop one of the two");
+      }
+    }
+    char trailing = 0;
+    if (std::sscanf(shape.c_str(), "%dx%dx%d%c", &hosts_per_leaf, &leaves,
+                    &spines, &trailing) != 3 ||
+        hosts_per_leaf < 1 || leaves < 1 || spines < 1) {
+      throw std::invalid_argument("bad topology '" + shape +
+                                  "' (expected HxLxS, e.g. 16x8x4)");
+    }
+  }
   net::LeafSpineOptions topo;
   topo.hosts_per_leaf = static_cast<int>(
-      ctx.options.get_int("hosts_per_leaf", scale.hosts_per_leaf));
-  topo.num_leaves = static_cast<int>(ctx.options.get_int("leaves", scale.leaves));
-  topo.num_spines = static_cast<int>(ctx.options.get_int("spines", scale.spines));
+      ctx.options.get_int("hosts_per_leaf", hosts_per_leaf));
+  topo.num_leaves = static_cast<int>(ctx.options.get_int("leaves", leaves));
+  topo.num_spines = static_cast<int>(ctx.options.get_int("spines", spines));
   topo.host_rate_bps = ctx.options.get_double("host_gbps", 10.0) * 1e9;
   topo.spine_rate_bps = ctx.options.get_double("spine_gbps", 40.0) * 1e9;
+  topo.core_link_delay = static_cast<sim::TimeNs>(
+      ctx.options.get_double("core_delay_us", sim::to_micros(topo.link_delay)) *
+      sim::kMicrosecond);
+  const double oversub = ctx.options.get_double("oversub", 0.0);
+  if (oversub < 0) {
+    throw std::invalid_argument("oversub must be >= 0 (0 = keep spine_gbps)");
+  }
+  if (oversub > 0) topo = topo.with_oversubscription(oversub);
   return topo;
 }
 
 std::vector<ParamSpec> topology_params() {
   return {
+      {"topology", "",
+       "fabric shape HxLxS (hosts_per_leaf x leaves x spines), e.g. 16x8x4; "
+       "one sweepable token, conflicts with the three explicit keys"},
       {"hosts_per_leaf", "8", "hosts per leaf switch (full scale: 16)"},
       {"leaves", "4", "number of leaf switches (full scale: 8)"},
       {"spines", "2", "number of spine switches (full scale: 4)"},
       {"host_gbps", "10", "host NIC rate"},
       {"spine_gbps", "40", "leaf-to-spine link rate"},
+      {"oversub", "0",
+       "core oversubscription ratio; > 0 re-rates spine links to "
+       "hosts_per_leaf*host_gbps/(spines*oversub), overriding spine_gbps"},
+      {"core_delay_us", "2",
+       "leaf-spine propagation delay (edge links stay at 2 us)"},
   };
 }
 
@@ -67,6 +108,18 @@ std::vector<ParamSpec> merge_params(std::vector<ParamSpec> a,
                                     std::vector<ParamSpec> b) {
   a.insert(a.end(), b.begin(), b.end());
   return a;
+}
+
+/// Effective scheme for single-transport scenarios: the sweepable
+/// `transport=` parameter when set, else the driver's --transport switch.
+transport::Scheme scheme_for(const RunContext& ctx) {
+  const std::string token = ctx.options.get("transport", "");
+  return token.empty() ? ctx.scheme : parse_scheme(token);
+}
+
+ParamSpec transport_param() {
+  return {"transport", "<--transport>",
+          "scheme for this run (sweepable; overrides --transport)"};
 }
 
 std::vector<transport::Scheme> transports_param(const RunContext& ctx) {
@@ -81,6 +134,18 @@ std::vector<transport::Scheme> transports_param(const RunContext& ctx) {
 double percentile_or_nan(const std::vector<double>& samples, double p) {
   return samples.empty() ? std::numeric_limits<double>::quiet_NaN()
                          : stats::percentile(samples, p);
+}
+
+/// KB-sized knobs become unsigned byte counts; a negative value would wrap
+/// to an absurd size, so reject it here.
+std::uint64_t kb_to_bytes(const RunContext& ctx, const std::string& key,
+                          std::int64_t fallback_kb) {
+  const std::int64_t kb = ctx.options.get_int(key, fallback_kb);
+  if (kb < 0) {
+    throw std::invalid_argument(key + " must be >= 0 (got " +
+                                std::to_string(kb) + ")");
+  }
+  return static_cast<std::uint64_t>(kb) * 1000;
 }
 
 // ---------------------------------------------------------------------------
@@ -378,8 +443,26 @@ void run_bwfunc_pooling(RunContext& ctx) {
 // Traffic families: incast / permutation / shuffle.
 // ---------------------------------------------------------------------------
 
-void emit_traffic_result(RunContext& ctx, const exp::TrafficResult& result) {
-  ctx.metrics.scalar("transport", scheme_token(ctx.scheme));
+void emit_fct_table(RunContext& ctx, int completed, int incomplete,
+                    std::vector<double> fct_us) {
+  MetricTable& fct = ctx.metrics.table(
+      "fct", {"completed", "incomplete", "min_us", "mean_us", "p50_us",
+              "p95_us", "p99_us", "max_us"});
+  std::sort(fct_us.begin(), fct_us.end());
+  fct.add_row({completed, incomplete,
+               fct_us.empty() ? std::numeric_limits<double>::quiet_NaN()
+                              : fct_us.front(),
+               fct_us.empty() ? std::numeric_limits<double>::quiet_NaN()
+                              : stats::mean(fct_us),
+               percentile_or_nan(fct_us, 50), percentile_or_nan(fct_us, 95),
+               percentile_or_nan(fct_us, 99),
+               fct_us.empty() ? std::numeric_limits<double>::quiet_NaN()
+                              : fct_us.back()});
+}
+
+void emit_traffic_result(RunContext& ctx, transport::Scheme scheme,
+                         const exp::TrafficResult& result) {
+  ctx.metrics.scalar("transport", scheme_token(scheme));
   ctx.metrics.scalar("flow_count", result.flow_count);
   ctx.metrics.scalar("sim_events", result.sim_events);
   ctx.metrics.scalar("queue_drops", result.queue_drops);
@@ -400,20 +483,7 @@ void emit_traffic_result(RunContext& ctx, const exp::TrafficResult& result) {
     }
   }
   if (result.completed + result.incomplete > 0) {
-    MetricTable& fct = ctx.metrics.table(
-        "fct", {"completed", "incomplete", "min_us", "mean_us", "p50_us",
-                "p95_us", "p99_us", "max_us"});
-    std::vector<double> fcts = result.fct_us;
-    std::sort(fcts.begin(), fcts.end());
-    fct.add_row({result.completed, result.incomplete,
-                 fcts.empty() ? std::numeric_limits<double>::quiet_NaN()
-                              : fcts.front(),
-                 fcts.empty() ? std::numeric_limits<double>::quiet_NaN()
-                              : stats::mean(fcts),
-                 percentile_or_nan(fcts, 50), percentile_or_nan(fcts, 95),
-                 percentile_or_nan(fcts, 99),
-                 fcts.empty() ? std::numeric_limits<double>::quiet_NaN()
-                              : fcts.back()});
+    emit_fct_table(ctx, result.completed, result.incomplete, result.fct_us);
   }
 }
 
@@ -421,15 +491,16 @@ void run_traffic(RunContext& ctx, exp::TrafficPattern pattern,
                  std::int64_t default_flow_kb) {
   const exp::Scale scale = scale_for(ctx);
   exp::TrafficOptions options;
-  options.scheme = ctx.scheme;
+  options.scheme = scheme_for(ctx);
   options.topology = leaf_spine_options(ctx, scale);
+  options.core_buffer_bytes =
+      static_cast<std::size_t>(kb_to_bytes(ctx, "core_buffer_kb", 0));
   options.pattern = pattern;
   const int host_count =
       options.topology.hosts_per_leaf * options.topology.num_leaves;
   options.incast_fanin = static_cast<int>(
       ctx.options.get_int("fanin", std::min(16, host_count - 1)));
-  options.flow_size_bytes = static_cast<std::uint64_t>(
-      ctx.options.get_int("flow_kb", default_flow_kb) * 1000);
+  options.flow_size_bytes = kb_to_bytes(ctx, "flow_kb", default_flow_kb);
   options.alpha = ctx.options.get_double("alpha", 1.0);
   options.warmup = ms_time(ctx.options.get_double(
       "warmup_ms", sim::to_seconds(scale.warmup) * 1e3));
@@ -437,7 +508,7 @@ void run_traffic(RunContext& ctx, exp::TrafficPattern pattern,
       "measure_ms", sim::to_seconds(scale.measure) * 1e3));
   options.horizon = ms_time(ctx.options.get_double("horizon_ms", 5'000));
   options.seed = static_cast<std::uint64_t>(ctx.options.get_int("seed", 1));
-  emit_traffic_result(ctx, exp::run_traffic_experiment(options));
+  emit_traffic_result(ctx, options.scheme, exp::run_traffic_experiment(options));
 }
 
 // ---------------------------------------------------------------------------
@@ -455,7 +526,7 @@ void run_fct_sweep(RunContext& ctx, const std::string& default_workload) {
   const std::vector<double> loads = loads_param(ctx, {0.2, 0.4, 0.6, 0.8});
   for (const double load : loads) {
     exp::DynamicWorkloadOptions options;
-    options.scheme = ctx.scheme;
+    options.scheme = scheme_for(ctx);
     options.topology = leaf_spine_options(ctx, scale);
     options.sizes = &distribution_param(ctx, default_workload);
     options.load = load;
@@ -489,6 +560,109 @@ void run_fct_sweep(RunContext& ctx, const std::string& default_workload) {
                     stats::mean(by_bin[b])});
     }
   }
+}
+
+// ---------------------------------------------------------------------------
+// Oversubscribed-fabric family: oversub-fabric and background-burst.
+// ---------------------------------------------------------------------------
+
+void run_oversub_fabric_scenario(RunContext& ctx) {
+  const exp::Scale scale = scale_for(ctx);
+  exp::OversubFabricOptions options;
+  options.scheme = scheme_for(ctx);
+  options.topology = leaf_spine_options(ctx, scale);
+  options.core_buffer_bytes =
+      static_cast<std::size_t>(kb_to_bytes(ctx, "core_buffer_kb", 0));
+  options.alpha = ctx.options.get_double("alpha", 1.0);
+  options.shuffle_flow_bytes = kb_to_bytes(ctx, "shuffle_kb", 50);
+  options.warmup = ms_time(ctx.options.get_double("warmup_ms", 2));
+  options.measure = ms_time(ctx.options.get_double("measure_ms", 4));
+  options.horizon = ms_time(ctx.options.get_double("horizon_ms", 200));
+  options.seed = static_cast<std::uint64_t>(ctx.options.get_int("seed", 1));
+  const exp::OversubFabricResult result = exp::run_oversub_fabric(options);
+
+  ctx.metrics.scalar("transport", scheme_token(options.scheme));
+  ctx.metrics.scalar("oversubscription", result.oversubscription);
+  ctx.metrics.scalar("sim_events", result.sim_events);
+  ctx.metrics.scalar("queue_drops", result.queue_drops);
+
+  MetricTable& summary = ctx.metrics.table(
+      "core_summary", {"oversub_ratio", "core_links", "util_mean", "util_min",
+                       "util_max", "price_convergence_us"});
+  summary.add_row({result.oversubscription,
+                   static_cast<std::int64_t>(result.core_links.size()),
+                   result.core_util_mean, result.core_util_min,
+                   result.core_util_max, result.price_convergence_us});
+
+  MetricTable& per_link =
+      ctx.metrics.table("core_utilization", {"link", "utilization", "price"});
+  for (const auto& stats : result.core_links) {
+    per_link.add_row({stats.name, stats.utilization, stats.price});
+  }
+
+  MetricTable& background =
+      ctx.metrics.table("background", {"flows", "goodput_gbps", "jain_index"});
+  background.add_row({result.background_flows,
+                      result.background_goodput_bps / 1e9,
+                      result.background_jain});
+
+  emit_fct_table(ctx, result.shuffle_completed, result.shuffle_incomplete,
+                 result.shuffle_fct_us);
+}
+
+void run_background_burst_scenario(RunContext& ctx) {
+  const exp::Scale scale = scale_for(ctx);
+  exp::BackgroundBurstOptions options;
+  options.scheme = scheme_for(ctx);
+  options.topology = leaf_spine_options(ctx, scale);
+  options.core_buffer_bytes =
+      static_cast<std::size_t>(kb_to_bytes(ctx, "core_buffer_kb", 0));
+  options.alpha = ctx.options.get_double("alpha", 1.0);
+  options.background_load = ctx.options.get_double("background_load", 0.5);
+  options.burst_fanin = static_cast<int>(ctx.options.get_int("fanin", 8));
+  options.burst_bytes = kb_to_bytes(ctx, "burst_kb", 20);
+  options.burst_interval =
+      ms_time(ctx.options.get_double("burst_interval_ms", 1));
+  options.num_bursts = static_cast<int>(ctx.options.get_int("bursts", 4));
+  options.warmup = ms_time(ctx.options.get_double("warmup_ms", 2));
+  options.horizon = ms_time(ctx.options.get_double("horizon_ms", 500));
+  options.seed = static_cast<std::uint64_t>(ctx.options.get_int("seed", 1));
+  const exp::BackgroundBurstResult result = exp::run_background_burst(options);
+
+  ctx.metrics.scalar("transport", scheme_token(options.scheme));
+  ctx.metrics.scalar("oversubscription", result.oversubscription);
+  ctx.metrics.scalar("sim_events", result.sim_events);
+  ctx.metrics.scalar("queue_drops", result.queue_drops);
+
+  MetricTable& bursts = ctx.metrics.table(
+      "bursts", {"burst", "start_ms", "completed", "incomplete", "fct_p50_us",
+                 "fct_max_us", "background_during_gbps",
+                 "background_quiet_gbps", "throughput_ratio"});
+  for (const auto& stats : result.bursts) {
+    bursts.add_row({stats.index, stats.start_ms, stats.completed,
+                    stats.incomplete, stats.fct_p50_us, stats.fct_max_us,
+                    stats.background_during_bps / 1e9,
+                    stats.background_quiet_bps / 1e9,
+                    stats.background_quiet_bps > 0
+                        ? stats.background_during_bps /
+                              stats.background_quiet_bps
+                        : std::numeric_limits<double>::quiet_NaN()});
+  }
+
+  MetricTable& summary = ctx.metrics.table(
+      "burst_summary",
+      {"bursts", "flows", "completed", "incomplete", "fct_p50_us", "fct_p99_us",
+       "fct_max_us", "background_flows", "background_goodput_gbps"});
+  std::vector<double> fcts = result.burst_fct_us;
+  std::sort(fcts.begin(), fcts.end());
+  summary.add_row({static_cast<std::int64_t>(result.bursts.size()),
+                   result.burst_flows, result.burst_completed,
+                   result.burst_incomplete, percentile_or_nan(fcts, 50),
+                   percentile_or_nan(fcts, 99),
+                   fcts.empty() ? std::numeric_limits<double>::quiet_NaN()
+                                : fcts.back(),
+                   result.background_flows,
+                   result.background_goodput_bps / 1e9});
 }
 
 // ---------------------------------------------------------------------------
@@ -740,7 +914,9 @@ void register_builtin_scenarios() {
       .figure = "",
       .params = merge_params(
           topology_params(),
-          {{"fanin", "16", "concurrent senders"},
+          {transport_param(),
+           {"core_buffer_kb", "0", "core per-port buffer KB (0 = edge buffer)"},
+           {"fanin", "16", "concurrent senders"},
            {"flow_kb", "64", "KB per sender (0 = long-running)"},
            {"alpha", "1", "alpha-fairness of the NUM objective"},
            {"warmup_ms", "8", "rate mode: settling time"},
@@ -759,7 +935,9 @@ void register_builtin_scenarios() {
       .figure = "",
       .params = merge_params(
           topology_params(),
-          {{"flow_kb", "0", "KB per flow (0 = long-running)"},
+          {transport_param(),
+           {"core_buffer_kb", "0", "core per-port buffer KB (0 = edge buffer)"},
+           {"flow_kb", "0", "KB per flow (0 = long-running)"},
            {"alpha", "1", "alpha-fairness of the NUM objective"},
            {"warmup_ms", "8", "settling time"},
            {"measure_ms", "12", "measurement window"},
@@ -777,7 +955,9 @@ void register_builtin_scenarios() {
       .figure = "",
       .params = merge_params(
           topology_params(),
-          {{"flow_kb", "250", "KB per host pair (0 = long-running)"},
+          {transport_param(),
+           {"core_buffer_kb", "0", "core per-port buffer KB (0 = edge buffer)"},
+           {"flow_kb", "250", "KB per host pair (0 = long-running)"},
            {"alpha", "1", "alpha-fairness of the NUM objective"},
            {"warmup_ms", "8", "rate mode: settling time"},
            {"measure_ms", "12", "rate mode: measurement window"},
@@ -795,7 +975,8 @@ void register_builtin_scenarios() {
       .figure = "",
       .params = merge_params(
           topology_params(),
-          {{"workload", "websearch", "websearch | enterprise | datamining"},
+          {transport_param(),
+           {"workload", "websearch", "websearch | enterprise | datamining"},
            {"loads", "0.2,0.4,0.6,0.8", "offered loads to sweep"},
            {"load", "", "single offered load (overrides loads)"},
            {"flows", "600", "Poisson arrivals per load"},
@@ -812,7 +993,8 @@ void register_builtin_scenarios() {
       .figure = "",
       .params = merge_params(
           topology_params(),
-          {{"workload", "datamining", "websearch | enterprise | datamining"},
+          {transport_param(),
+           {"workload", "datamining", "websearch | enterprise | datamining"},
            {"loads", "0.2,0.4,0.6,0.8", "offered loads to sweep"},
            {"load", "", "single offered load (overrides loads)"},
            {"flows", "600", "Poisson arrivals per load"},
@@ -820,6 +1002,47 @@ void register_builtin_scenarios() {
            {"horizon_ms", "20000", "hard stop for stragglers"},
            {"seed", "13", "workload RNG seed"}}),
       .run = [](RunContext& ctx) { run_fct_sweep(ctx, "datamining"); }});
+
+  registry.add(Scenario{
+      .name = "oversub-fabric",
+      .description =
+          "permutation background + all-to-all shuffle wave on a contended "
+          "core: core-link utilization, xWI price re-convergence, wave FCTs",
+      .figure = "",
+      .params = merge_params(
+          topology_params(),
+          {transport_param(),
+           {"core_buffer_kb", "0", "core per-port buffer KB (0 = edge buffer)"},
+           {"shuffle_kb", "50", "KB per host pair in the shuffle wave"},
+           {"alpha", "1", "alpha-fairness of the NUM objective"},
+           {"warmup_ms", "2", "background settling time; the wave starts here"},
+           {"measure_ms", "4", "utilization / goodput window after the wave"},
+           {"horizon_ms", "200", "hard stop for wave stragglers"},
+           {"seed", "1", "workload RNG seed"}}),
+      .run = run_oversub_fabric_scenario});
+
+  registry.add(Scenario{
+      .name = "background-burst",
+      .description =
+          "long-running background flows plus periodic synchronized incast "
+          "bursts: burst FCTs vs background-throughput interference",
+      .figure = "",
+      .params = merge_params(
+          topology_params(),
+          {transport_param(),
+           {"core_buffer_kb", "0", "core per-port buffer KB (0 = edge buffer)"},
+           {"background_load", "0.5",
+            "fraction of the host permutation kept as background flows"},
+           {"fanin", "8", "concurrent senders per burst"},
+           {"burst_kb", "20", "KB per sender per burst"},
+           {"burst_interval_ms", "1", "gap between synchronized bursts"},
+           {"bursts", "4", "number of bursts"},
+           {"alpha", "1", "alpha-fairness of the NUM objective"},
+           {"warmup_ms", "2",
+            "background settling time (>= burst_interval_ms / 2)"},
+           {"horizon_ms", "500", "hard stop for burst stragglers"},
+           {"seed", "1", "workload RNG seed"}}),
+      .run = run_background_burst_scenario});
 
   registry.add(Scenario{
       .name = "sensitivity",

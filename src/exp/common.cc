@@ -50,6 +50,16 @@ double window_rate_bps(std::uint64_t start_bytes, std::uint64_t end_bytes,
   return static_cast<double>(end_bytes - start_bytes) * 8.0 / sim::to_seconds(window);
 }
 
+double jain_index(const std::vector<double>& rates) {
+  double sum = 0, sum_sq = 0;
+  for (const double rate : rates) {
+    sum += rate;
+    sum_sq += rate * rate;
+  }
+  return sum_sq > 0 ? (sum * sum) / (static_cast<double>(rates.size()) * sum_sq)
+                    : 0.0;
+}
+
 Scale quick_scale() { return Scale{}; }
 
 Scale full_scale() {

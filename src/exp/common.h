@@ -41,6 +41,10 @@ num::NumProblem make_num_problem(const LinkIndexer& indexer,
 double window_rate_bps(std::uint64_t start_bytes, std::uint64_t end_bytes,
                        sim::TimeNs window);
 
+/// Jain's fairness index over per-flow rates: (sum x)^2 / (n * sum x^2).
+/// 0 for an empty or all-zero input.
+double jain_index(const std::vector<double>& rates);
+
 /// Experiment scale.  Benches default to a laptop-quick configuration and
 /// switch to the paper's full scale when NUMFABRIC_FULL=1 is set.
 struct Scale {

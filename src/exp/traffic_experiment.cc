@@ -35,8 +35,11 @@ TrafficResult run_traffic_experiment(const TrafficOptions& options) {
   fabric_options.scheme = options.scheme;
   transport::Fabric fabric(sim, fabric_options);
   net::Topology topo(sim);
-  const net::LeafSpine leaf_spine =
-      net::build_leaf_spine(topo, options.topology, fabric.queue_factory());
+  // queue_factory(0) falls back to the scheme's edge capacity, so an unset
+  // core buffer just mirrors the edge tier.
+  const net::LeafSpine leaf_spine = net::build_leaf_spine(
+      topo, options.topology, fabric.queue_factory(),
+      fabric.queue_factory(options.core_buffer_bytes));
   fabric.attach_agents(topo);
 
   sim::Rng rng(options.seed);
@@ -84,18 +87,13 @@ TrafficResult run_traffic_experiment(const TrafficOptions& options) {
     });
     sim.run_until(options.warmup + options.measure);
 
-    double sum = 0, sum_sq = 0;
     for (std::size_t i = 0; i < flows.size(); ++i) {
       const double rate = window_rate_bps(
           start_bytes[i], flows[i]->receiver().total_bytes(), options.measure);
       result.flow_rates_bps.push_back(rate);
-      sum += rate;
-      sum_sq += rate * rate;
+      result.total_goodput_bps += rate;
     }
-    result.total_goodput_bps = sum;
-    result.jain_index =
-        sum_sq > 0 ? (sum * sum) / (static_cast<double>(flows.size()) * sum_sq)
-                   : 0.0;
+    result.jain_index = jain_index(result.flow_rates_bps);
   } else {
     while (completed < static_cast<int>(flows.size()) &&
            sim.now() < options.horizon && sim.pending()) {

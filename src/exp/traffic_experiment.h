@@ -15,6 +15,7 @@
 // exactly what the scenario registry sweeps.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -41,6 +42,10 @@ struct TrafficOptions {
   transport::FabricOptions fabric;
 
   TrafficPattern pattern = TrafficPattern::kPermutation;
+  /// Core (leaf-spine) per-port buffer override in bytes; 0 = the scheme's
+  /// edge buffer.  Oversubscribed cores often want deeper buffers than the
+  /// edge tier.
+  std::size_t core_buffer_bytes = 0;
   /// Incast only: number of concurrent senders.
   int incast_fanin = 16;
   /// 0 = rate mode (long-running flows); > 0 = FCT mode (bytes per flow).

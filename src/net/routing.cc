@@ -1,7 +1,9 @@
 #include "net/routing.h"
 
+#include <limits>
 #include <queue>
 #include <stdexcept>
+#include <string>
 #include <unordered_map>
 
 namespace numfabric::net {
@@ -40,37 +42,141 @@ std::unordered_map<const Node*, std::uint32_t> distances_to(const Topology& topo
   return dist;
 }
 
-void enumerate(const Topology& topo,
-               const std::unordered_map<const Node*, std::uint32_t>& dist,
-               const Node* at, const Node* dst, std::vector<Link*>& stack,
-               std::vector<Path>& out, std::size_t max_paths) {
-  if (out.size() >= max_paths) return;
+using Dist = std::unordered_map<const Node*, std::uint32_t>;
+
+/// True when `link` lies on some shortest path from its source node `at`.
+bool on_shortest_path(const Dist& dist, const Node* at, const Link* link) {
+  const auto here = dist.find(at);
+  const auto next = dist.find(link->dst());
+  return here != dist.end() && next != dist.end() &&
+         next->second + 1 == here->second;
+}
+
+std::uint64_t saturating_add(std::uint64_t a, std::uint64_t b) {
+  const std::uint64_t max = std::numeric_limits<std::uint64_t>::max();
+  return a > max - b ? max : a + b;
+}
+
+/// Shortest-path counts from every reachable node to dst, memoized.
+std::uint64_t count_from(const Topology& topo, const Dist& dist, const Node* at,
+                         const Node* dst,
+                         std::unordered_map<const Node*, std::uint64_t>& memo) {
+  if (at == dst) return 1;
+  const auto cached = memo.find(at);
+  if (cached != memo.end()) return cached->second;
+  std::uint64_t count = 0;
+  for (const Link* link : topo.outgoing(at)) {
+    if (!on_shortest_path(dist, at, link)) continue;
+    count = saturating_add(count, count_from(topo, dist, link->dst(), dst, memo));
+  }
+  memo[at] = count;
+  return count;
+}
+
+void enumerate(const Topology& topo, const Dist& dist, const Node* at,
+               const Node* dst, std::vector<Link*>& stack,
+               std::vector<Path>& out) {
   if (at == dst) {
     out.push_back(Path{stack});
     return;
   }
-  const auto here = dist.find(at);
-  if (here == dist.end()) return;
   for (Link* link : topo.outgoing(at)) {
-    const auto next = dist.find(link->dst());
-    if (next == dist.end() || next->second + 1 != here->second) continue;
+    if (!on_shortest_path(dist, at, link)) continue;
     stack.push_back(link);
-    enumerate(topo, dist, link->dst(), dst, stack, out, max_paths);
+    enumerate(topo, dist, link->dst(), dst, stack, out);
     stack.pop_back();
   }
 }
 
+/// Unranks path `rank` (0-based, creation order) without enumerating the
+/// rest: at each node, eligible links are visited in creation order and the
+/// rank indexes into the concatenation of their subtrees' path sets.
+Path kth_path(const Topology& topo, const Dist& dist, const Node* src,
+              const Node* dst, std::uint64_t rank,
+              std::unordered_map<const Node*, std::uint64_t>& memo) {
+  Path path;
+  const Node* at = src;
+  while (at != dst) {
+    bool advanced = false;
+    for (Link* link : topo.outgoing(at)) {
+      if (!on_shortest_path(dist, at, link)) continue;
+      const std::uint64_t below = count_from(topo, dist, link->dst(), dst, memo);
+      if (rank < below) {
+        path.links.push_back(link);
+        at = link->dst();
+        advanced = true;
+        break;
+      }
+      rank -= below;
+    }
+    if (!advanced) throw std::logic_error("kth_path: rank out of range");
+  }
+  return path;
+}
+
+void check_endpoints(const Node* src, const Node* dst) {
+  if (src == dst) throw std::invalid_argument("all_shortest_paths: src == dst");
+}
+
 }  // namespace
 
+std::uint64_t count_shortest_paths(const Topology& topo, const Node* src,
+                                   const Node* dst) {
+  check_endpoints(src, dst);
+  const Dist dist = distances_to(topo, dst);
+  if (!dist.contains(src)) return 0;  // unreachable
+  std::unordered_map<const Node*, std::uint64_t> memo;
+  return count_from(topo, dist, src, dst, memo);
+}
+
 std::vector<Path> all_shortest_paths(const Topology& topo, const Node* src,
-                                     const Node* dst, std::size_t max_paths) {
-  if (src == dst) throw std::invalid_argument("all_shortest_paths: src == dst");
-  const auto dist = distances_to(topo, dst);
+                                     const Node* dst) {
+  check_endpoints(src, dst);
+  const Dist dist = distances_to(topo, dst);
   std::vector<Path> paths;
   if (!dist.contains(src)) return paths;  // unreachable
+  std::unordered_map<const Node*, std::uint64_t> memo;
+  const std::uint64_t total = count_from(topo, dist, src, dst, memo);
+  if (total > kMaxEnumeratedPaths) {
+    throw std::length_error(
+        "all_shortest_paths: " + std::to_string(total) +
+        " shortest paths exceed the enumeration limit of " +
+        std::to_string(kMaxEnumeratedPaths) +
+        "; use sample_shortest_paths() to opt into a capped subset");
+  }
+  paths.reserve(static_cast<std::size_t>(total));
   std::vector<Link*> stack;
-  enumerate(topo, dist, src, dst, stack, paths, max_paths);
+  enumerate(topo, dist, src, dst, stack, paths);
   return paths;
+}
+
+ShortestPathSample sample_shortest_paths(const Topology& topo, const Node* src,
+                                         const Node* dst,
+                                         std::size_t max_paths) {
+  if (max_paths == 0) {
+    throw std::invalid_argument("sample_shortest_paths: max_paths must be > 0");
+  }
+  check_endpoints(src, dst);
+  ShortestPathSample sample;
+  const Dist dist = distances_to(topo, dst);
+  if (!dist.contains(src)) return sample;  // unreachable
+  std::unordered_map<const Node*, std::uint64_t> memo;
+  sample.total_paths = count_from(topo, dist, src, dst, memo);
+  if (sample.total_paths <= max_paths) {
+    std::vector<Link*> stack;
+    sample.paths.reserve(static_cast<std::size_t>(sample.total_paths));
+    enumerate(topo, dist, src, dst, stack, sample.paths);
+    return sample;
+  }
+  sample.paths.reserve(max_paths);
+  for (std::size_t i = 0; i < max_paths; ++i) {
+    // floor(i * total / max_paths) in 128-bit so a saturated total cannot
+    // overflow the stride arithmetic.
+    const std::uint64_t rank = static_cast<std::uint64_t>(
+        static_cast<unsigned __int128>(sample.total_paths) * i / max_paths);
+    sample.paths.push_back(kth_path(topo, dist, src, dst, rank, memo));
+  }
+  return sample;
 }
 
 Path reverse_path(const Path& path) {
@@ -93,7 +199,10 @@ const Path& ecmp_pick(const std::vector<Path>& paths, FlowId flow) {
   h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ULL;
   h = (h ^ (h >> 27)) * 0x94d049bb133111ebULL;
   h ^= h >> 31;
-  return paths[h % paths.size()];
+  // Fixed-point range reduction (Lemire): uses the high bits of the hash and
+  // is free of the modulo bias that skews small non-power-of-two path sets.
+  return paths[static_cast<std::size_t>(
+      (static_cast<unsigned __int128>(h) * paths.size()) >> 64)];
 }
 
 }  // namespace numfabric::net

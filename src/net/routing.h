@@ -15,16 +15,53 @@
 
 namespace numfabric::net {
 
-/// All shortest paths (fewest links) from src to dst, up to `max_paths`.
-/// Deterministic order (by link creation order) so path selection is
-/// reproducible.
+/// Largest shortest-path set all_shortest_paths() will enumerate.  Beyond
+/// this a fabric is pathological for source routing and the caller must opt
+/// into sampling explicitly (sample_shortest_paths) instead of silently
+/// losing path diversity.
+inline constexpr std::size_t kMaxEnumeratedPaths = 4096;
+
+/// All shortest paths (fewest links) from src to dst, in deterministic order
+/// (by link creation order) so path selection is reproducible.  The COMPLETE
+/// set is returned — there is no silent cap.  Throws std::length_error when
+/// the set exceeds kMaxEnumeratedPaths; callers that can live with a subset
+/// opt in via sample_shortest_paths().
 std::vector<Path> all_shortest_paths(const Topology& topo, const Node* src,
-                                     const Node* dst, std::size_t max_paths = 64);
+                                     const Node* dst);
+
+/// Number of distinct shortest paths from src to dst (counted by dynamic
+/// programming, not enumeration — cheap even when the set is huge).
+/// Saturates at std::uint64_t max.
+std::uint64_t count_shortest_paths(const Topology& topo, const Node* src,
+                                   const Node* dst);
+
+/// Result of the capped enumeration: the chosen subset plus the size of the
+/// full set, so callers always see when (and how much) was dropped.
+struct ShortestPathSample {
+  std::vector<Path> paths;
+  /// Size of the complete shortest-path set (counted, not enumerated).
+  std::uint64_t total_paths = 0;
+
+  bool capped() const { return total_paths > paths.size(); }
+};
+
+/// At most `max_paths` shortest paths.  When the full set fits this is
+/// exactly all_shortest_paths(); when it does not, the subset is picked at
+/// an even deterministic stride over the full creation-ordered set (path
+/// ranks floor(i * total / max_paths)) rather than a creation-order prefix,
+/// so wide fabrics keep their spine diversity instead of biasing toward
+/// early-created links.  Selected paths are unranked directly — the full set
+/// is never materialized.
+ShortestPathSample sample_shortest_paths(const Topology& topo, const Node* src,
+                                         const Node* dst,
+                                         std::size_t max_paths);
 
 /// Builds the reverse of `path` out of twin links (dst back to src).
 Path reverse_path(const Path& path);
 
-/// Deterministic ECMP pick: hash the flow id over the path set.
+/// Deterministic ECMP pick: hash the flow id over the path set.  SplitMix64
+/// mixing plus fixed-point (multiply-shift) range reduction, so sequential
+/// flow ids spread evenly and no path set size suffers modulo bias.
 const Path& ecmp_pick(const std::vector<Path>& paths, FlowId flow);
 
 }  // namespace numfabric::net

@@ -58,8 +58,32 @@ const std::vector<Link*>& Topology::outgoing(const Node* node) const {
   return it->second;
 }
 
+LeafSpineOptions LeafSpineOptions::with_oversubscription(double ratio) const {
+  if (!(ratio > 0)) {
+    throw std::invalid_argument(
+        "with_oversubscription: ratio must be positive");
+  }
+  LeafSpineOptions derived = *this;
+  derived.spine_rate_bps =
+      (hosts_per_leaf * host_rate_bps) / (num_spines * ratio);
+  return derived;
+}
+
 LeafSpine build_leaf_spine(Topology& topo, const LeafSpineOptions& options,
-                           const QueueFactory& make_queue) {
+                           const QueueFactory& make_queue,
+                           const QueueFactory& make_core_queue) {
+  if (options.hosts_per_leaf < 1 || options.num_leaves < 1 ||
+      options.num_spines < 1) {
+    throw std::invalid_argument(
+        "build_leaf_spine: hosts_per_leaf, num_leaves and num_spines must "
+        "all be >= 1");
+  }
+  if (!(options.host_rate_bps > 0) || !(options.spine_rate_bps > 0)) {
+    throw std::invalid_argument(
+        "build_leaf_spine: link rates must be positive");
+  }
+  const QueueFactory& core_queue = make_core_queue ? make_core_queue : make_queue;
+  const sim::TimeNs core_delay = options.effective_core_delay();
   LeafSpine result;
   for (int l = 0; l < options.num_leaves; ++l) {
     result.leaves.push_back(topo.add_switch("leaf" + std::to_string(l)));
@@ -77,18 +101,27 @@ LeafSpine build_leaf_spine(Topology& topo, const LeafSpineOptions& options,
   }
   for (Switch* leaf : result.leaves) {
     for (Switch* spine : result.spines) {
-      topo.connect(leaf, spine, options.spine_rate_bps, options.link_delay,
-                   make_queue);
+      auto [up, down] = topo.connect(leaf, spine, options.spine_rate_bps,
+                                     core_delay, core_queue);
+      result.core_links.push_back(up);
+      result.core_links.push_back(down);
     }
   }
-  // A cross-leaf data packet crosses 4 links each way.  Each store-and-
-  // forward hop adds serialization; use the edge rate as the bound (core is
-  // faster).
-  const sim::TimeNs per_hop_data =
-      options.link_delay + sim::transmission_time(kDataPacketBytes, options.host_rate_bps);
-  const sim::TimeNs per_hop_ack =
-      options.link_delay + sim::transmission_time(kAckPacketBytes, options.host_rate_bps);
-  result.cross_leaf_rtt = 4 * (per_hop_data + per_hop_ack);
+  // A cross-leaf data packet crosses 4 links each way: two edge hops at the
+  // host rate and two core hops at the spine rate.  Each store-and-forward
+  // hop pays its own serialization, so asymmetric tiers (40 G core over a
+  // 10 G edge) reproduce the paper's base RTT exactly instead of
+  // over-charging the core hops at the slower edge rate.
+  const auto hop = [](sim::TimeNs delay, std::uint32_t bytes, double rate_bps) {
+    return delay + sim::transmission_time(bytes, rate_bps);
+  };
+  const sim::TimeNs edge_one_way =
+      hop(options.link_delay, kDataPacketBytes, options.host_rate_bps) +
+      hop(options.link_delay, kAckPacketBytes, options.host_rate_bps);
+  const sim::TimeNs core_one_way =
+      hop(core_delay, kDataPacketBytes, options.spine_rate_bps) +
+      hop(core_delay, kAckPacketBytes, options.spine_rate_bps);
+  result.cross_leaf_rtt = 2 * (edge_one_way + core_one_way);
   return result;
 }
 

@@ -63,6 +63,11 @@ class Topology {
 // Builders
 // ---------------------------------------------------------------------------
 
+/// Parameterized leaf-spine fabric.  Host and core tiers are independent
+/// (counts, rates, propagation delays), so the same builder covers the
+/// paper's non-blocking 4:1-core fabric, all-10G symmetric fabrics (Fig. 8)
+/// and deliberately oversubscribed cores (the contended-fabric scenario
+/// family).
 struct LeafSpineOptions {
   int hosts_per_leaf = 16;
   int num_leaves = 8;
@@ -71,21 +76,47 @@ struct LeafSpineOptions {
   double spine_rate_bps = 40e9;
   // 2 us per hop * 8 hops on a cross-leaf round trip = the paper's 16 us RTT.
   sim::TimeNs link_delay = sim::micros(2);
+  /// Leaf-spine propagation delay; < 0 means "same as link_delay".  Longer
+  /// core runs (asymmetric fabrics) set this explicitly.
+  sim::TimeNs core_link_delay = -1;
+
+  sim::TimeNs effective_core_delay() const {
+    return core_link_delay < 0 ? link_delay : core_link_delay;
+  }
+
+  /// Core oversubscription ratio: per-leaf host demand over per-leaf core
+  /// capacity.  1.0 = non-blocking (the paper's evaluation fabric); 4.0 = a
+  /// 4:1 contended core.
+  double oversubscription() const {
+    return (hosts_per_leaf * host_rate_bps) / (num_spines * spine_rate_bps);
+  }
+
+  /// Copy with the spine rate re-derived so oversubscription() == ratio,
+  /// keeping host rate and switch counts fixed.
+  LeafSpineOptions with_oversubscription(double ratio) const;
 };
 
 struct LeafSpine {
   std::vector<Host*> hosts;
   std::vector<Switch*> leaves;
   std::vector<Switch*> spines;
+  /// Every leaf-spine link, both directions, in creation order (leaf-major,
+  /// uplink before downlink) — the contended tier for utilization metrics.
+  std::vector<Link*> core_links;
 
   /// Base (zero-load) RTT between two hosts under different leaves,
   /// including serialization of one data packet + one ACK per store-and-
-  /// forward hop.
+  /// forward hop, each at that hop's own rate.
   sim::TimeNs cross_leaf_rtt = 0;
 };
 
+/// Builds the fabric.  `make_queue` creates edge (host-leaf) queues;
+/// `make_core_queue`, when non-null, creates the leaf-spine queues instead —
+/// per-tier buffer sizing for contended cores.  Throws std::invalid_argument
+/// on non-positive counts or rates.
 LeafSpine build_leaf_spine(Topology& topo, const LeafSpineOptions& options,
-                           const QueueFactory& make_queue);
+                           const QueueFactory& make_queue,
+                           const QueueFactory& make_core_queue = nullptr);
 
 struct Dumbbell {
   std::vector<Host*> senders;

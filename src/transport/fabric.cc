@@ -20,8 +20,9 @@ namespace numfabric::transport {
 Fabric::Fabric(sim::Simulator& sim, FabricOptions options)
     : sim_(sim), options_(std::move(options)) {}
 
-net::QueueFactory Fabric::queue_factory() const {
-  const std::size_t capacity = options_.queue_capacity_bytes;
+net::QueueFactory Fabric::queue_factory(std::size_t capacity_bytes) const {
+  const std::size_t capacity =
+      capacity_bytes > 0 ? capacity_bytes : options_.queue_capacity_bytes;
   switch (options_.scheme) {
     case Scheme::kNumFabric: {
       if (options_.discrete_wfq_bands > 0) {

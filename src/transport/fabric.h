@@ -55,7 +55,12 @@ class Fabric {
   /// Queue factory matching the scheme (WFQ for NUMFabric, FIFO+ECN for
   /// DCTCP, priority for pFabric, plain FIFO otherwise).  Pass to the
   /// topology builders.
-  net::QueueFactory queue_factory() const;
+  net::QueueFactory queue_factory() const { return queue_factory(0); }
+
+  /// Same, with an explicit per-port buffer override in bytes (0 = the
+  /// configured queue_capacity_bytes) — lets topologies size edge and core
+  /// tiers differently.  pFabric keeps its own shallow queues regardless.
+  net::QueueFactory queue_factory(std::size_t capacity_bytes) const;
 
   /// Attaches the scheme's per-link agents.  Call once, after the topology
   /// is fully built and before flows start.

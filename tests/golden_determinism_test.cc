@@ -27,8 +27,14 @@ namespace numfabric::app {
 namespace {
 
 // Checked-in golden hashes (FNV-1a 64 of the normalized CSV).
-constexpr const char* kConvergenceGolden = "602ea638da78220c";
+//
+// kConvergenceGolden was re-baselined by the PR-4 routing/topology bugfixes:
+// unbiased ECMP range reduction changes which spine each flow hashes to, and
+// the per-hop-rate cross_leaf_rtt changes BDP-derived quantities.  The
+// incast golden (single-spine grid, FCT mode) was unaffected by either.
+constexpr const char* kConvergenceGolden = "35ae3d08530ce51f";
 constexpr const char* kIncastSweepGolden = "e86f0de6df6f00a1";
+constexpr const char* kOversubSweepGolden = "decd087d12276069";
 
 std::string fnv1a_hex(const std::string& text) {
   std::uint64_t hash = 1469598103934665603ull;
@@ -108,6 +114,43 @@ TEST(GoldenDeterminismTest, IncastSweepIsJobCountInvariantAndMatchesGolden) {
   EXPECT_EQ(fnv1a_hex(serial), kIncastSweepGolden)
       << "incast sweep output changed. If intentional, update "
          "kIncastSweepGolden.\n--- normalized CSV (first 2000 chars) ---\n"
+      << serial.substr(0, 2000);
+}
+
+// One oversubscription sweep point of the contended-fabric family: guards
+// the parameterized builder (oversub re-rating, core-link bookkeeping), the
+// new experiment's measurement windows and price sampling, and the sweep
+// engine's jobs-invariance on the new table shapes.
+TEST(GoldenDeterminismTest, OversubSweepIsJobCountInvariantAndMatchesGolden) {
+  register_builtin_scenarios();
+  const Scenario* scenario = ScenarioRegistry::global().find("oversub-fabric");
+  ASSERT_NE(scenario, nullptr);
+
+  const auto run_with_jobs = [scenario](int jobs) {
+    SweepRequest request;
+    request.scenario = scenario;
+    Options options;
+    options.set("topology", "2x2x2");
+    options.set("shuffle_kb", "20");
+    options.set("warmup_ms", "1");
+    options.set("measure_ms", "2");
+    options.set("horizon_ms", "100");
+    request.base_options = options;
+    request.plan = RunPlan::expand({parse_sweep_spec("oversub=1,4")});
+    request.jobs = jobs;
+    MetricWriter merged;
+    const SweepResult result = run_sweep(request, merged);
+    EXPECT_EQ(result.failed, 0) << "golden sweep runs must succeed";
+    return normalize(merged);
+  };
+
+  const std::string serial = run_with_jobs(1);
+  const std::string parallel = run_with_jobs(4);
+  EXPECT_EQ(serial, parallel)
+      << "merged sweep output depends on the worker count";
+  EXPECT_EQ(fnv1a_hex(serial), kOversubSweepGolden)
+      << "oversub-fabric sweep output changed. If intentional, update "
+         "kOversubSweepGolden.\n--- normalized CSV (first 2000 chars) ---\n"
       << serial.substr(0, 2000);
 }
 

@@ -1,0 +1,168 @@
+// Path enumeration (no-silent-cap contract, counting, strided sampling) and
+// ECMP selection (deterministic, unbiased spread).
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+#include "net/routing.h"
+#include "net/topology.h"
+#include "sim/simulator.h"
+
+namespace numfabric::net {
+namespace {
+
+/// Host -- swA -- (n parallel cables) -- swB -- host: exactly n shortest
+/// paths between the two hosts, middle links in creation order.
+struct ParallelFabric {
+  Topology* topo;
+  Host* src;
+  Host* dst;
+  std::vector<Link*> cables;  // swA -> swB direction
+};
+
+ParallelFabric build_parallel(Topology& topo, int cables) {
+  ParallelFabric fabric;
+  fabric.topo = &topo;
+  fabric.src = topo.add_host("src");
+  fabric.dst = topo.add_host("dst");
+  Switch* a = topo.add_switch("swA");
+  Switch* b = topo.add_switch("swB");
+  topo.connect(fabric.src, a, 10e9, sim::micros(1), drop_tail_factory());
+  topo.connect(b, fabric.dst, 10e9, sim::micros(1), drop_tail_factory());
+  for (int i = 0; i < cables; ++i) {
+    fabric.cables.push_back(
+        topo.connect(a, b, 40e9, sim::micros(1), drop_tail_factory()).first);
+  }
+  return fabric;
+}
+
+TEST(RoutingTest, EnumeratesWideFabricsWithoutSilentCap) {
+  // 100 parallel cables exceed the old silent cap of 64; every path must
+  // come back, in creation order.
+  sim::Simulator sim;
+  Topology topo(sim);
+  const ParallelFabric fabric = build_parallel(topo, 100);
+  const auto paths = all_shortest_paths(topo, fabric.src, fabric.dst);
+  ASSERT_EQ(paths.size(), 100u);
+  EXPECT_EQ(count_shortest_paths(topo, fabric.src, fabric.dst), 100u);
+  for (std::size_t i = 0; i < paths.size(); ++i) {
+    ASSERT_EQ(paths[i].links.size(), 3u);
+    EXPECT_EQ(paths[i].links[1], fabric.cables[i]);
+  }
+}
+
+TEST(RoutingTest, ThrowsPastEnumerationLimitInsteadOfTruncating) {
+  // Two stages of 70 parallel cables: 4900 shortest paths > the 4096 limit.
+  sim::Simulator sim;
+  Topology topo(sim);
+  Host* src = topo.add_host("src");
+  Host* dst = topo.add_host("dst");
+  Switch* a = topo.add_switch("a");
+  Switch* b = topo.add_switch("b");
+  Switch* c = topo.add_switch("c");
+  topo.connect(src, a, 10e9, sim::micros(1), drop_tail_factory());
+  topo.connect(c, dst, 10e9, sim::micros(1), drop_tail_factory());
+  for (int i = 0; i < 70; ++i) {
+    topo.connect(a, b, 10e9, sim::micros(1), drop_tail_factory());
+    topo.connect(b, c, 10e9, sim::micros(1), drop_tail_factory());
+  }
+  EXPECT_EQ(count_shortest_paths(topo, src, dst), 4900u);
+  EXPECT_THROW(all_shortest_paths(topo, src, dst), std::length_error);
+  // The explicit opt-in still works and reports what was dropped.
+  const ShortestPathSample sample = sample_shortest_paths(topo, src, dst, 16);
+  EXPECT_EQ(sample.total_paths, 4900u);
+  EXPECT_EQ(sample.paths.size(), 16u);
+  EXPECT_TRUE(sample.capped());
+}
+
+TEST(RoutingTest, SampleSpreadsEvenlyInsteadOfPrefixing) {
+  sim::Simulator sim;
+  Topology topo(sim);
+  const ParallelFabric fabric = build_parallel(topo, 100);
+  const ShortestPathSample sample =
+      sample_shortest_paths(topo, fabric.src, fabric.dst, 10);
+  EXPECT_EQ(sample.total_paths, 100u);
+  ASSERT_EQ(sample.paths.size(), 10u);
+  EXPECT_TRUE(sample.capped());
+  // Even stride over the creation order: ranks 0, 10, 20, ..., 90 — not the
+  // first ten cables.
+  for (std::size_t i = 0; i < sample.paths.size(); ++i) {
+    EXPECT_EQ(sample.paths[i].links[1], fabric.cables[i * 10]) << i;
+  }
+}
+
+TEST(RoutingTest, SampleReturnsFullSetWhenItFits) {
+  sim::Simulator sim;
+  Topology topo(sim);
+  const ParallelFabric fabric = build_parallel(topo, 8);
+  const ShortestPathSample sample =
+      sample_shortest_paths(topo, fabric.src, fabric.dst, 64);
+  EXPECT_EQ(sample.total_paths, 8u);
+  EXPECT_EQ(sample.paths.size(), 8u);
+  EXPECT_FALSE(sample.capped());
+  EXPECT_THROW(sample_shortest_paths(topo, fabric.src, fabric.dst, 0),
+               std::invalid_argument);
+}
+
+TEST(RoutingTest, CountHandlesUnreachableAndDegenerate) {
+  sim::Simulator sim;
+  Topology topo(sim);
+  Host* a = topo.add_host("a");
+  Host* b = topo.add_host("b");
+  EXPECT_EQ(count_shortest_paths(topo, a, b), 0u);
+  EXPECT_TRUE(sample_shortest_paths(topo, a, b, 4).paths.empty());
+  EXPECT_THROW(count_shortest_paths(topo, a, a), std::invalid_argument);
+}
+
+TEST(RoutingTest, EcmpSpreadsSequentialFlowIdsOver16Spines) {
+  // The regression this guards: `hash % 16` keeps only the low bits and,
+  // for non-power-of-two sets, adds modulo bias.  Sequential flow ids must
+  // land near-uniformly across a 16-spine fabric's path set.
+  sim::Simulator sim;
+  Topology topo(sim);
+  const LeafSpine ls = build_leaf_spine(
+      topo, {.hosts_per_leaf = 1, .num_leaves = 2, .num_spines = 16},
+      drop_tail_factory());
+  const auto paths = all_shortest_paths(topo, ls.hosts[0], ls.hosts[1]);
+  ASSERT_EQ(paths.size(), 16u);
+
+  constexpr int kFlows = 4096;
+  std::map<const Path*, int> counts;
+  for (FlowId flow = 1; flow <= kFlows; ++flow) {
+    ++counts[&ecmp_pick(paths, flow)];
+  }
+  ASSERT_EQ(counts.size(), 16u) << "some spine never picked";
+  const int expected = kFlows / 16;  // 256
+  for (const auto& [path, count] : counts) {
+    EXPECT_GT(count, expected * 3 / 4) << "path underloaded";
+    EXPECT_LT(count, expected * 5 / 4) << "path overloaded";
+  }
+}
+
+TEST(RoutingTest, EcmpAvoidsModuloBiasOnOddSetSizes) {
+  // 5 paths: a modulo reduction of a 64-bit hash is biased toward the first
+  // (2^64 mod 5) residues; multiply-shift must keep every path within a few
+  // percent of uniform for sequential ids.
+  sim::Simulator sim;
+  Topology topo(sim);
+  const ParallelFabric fabric = build_parallel(topo, 5);
+  const auto paths = all_shortest_paths(topo, fabric.src, fabric.dst);
+  ASSERT_EQ(paths.size(), 5u);
+  std::map<const Path*, int> counts;
+  constexpr int kFlows = 5000;
+  for (FlowId flow = 1; flow <= kFlows; ++flow) {
+    ++counts[&ecmp_pick(paths, flow)];
+  }
+  for (const auto& [path, count] : counts) {
+    EXPECT_GT(count, 850);
+    EXPECT_LT(count, 1150);
+  }
+  // Deterministic across calls.
+  EXPECT_EQ(&ecmp_pick(paths, 12345), &ecmp_pick(paths, 12345));
+}
+
+}  // namespace
+}  // namespace numfabric::net

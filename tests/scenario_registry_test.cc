@@ -183,7 +183,7 @@ TEST(BuiltinScenariosTest, RegistersAtLeastEightAndIsIdempotent) {
        {"convergence", "rate-timeseries", "dynamic-deviation",
         "fct-vs-pfabric", "resource-pooling", "bwfunc-sweep", "bwfunc-pooling",
         "incast", "permutation", "shuffle", "websearch-fct", "datamining-fct",
-        "sensitivity", "trace-replay"}) {
+        "sensitivity", "trace-replay", "oversub-fabric", "background-burst"}) {
     EXPECT_NE(registry.find(name), nullptr) << name;
   }
 }
@@ -232,6 +232,13 @@ const std::map<std::string, std::vector<std::string>>& smoke_params() {
         "max_active=6", "timeout_ms=10", "seed=3"}},
       {"trace-replay",
        {"hosts_per_leaf=2", "leaves=2", "spines=1", "horizon_ms=200"}},
+      {"oversub-fabric",
+       {"topology=2x2x2", "oversub=4", "shuffle_kb=20", "warmup_ms=1",
+        "measure_ms=2", "horizon_ms=100"}},
+      {"background-burst",
+       {"hosts_per_leaf=2", "leaves=2", "spines=1", "background_load=0.5",
+        "fanin=2", "burst_kb=10", "burst_interval_ms=1", "bursts=2",
+        "warmup_ms=1", "horizon_ms=100"}},
   };
   return params;
 }

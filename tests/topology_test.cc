@@ -138,5 +138,123 @@ TEST(TopologyTest, CrossLeafRttMatchesPaper) {
   EXPECT_LE(ls.cross_leaf_rtt, sim::micros(25));
 }
 
+TEST(TopologyTest, CrossLeafRttChargesEachHopAtItsOwnRate) {
+  sim::Simulator sim;
+  Topology topo(sim);
+  LeafSpineOptions options;  // 10G edge, 40G core, 2 us per hop
+  const LeafSpine ls = build_leaf_spine(topo, options, drop_tail_factory());
+  // Exact per-hop accounting: 2 edge hops at 10G + 2 core hops at 40G each
+  // way, data + ACK.  The old edge-rate-everywhere formula gave 20928 ns.
+  const auto hop = [](sim::TimeNs delay, std::uint32_t bytes, double rate) {
+    return delay + sim::transmission_time(bytes, rate);
+  };
+  const sim::TimeNs expected =
+      2 * (hop(sim::micros(2), kDataPacketBytes, 10e9) +
+           hop(sim::micros(2), kAckPacketBytes, 10e9)) +
+      2 * (hop(sim::micros(2), kDataPacketBytes, 40e9) +
+           hop(sim::micros(2), kAckPacketBytes, 40e9));
+  EXPECT_EQ(ls.cross_leaf_rtt, expected);
+  EXPECT_EQ(ls.cross_leaf_rtt, 19080);
+}
+
+TEST(TopologyTest, OversubscriptionModel) {
+  LeafSpineOptions options;
+  options.hosts_per_leaf = 8;
+  options.host_rate_bps = 10e9;
+  options.num_spines = 2;
+  options.spine_rate_bps = 40e9;
+  EXPECT_DOUBLE_EQ(options.oversubscription(), 1.0);  // 80G demand, 80G core
+
+  const LeafSpineOptions contended = options.with_oversubscription(4.0);
+  EXPECT_DOUBLE_EQ(contended.oversubscription(), 4.0);
+  EXPECT_DOUBLE_EQ(contended.spine_rate_bps, 10e9);
+  // Host side untouched.
+  EXPECT_DOUBLE_EQ(contended.host_rate_bps, 10e9);
+  EXPECT_EQ(contended.num_spines, 2);
+  EXPECT_THROW(options.with_oversubscription(0), std::invalid_argument);
+
+  // The builder applies the derived rate to every core link, and path
+  // diversity is unchanged by the re-rating.
+  sim::Simulator sim;
+  Topology topo(sim);
+  LeafSpineOptions shape = contended;
+  shape.num_leaves = 3;
+  shape.hosts_per_leaf = 2;
+  const LeafSpine ls = build_leaf_spine(topo, shape, drop_tail_factory());
+  ASSERT_EQ(ls.core_links.size(), 2u * 3 * 2);
+  for (const Link* link : ls.core_links) {
+    EXPECT_DOUBLE_EQ(link->rate_bps(), 10e9);
+  }
+  EXPECT_EQ(all_shortest_paths(topo, ls.hosts[0], ls.hosts[2]).size(), 2u);
+}
+
+TEST(TopologyTest, AsymmetricCoreDelayAndPerTierBuffers) {
+  sim::Simulator sim;
+  Topology topo(sim);
+  LeafSpineOptions options;
+  options.hosts_per_leaf = 2;
+  options.num_leaves = 2;
+  options.num_spines = 2;
+  options.core_link_delay = sim::micros(5);
+  const LeafSpine ls = build_leaf_spine(topo, options, drop_tail_factory(1000),
+                                        drop_tail_factory(9000));
+  // Core links get the core factory's deeper buffers and the longer delay;
+  // edge links keep the edge factory's.
+  for (const Link* link : ls.core_links) {
+    EXPECT_EQ(link->queue().capacity_bytes(), 9000u);
+    EXPECT_EQ(link->delay(), sim::micros(5));
+  }
+  int edge_links = 0;
+  for (const auto& link : topo.links()) {
+    if (link->queue().capacity_bytes() == 1000u) {
+      EXPECT_EQ(link->delay(), sim::micros(2));
+      ++edge_links;
+    }
+  }
+  EXPECT_EQ(edge_links, 2 * 4);  // one cable per host, both directions
+
+  // RTT picks up the asymmetric core delay exactly.
+  const auto hop = [](sim::TimeNs delay, std::uint32_t bytes, double rate) {
+    return delay + sim::transmission_time(bytes, rate);
+  };
+  EXPECT_EQ(ls.cross_leaf_rtt,
+            2 * (hop(sim::micros(2), kDataPacketBytes, 10e9) +
+                 hop(sim::micros(2), kAckPacketBytes, 10e9)) +
+                2 * (hop(sim::micros(5), kDataPacketBytes, 40e9) +
+                     hop(sim::micros(5), kAckPacketBytes, 40e9)));
+}
+
+TEST(TopologyTest, BuilderRejectsDegenerateShapes) {
+  sim::Simulator sim;
+  Topology topo(sim);
+  LeafSpineOptions zero_spines;
+  zero_spines.num_spines = 0;
+  EXPECT_THROW(build_leaf_spine(topo, zero_spines, drop_tail_factory()),
+               std::invalid_argument);
+  LeafSpineOptions bad_rate;
+  bad_rate.spine_rate_bps = 0;
+  EXPECT_THROW(build_leaf_spine(topo, bad_rate, drop_tail_factory()),
+               std::invalid_argument);
+}
+
+TEST(TopologyTest, WideOversubscribedFabricKeepsFullPathDiversity) {
+  // 6 spines at an 8:1 oversubscription: ECMP must still see all 6 paths
+  // (the old silent 64-path cap is gone; counts come from the DP counter).
+  sim::Simulator sim;
+  Topology topo(sim);
+  LeafSpineOptions options;
+  options.hosts_per_leaf = 12;
+  options.num_leaves = 2;
+  options.num_spines = 6;
+  const LeafSpineOptions contended = options.with_oversubscription(8.0);
+  const LeafSpine ls = build_leaf_spine(topo, contended, drop_tail_factory());
+  EXPECT_DOUBLE_EQ(contended.oversubscription(), 8.0);
+  const auto paths = all_shortest_paths(topo, ls.hosts[0], ls.hosts[12]);
+  EXPECT_EQ(paths.size(), 6u);
+  EXPECT_EQ(count_shortest_paths(topo, ls.hosts[0], ls.hosts[12]), 6u);
+  // Same-leaf pairs bypass the contended core entirely.
+  EXPECT_EQ(all_shortest_paths(topo, ls.hosts[0], ls.hosts[1]).size(), 1u);
+}
+
 }  // namespace
 }  // namespace numfabric::net
