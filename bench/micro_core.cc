@@ -8,6 +8,10 @@
 #include <memory>
 #include <vector>
 
+#include "net/drop_tail_queue.h"
+#include "net/link.h"
+#include "net/node.h"
+#include "net/topology.h"
 #include "net/wfq_queue.h"
 #include "num/num_solver.h"
 #include "num/utility.h"
@@ -16,6 +20,7 @@
 #include "sim/event_queue.h"
 #include "sim/random.h"
 #include "sim/simulator.h"
+#include "transport/control_plane.h"
 
 namespace {
 
@@ -175,6 +180,92 @@ void BM_XwiFluid(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_XwiFluid);
+
+// A topology of `num_links` xWI-controlled links (as host pairs) wired into
+// one batched ControlPlane.
+struct ControlPlaneRig {
+  sim::Simulator sim;
+  net::Topology topo{sim};
+  std::unique_ptr<transport::ControlPlane> plane;
+
+  explicit ControlPlaneRig(int num_links) {
+    for (int i = 0; i < num_links / 2; ++i) {
+      net::Host* a = topo.add_host("a");
+      net::Host* b = topo.add_host("b");
+      topo.connect(a, b, 10e9, sim::micros(1), [] {
+        return std::make_unique<net::DropTailQueue>(1'000'000);
+      });
+    }
+    plane = transport::ControlPlane::attach(
+        sim, transport::ControlPlane::Params{}, topo);
+  }
+};
+
+// Price-tick cost vs link count: one synchronized 30 us interval advances
+// all links' xWI price state.  Batched: ONE timer event plus a sweep of the
+// SoA arrays in slot order.  before_ns tracks the legacy encoding (one
+// XwiLinkAgent timer event + virtual on_update + reschedule per link per
+// interval) recorded on the pre-refactor tree.
+void BM_ControlPlaneTick(benchmark::State& state) {
+  const int num_links = static_cast<int>(state.range(0));
+  ControlPlaneRig rig(num_links);
+  for (auto _ : state) {
+    rig.sim.run_until(rig.sim.now() + sim::micros(30));
+  }
+  state.SetItemsProcessed(state.iterations() * num_links);
+}
+BENCHMARK(BM_ControlPlaneTick)->Arg(16)->Arg(128)->Arg(1024);
+
+// Data-path hook + tick churn: a saturated 10G link forwards 64-packet data
+// bursts while the 30 us price tick runs.  Exercises the per-packet
+// enqueue/dequeue hook (batched: index-addressed SoA writes; legacy
+// before_ns: two virtual calls per packet) together with the tick machinery.
+void BM_PriceTickChurn(benchmark::State& state) {
+  ControlPlaneRig rig(2);
+  net::Link* link = rig.topo.links()[0].get();
+  std::uint64_t seq = 0;
+  for (auto _ : state) {
+    for (int i = 0; i < 64; ++i) {
+      net::Packet p;
+      p.flow = 1;
+      p.type = net::PacketType::kData;
+      p.size = 1500;
+      p.seq = seq++;
+      p.normalized_residual = 0.01;
+      link->send(std::move(p));
+    }
+    // 64 * 1500 B at 10 Gbps = 76.8 us of serialization: drain past it.
+    rig.sim.run_until(rig.sim.now() + sim::micros(80));
+  }
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_PriceTickChurn);
+
+// The fluid-FCT oracle's dominant cost: re-solving the NUM problem after a
+// small active-set change.  The warm-start policy (thread the previous
+// solution's prices through NumSolverOptions::initial_prices, as
+// fluid_fct_oracle does) starts each re-solve at the old optimum; before_ns
+// tracks the legacy cold restart at 1.0 everywhere.
+void BM_NumSolverWarmStart(benchmark::State& state) {
+  sim::Rng rng(7);
+  std::vector<std::unique_ptr<num::AlphaFairUtility>> store;
+  const auto base = make_problem(static_cast<int>(state.range(0)),
+                                 static_cast<int>(state.range(0)) / 3 + 2, rng,
+                                 store);
+  const num::NumSolution base_solution = num::solve_num(base);
+  std::size_t drop = 0;
+  for (auto _ : state) {
+    // One flow leaves; the rest of the problem (and its prices) barely move.
+    num::NumProblem perturbed = base;
+    perturbed.utilities.erase(perturbed.utilities.begin() + drop);
+    perturbed.flow_links.erase(perturbed.flow_links.begin() + drop);
+    drop = (drop + 1) % base.utilities.size();
+    num::NumSolverOptions options;
+    options.initial_prices = base_solution.prices;
+    benchmark::DoNotOptimize(num::solve_num(perturbed, options));
+  }
+}
+BENCHMARK(BM_NumSolverWarmStart)->Arg(50)->Arg(400);
 
 }  // namespace
 

@@ -1,0 +1,282 @@
+#!/usr/bin/env python3
+"""Render Fig. 6 / Fig. 7 style plots straight from one merged sweep CSV.
+
+The sweep engine already merges every grid point into one table set; these
+plots are just projections of those tables:
+
+    fig6  <csv>   sensitivity table: convergence time vs the swept control
+                  parameter (whichever of dt_us / interval_us / alpha / eta /
+                  beta / slowdown the sweep varied) — one point per grid row.
+                  Produce the CSV with e.g.
+                    numfabric_run --scenario=sensitivity --sweep eta=2:10:2
+
+    fig7  <csv>   fct_sweep table: mean (solid) and p99 (dashed) normalized
+                  FCT vs load, one series per transport when the sweep
+                  crossed transport=..., e.g.
+                    numfabric_run --scenario=websearch-fct \\
+                        --sweep load=0.2:0.8:0.2 --sweep transport=numfabric,pfabric
+
+Headless by construction (matplotlib Agg backend); --check parses and
+validates the CSV without rendering, so CI can gate the data shape even
+where matplotlib is absent.  Exit codes: 0 ok, 2 bad input, 3 matplotlib
+missing (and --check not given).
+"""
+import argparse
+import csv
+import sys
+
+# Categorical palette (validated, colorblind-safe adjacent order); color
+# follows the transport identity, never its position in this run's series
+# list, so the same scheme keeps the same hue across plots and filters.
+SERIES_COLORS = {
+    "numfabric": "#2a78d6",  # blue
+    "pfabric": "#eb6834",    # orange
+    "dctcp": "#1baf7a",      # aqua
+    "rcp": "#eda100",        # yellow
+    "dgd": "#e87ba4",        # magenta
+}
+# Transport tokens parse_scheme accepts beyond the canonical five.
+SERIES_ALIASES = {"rcp*": "rcp", "rcpstar": "rcp"}
+# Remaining validated palette slots for series with no reserved hue.
+FALLBACK_COLORS = ["#008300", "#4a3aa7", "#e34948"]
+SURFACE = "#fcfcfb"
+TEXT_PRIMARY = "#0b0b0b"
+TEXT_SECONDARY = "#52514e"
+GRID = "#e3e2de"
+
+SENSITIVITY_KNOBS = ["dt_us", "interval_us", "alpha", "eta", "beta", "slowdown"]
+
+
+def parse_tables(path):
+    """Parses the metric CSV format: '# scalar,k,v' lines and '# table,NAME'
+    sections (header row, then data rows).  Returns (scalars, tables) as
+    ({name: value}, {name: list-of-dicts})."""
+    scalars = {}
+    tables = {}
+    current = None
+    header = None
+    with open(path, newline="") as fp:
+        for row in csv.reader(fp):
+            if not row:
+                continue
+            if row[0].startswith("#"):
+                marker = row[0].lstrip("# ").strip()
+                if marker == "table" and len(row) >= 2:
+                    current = row[1]
+                    header = None
+                    tables[current] = []
+                else:
+                    current = None
+                    if marker == "scalar" and len(row) >= 3:
+                        scalars[row[1]] = row[2]
+                continue
+            if current is None:
+                continue
+            if header is None:
+                header = row
+                continue
+            tables[current].append(dict(zip(header, row)))
+    return scalars, tables
+
+
+def default_transport(scalars, tables):
+    """Series name for runs whose sweep did not cross transport=: the run
+    scalar for single runs, the sweep_scalars 'transport' value when it is
+    unique across grid points, else a neutral label."""
+    if "transport" in scalars:
+        return scalars["transport"]
+    values = {
+        r["value"]
+        for r in tables.get("sweep_scalars", [])
+        if r.get("name") == "transport"
+    }
+    if len(values) == 1:
+        return values.pop()
+    return ""  # unknown: label measures without a transport prefix
+
+
+def to_float(value):
+    try:
+        return float(value)
+    except ValueError:
+        return None
+
+
+def aggregate(points):
+    """Averages replicate grid points (e.g. a crossed seed sweep): [(x, y...)]
+    -> sorted [(x, mean_y...)]."""
+    groups = {}
+    for x, *ys in points:
+        groups.setdefault(x, []).append(ys)
+    merged = []
+    for x in sorted(groups):
+        cols = zip(*groups[x])
+        merged.append((x, *(sum(c) / len(c) for c in cols)))
+    return merged
+
+
+def require_table(tables, name, path):
+    if name not in tables or not tables[name]:
+        print(
+            f"error: no '{name}' table in {path} (is this the right scenario's "
+            f"sweep output?)  Tables present: {', '.join(sorted(tables)) or 'none'}",
+            file=sys.stderr,
+        )
+        sys.exit(2)
+    return tables[name]
+
+
+def load_matplotlib(check_only):
+    if check_only:
+        return None
+    try:
+        import matplotlib
+
+        matplotlib.use("Agg")  # headless: never touch a display
+        import matplotlib.pyplot as plt
+
+        return plt
+    except ImportError:
+        print(
+            "error: matplotlib is not installed; install python3-matplotlib "
+            "or use --check to validate the CSV without rendering",
+            file=sys.stderr,
+        )
+        sys.exit(3)
+
+
+def style_axes(ax):
+    ax.set_facecolor(SURFACE)
+    ax.grid(True, color=GRID, linewidth=0.8)
+    ax.set_axisbelow(True)
+    for spine in ("top", "right"):
+        ax.spines[spine].set_visible(False)
+    for spine in ("left", "bottom"):
+        ax.spines[spine].set_color(TEXT_SECONDARY)
+    ax.tick_params(colors=TEXT_SECONDARY, labelsize=9)
+
+
+def finish(plt, fig, out):
+    fig.savefig(out, dpi=144, facecolor=SURFACE, bbox_inches="tight")
+    plt.close(fig)
+    print(f"wrote {out}")
+
+
+def plot_fig6(path, out, check_only):
+    _, tables = parse_tables(path)
+    rows = require_table(tables, "sensitivity", path)
+    # The swept knob: the declared control parameter whose column actually
+    # varies across grid rows (exactly one for a Fig. 6 panel).
+    varying = [
+        k
+        for k in SENSITIVITY_KNOBS
+        if k in rows[0] and len({r[k] for r in rows}) > 1
+    ]
+    knob = varying[0] if varying else SENSITIVITY_KNOBS[0]
+    if len(varying) > 1:
+        print(
+            f"note: several knobs vary ({', '.join(varying)}); plotting "
+            f"against '{knob}'",
+            file=sys.stderr,
+        )
+    points = aggregate(
+        (to_float(r[knob]), to_float(r["median_us"]), to_float(r["p95_us"]))
+        for r in rows
+    )
+    print(
+        f"fig6: {len(points)} sensitivity points, x={knob}, "
+        f"median_us in [{min(p[1] for p in points):.6g}, "
+        f"{max(p[1] for p in points):.6g}]"
+    )
+    plt = load_matplotlib(check_only)
+    if plt is None:
+        return
+    fig, ax = plt.subplots(figsize=(5.4, 3.4))
+    xs = [p[0] for p in points]
+    ax.plot(xs, [p[1] for p in points], color=SERIES_COLORS["numfabric"],
+            linewidth=2, marker="o", markersize=5, label="median")
+    ax.plot(xs, [p[2] for p in points], color=SERIES_COLORS["numfabric"],
+            linewidth=2, linestyle="--", marker="o", markersize=5,
+            markerfacecolor=SURFACE, label="p95")
+    style_axes(ax)
+    ax.set_xlabel(knob, color=TEXT_SECONDARY, fontsize=10)
+    ax.set_ylabel("convergence time (us)", color=TEXT_SECONDARY, fontsize=10)
+    ax.set_ylim(bottom=0)
+    ax.set_title(f"Convergence time vs {knob} (Fig. 6)", color=TEXT_PRIMARY,
+                 fontsize=11, loc="left")
+    ax.legend(frameon=False, fontsize=9, labelcolor=TEXT_SECONDARY)
+    finish(plt, fig, out)
+
+
+def plot_fig7(path, out, check_only):
+    scalars, tables = parse_tables(path)
+    rows = require_table(tables, "fct_sweep", path)
+    fallback_series = default_transport(scalars, tables)
+    by_transport = {}
+    for r in rows:
+        series = r.get("transport", fallback_series)
+        series = SERIES_ALIASES.get(series, series)
+        by_transport.setdefault(series, []).append(
+            (to_float(r["load"]), to_float(r["mean_norm_fct"]),
+             to_float(r["p99_norm_fct"]))
+        )
+    for series in by_transport:
+        by_transport[series] = aggregate(by_transport[series])
+    for series, points in sorted(by_transport.items()):
+        print(
+            f"fig7: {series or '(transport not recorded)'}: {len(points)} "
+            f"load points, mean_norm_fct in "
+            f"[{min(p[1] for p in points):.6g}, {max(p[1] for p in points):.6g}]"
+        )
+    plt = load_matplotlib(check_only)
+    if plt is None:
+        return
+    fig, ax = plt.subplots(figsize=(5.4, 3.4))
+    fallback = iter(FALLBACK_COLORS)
+    for series, points in sorted(by_transport.items()):
+        color = SERIES_COLORS.get(series) or next(fallback, None)
+        if color is None:
+            print(
+                f"error: more unrecognized series than palette slots "
+                f"(at '{series}'); facet the sweep into separate plots",
+                file=sys.stderr,
+            )
+            sys.exit(2)
+        xs = [p[0] for p in points]
+        prefix = f"{series} " if series else ""
+        ax.plot(xs, [p[1] for p in points], color=color, linewidth=2,
+                marker="o", markersize=5, label=f"{prefix}mean")
+        ax.plot(xs, [p[2] for p in points], color=color, linewidth=2,
+                linestyle="--", marker="o", markersize=5,
+                markerfacecolor=SURFACE, label=f"{prefix}p99")
+    style_axes(ax)
+    ax.set_xlabel("load", color=TEXT_SECONDARY, fontsize=10)
+    ax.set_ylabel("normalized FCT", color=TEXT_SECONDARY, fontsize=10)
+    ax.set_ylim(bottom=0)
+    ax.set_title("Normalized FCT vs load (Fig. 7)", color=TEXT_PRIMARY,
+                 fontsize=11, loc="left")
+    ax.legend(frameon=False, fontsize=9, labelcolor=TEXT_SECONDARY)
+    finish(plt, fig, out)
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter
+    )
+    parser.add_argument("figure", choices=["fig6", "fig7"],
+                        help="which paper figure to render")
+    parser.add_argument("csv", help="merged sweep CSV from numfabric_run")
+    parser.add_argument("-o", "--out", default=None,
+                        help="output image (default <figure>.png)")
+    parser.add_argument("--check", action="store_true",
+                        help="parse and validate only; no matplotlib needed")
+    args = parser.parse_args()
+    out = args.out or f"{args.figure}.png"
+    if args.figure == "fig6":
+        plot_fig6(args.csv, out, args.check)
+    else:
+        plot_fig7(args.csv, out, args.check)
+
+
+if __name__ == "__main__":
+    main()

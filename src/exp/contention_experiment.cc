@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <functional>
 #include <limits>
+#include <span>
 #include <stdexcept>
 
 #include "exp/common.h"
@@ -11,6 +13,7 @@
 #include "num/utility.h"
 #include "sim/random.h"
 #include "stats/summary.h"
+#include "transport/control_plane.h"
 #include "transport/numfabric/xwi_link_agent.h"
 #include "transport/receiver.h"
 #include "workload/scenarios.h"
@@ -30,30 +33,54 @@ net::LeafSpine build_fabric(net::Topology& topo, transport::Fabric& fabric,
 /// Watches the core tier's xWI prices for stability: converged at the start
 /// of the first `hold`-long run of samples where no price moves more than
 /// `margin` relative to the larger of its old and new values.
+///
+/// Prices come from the batched ControlPlane's contiguous snapshot span,
+/// indexed by the core links' slot ids — one array scan per sample instead
+/// of N virtual agent->price() calls.  Legacy per-link agents (parity runs)
+/// are supported as a fallback.
 struct PriceTracker {
-  std::vector<const transport::XwiLinkAgent*> agents;
+  std::span<const double> prices;        // ControlPlane snapshot, by slot
+  std::vector<std::uint32_t> slots;      // core links' slot ids
+  std::vector<const transport::XwiLinkAgent*> agents;  // legacy fallback
   std::vector<double> last;
   PriceConvergenceOptions options;
   sim::TimeNs stable_since = -1;
   sim::TimeNs converged_at = -1;
 
-  explicit PriceTracker(const std::vector<net::Link*>& core_links,
-                        const PriceConvergenceOptions& opts)
+  PriceTracker(const transport::ControlPlane* control_plane,
+               const std::vector<net::Link*>& core_links,
+               const PriceConvergenceOptions& opts)
       : options(opts) {
-    for (const net::Link* link : core_links) {
-      if (const auto* agent =
-              dynamic_cast<const transport::XwiLinkAgent*>(link->agent())) {
-        agents.push_back(agent);
+    if (control_plane != nullptr &&
+        control_plane->scheme() == transport::Scheme::kNumFabric) {
+      prices = control_plane->snapshot_prices();
+      slots.reserve(core_links.size());
+      for (const net::Link* link : core_links) {
+        slots.push_back(link->control_slot());
+      }
+    } else {
+      for (const net::Link* link : core_links) {
+        if (const auto* agent =
+                dynamic_cast<const transport::XwiLinkAgent*>(link->agent())) {
+          agents.push_back(agent);
+        }
       }
     }
-    last.resize(agents.size(), 0.0);
+    last.resize(size(), 0.0);
   }
 
-  bool enabled() const { return !agents.empty(); }
+  std::size_t size() const {
+    return slots.empty() ? agents.size() : slots.size();
+  }
+  double price(std::size_t i) const {
+    return slots.empty() ? agents[i]->price() : prices[slots[i]];
+  }
+
+  bool enabled() const { return size() > 0; }
   bool done() const { return converged_at >= 0; }
 
   void baseline() {
-    for (std::size_t i = 0; i < agents.size(); ++i) last[i] = agents[i]->price();
+    for (std::size_t i = 0; i < size(); ++i) last[i] = price(i);
   }
 
   void sample(sim::TimeNs now) {
@@ -62,14 +89,14 @@ struct PriceTracker {
     // bottleneck prices having settled, and absolute thresholds would be
     // meaningless across utility functions.
     double scale = 1e-12;
-    for (std::size_t i = 0; i < agents.size(); ++i) {
-      scale = std::max({scale, agents[i]->price(), last[i]});
+    for (std::size_t i = 0; i < size(); ++i) {
+      scale = std::max({scale, price(i), last[i]});
     }
     bool stable = true;
-    for (std::size_t i = 0; i < agents.size(); ++i) {
-      const double price = agents[i]->price();
-      if (std::abs(price - last[i]) > options.margin * scale) stable = false;
-      last[i] = price;
+    for (std::size_t i = 0; i < size(); ++i) {
+      const double p = price(i);
+      if (std::abs(p - last[i]) > options.margin * scale) stable = false;
+      last[i] = p;
     }
     if (!stable) {
       stable_since = -1;
@@ -142,7 +169,8 @@ OversubFabricResult run_oversub_fabric(const OversubFabricOptions& options) {
   std::vector<std::uint64_t> background_end(background.size(), 0);
   std::vector<std::uint64_t> core_start(leaf_spine.core_links.size(), 0);
   std::vector<std::uint64_t> core_end(leaf_spine.core_links.size(), 0);
-  PriceTracker tracker(leaf_spine.core_links, options.price);
+  PriceTracker tracker(fabric.control_plane(), leaf_spine.core_links,
+                       options.price);
   sim.schedule_at(options.warmup, [&] {
     for (std::size_t i = 0; i < background.size(); ++i) {
       background_start[i] = background[i]->receiver().total_bytes();

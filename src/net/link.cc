@@ -1,5 +1,7 @@
 #include "net/link.h"
 
+#include <algorithm>
+#include <cmath>
 #include <stdexcept>
 #include <utility>
 
@@ -27,6 +29,15 @@ void Link::set_rate_bps(double rate_bps) {
 }
 
 void Link::send(Packet&& packet) {
+  // Inline control-plane enqueue hook: an index-addressed store into the
+  // ControlPlane's SoA arrays (the batched replacement for the virtual
+  // LinkAgent::on_enqueue).
+  if (control_mode_ == ControlStamp::kXwiPrice && packet.is_data() &&
+      std::isfinite(packet.normalized_residual)) {
+    double& min_res = control_->min_residual[control_slot_];
+    min_res = std::min(min_res, packet.normalized_residual);
+    control_->saw_residual[control_slot_] = 1;
+  }
   if (agent_) agent_->on_enqueue(packet);
   if (!queue_->enqueue(std::move(packet))) return;  // dropped; stats in Queue
   try_start_tx();
@@ -37,6 +48,19 @@ void Link::try_start_tx() {
   auto next = queue_->dequeue();
   if (!next) return;
   busy_ = true;
+  // Inline control-plane dequeue hook: count serviced bytes and stamp the
+  // per-link value (price or feedback) into the data packet's header.
+  if (control_mode_ != ControlStamp::kNone) {
+    control_->bytes_serviced[control_slot_] += next->size;
+    if (next->is_data()) {
+      if (control_mode_ == ControlStamp::kXwiPrice) {
+        next->path_price += control_->stamp[control_slot_];
+        next->path_len += 1;
+      } else {
+        next->path_feedback += control_->stamp[control_slot_];
+      }
+    }
+  }
   if (agent_) agent_->on_dequeue(*next);
   bytes_sent_ += next->size;
   auto& stats = sim::substrate_stats();

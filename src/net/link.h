@@ -20,7 +20,11 @@ namespace numfabric::net {
 
 class Node;
 
-/// Per-link hook for scheme-specific state machines.
+/// Per-link hook for scheme-specific state machines.  This is the legacy
+/// object-per-link encoding (one virtual agent, one timer event per link);
+/// production fabrics wire links into the batched transport::ControlPlane
+/// via attach_control() instead, and the agent classes remain as reference
+/// implementations the parity tests compare the batched sweep against.
 class LinkAgent {
  public:
   virtual ~LinkAgent() = default;
@@ -30,6 +34,31 @@ class LinkAgent {
 
   /// Called when the packet begins serialization (may stamp header fields).
   virtual void on_dequeue(Packet& packet) { (void)packet; }
+};
+
+/// What the inline control-plane hooks do on this link's hot path (which
+/// observation the data path records and which packet field the per-link
+/// stamp accumulates into).  See transport::ControlPlane.
+enum class ControlStamp : std::uint8_t {
+  kNone,
+  /// xWI: track the min normalized residual over DATA enqueues; stamp the
+  /// link price into path_price (and bump path_len) on DATA dequeue.
+  kXwiPrice,
+  /// DGD / RCP*: accumulate the per-link value into path_feedback on DATA
+  /// dequeue (DGD: the price; RCP*: R^-alpha, precomputed per tick).
+  kFeedback,
+};
+
+/// Dense per-link control-plane state, indexed by each link's slot id.  The
+/// owning transport::ControlPlane sizes the arrays once at attach time (they
+/// never move afterwards); links write observations straight into them from
+/// the forwarding hot path — an index-addressed store, no virtual dispatch —
+/// and the single batched tick sweeps them in slot order.
+struct LinkControlArrays {
+  const double* stamp = nullptr;         // per-DATA-packet price / feedback
+  double* min_residual = nullptr;        // xWI: min over DATA enqueues
+  std::uint8_t* saw_residual = nullptr;  // xWI: any finite residual seen
+  std::uint64_t* bytes_serviced = nullptr;
 };
 
 class Link {
@@ -62,6 +91,19 @@ class Link {
   void set_agent(std::unique_ptr<LinkAgent> agent) { agent_ = std::move(agent); }
   LinkAgent* agent() const { return agent_.get(); }
 
+  /// Wires this link into a batched control plane: the forwarding hot path
+  /// reads/writes `arrays` at index `slot` according to `mode`.  The caller
+  /// guarantees the arrays outlive the link's last forwarded packet and stay
+  /// at a fixed address.  Pass kNone/nullptr to detach.
+  void attach_control(ControlStamp mode, const LinkControlArrays* arrays,
+                      std::uint32_t slot) {
+    control_mode_ = mode;
+    control_ = mode == ControlStamp::kNone ? nullptr : arrays;
+    control_slot_ = slot;
+  }
+  bool has_control_slot() const { return control_mode_ != ControlStamp::kNone; }
+  std::uint32_t control_slot() const { return control_slot_; }
+
   /// Total bytes serialized since construction (for utilization metrics).
   std::uint64_t bytes_sent() const { return bytes_sent_; }
 
@@ -77,6 +119,10 @@ class Link {
   Node* dst_;
   Link* twin_ = nullptr;
   std::unique_ptr<LinkAgent> agent_;
+  // Batched control plane wiring (see attach_control).
+  const LinkControlArrays* control_ = nullptr;
+  std::uint32_t control_slot_ = 0;
+  ControlStamp control_mode_ = ControlStamp::kNone;
   bool busy_ = false;
   std::uint64_t bytes_sent_ = 0;
   // Packets serialized but not yet delivered, in transmit order.  Delivery

@@ -55,9 +55,14 @@ FluidFctResult fluid_fct_oracle(const std::vector<FluidFlow>& flows,
       problem.utilities.push_back(flows[id].utility);
       problem.flow_links.push_back(flows[id].links);
     }
-    warm.initial_prices.clear();  // active set changed; restart prices
     const NumSolution solution = solve_num(problem, warm);
     ++result.solves;
+    result.sweeps += solution.sweeps;
+    // Prices are per-link, not per-flow: the next event's active set differs
+    // by a flow or two while the dual stays close, so the converged prices
+    // are the right warm start for the next solve (empty only before the
+    // first event, or if the caller supplied no initial_prices).
+    warm.initial_prices = solution.prices;
 
     // Advance to the next event: first completion or next arrival.
     double dt = std::numeric_limits<double>::infinity();

@@ -31,6 +31,11 @@ struct FluidFctResult {
   std::vector<double> ideal_rate;
   /// Number of allocation recomputations performed (perf reporting).
   int solves = 0;
+  /// Total Gauss-Seidel sweeps across all solves.  Successive events share
+  /// their link prices (the active set changes by a flow or two while the
+  /// dual barely moves), so every re-solve warm-starts from the previous
+  /// solution; this counter is what that saves.
+  std::int64_t sweeps = 0;
 };
 
 /// Simulates the fluid system.  `capacities` are in rate units (Mbps).

@@ -44,11 +44,19 @@ NumSolution solve_num(const NumProblem& problem, const NumSolverOptions& options
   }
 
   std::vector<double> prices = options.initial_prices;
-  if (prices.empty()) {
+  const bool warm = !prices.empty();
+  if (!warm) {
     prices.assign(num_links, 1.0);
   } else if (prices.size() != num_links) {
     throw std::invalid_argument("solve_num: initial_prices size mismatch");
   }
+  // Warm-started solves (re-solves across semi-dynamic epochs / fluid-oracle
+  // events) stop each per-link bisection once the bracket is two orders of
+  // magnitude below the sweep tolerance — the sweep loop cannot distinguish
+  // prices closer than that, so the remaining ~60 fixed-depth halvings are
+  // pure waste.  Cold solves keep the legacy fixed-depth bisection so their
+  // results stay bit-identical.
+  const double price_resolution = warm ? options.tolerance * 1e-2 : 0.0;
 
   // path_price[i] = sum of prices along flow i's path, kept incrementally.
   std::vector<double> path_price(num_flows, 0.0);
@@ -95,6 +103,7 @@ NumSolution solve_num(const NumProblem& problem, const NumSolverOptions& options
           if (hi > 1e30) throw std::logic_error("solve_num: price diverged");
         }
         for (int iter = 0; iter < 100; ++iter) {
+          if (price_resolution > 0.0 && hi - lo <= price_resolution) break;
           const double mid = 0.5 * (lo + hi);
           if (link_load(l, mid, base) > capacity) {
             lo = mid;

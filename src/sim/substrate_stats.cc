@@ -10,6 +10,8 @@ SubstrateStats SubstrateStats::operator-(const SubstrateStats& rhs) const {
   out.packets_forwarded = packets_forwarded - rhs.packets_forwarded;
   out.bytes_forwarded = bytes_forwarded - rhs.bytes_forwarded;
   out.packets_dropped = packets_dropped - rhs.packets_dropped;
+  out.control_ticks = control_ticks - rhs.control_ticks;
+  out.links_swept = links_swept - rhs.links_swept;
   out.allocs_callable_spill = allocs_callable_spill - rhs.allocs_callable_spill;
   out.allocs_event_queue = allocs_event_queue - rhs.allocs_event_queue;
   out.allocs_packet_pool = allocs_packet_pool - rhs.allocs_packet_pool;

@@ -29,6 +29,13 @@ struct SubstrateStats {
   std::uint64_t bytes_forwarded = 0;
   std::uint64_t packets_dropped = 0;
 
+  // Batched control plane (transport::ControlPlane): synchronized price
+  // sweeps and the per-link updates they performed.  links_swept /
+  // control_ticks == fabric link count; one tick per interval regardless of
+  // fabric size is the batching invariant.
+  std::uint64_t control_ticks = 0;
+  std::uint64_t links_swept = 0;
+
   // Heap allocations performed by substrate containers.  Zero deltas across
   // a steady-state window == allocation-free forwarding.
   std::uint64_t allocs_callable_spill = 0;  // InlineEvent captures > SBO

@@ -6,6 +6,9 @@
 // capacity (both in Mbps, matching Table 2's units for a), and q the
 // instantaneous queue backlog in bytes.  The price accumulates into data
 // packets' path_feedback on dequeue, mirroring how pathPrice works for xWI.
+//
+// Reference implementation for tests/parity runs only; production fabrics
+// run this update batched in transport::ControlPlane.
 #pragma once
 
 #include <cstdint>

@@ -56,6 +56,16 @@ net::QueueFactory Fabric::queue_factory(std::size_t capacity_bytes) const {
 }
 
 void Fabric::attach_agents(net::Topology& topo) {
+  if (!options_.legacy_link_agents) {
+    control_plane_ = ControlPlane::attach(
+        sim_,
+        ControlPlane::Params{options_.scheme, options_.numfabric, options_.dgd,
+                             options_.rcp},
+        topo);
+    return;
+  }
+  // Legacy object-per-link wiring, kept for the parity tests: each agent is
+  // the executable reference spec the batched sweep is compared against.
   for (const auto& link : topo.links()) {
     switch (options_.scheme) {
       case Scheme::kNumFabric: {

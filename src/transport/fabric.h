@@ -21,6 +21,7 @@
 
 #include "net/topology.h"
 #include "sim/simulator.h"
+#include "transport/control_plane.h"
 #include "transport/dctcp/dctcp_sender.h"
 #include "transport/dgd/dgd_sender.h"
 #include "transport/flow.h"
@@ -46,6 +47,11 @@ struct FabricOptions {
   /// NUMFabric only: > 0 replaces exact STFQ with the §8 multi-queue
   /// approximation using this many weight bands (ablation).
   int discrete_wfq_bands = 0;
+  /// Test-only escape hatch: attach the legacy per-link agent objects (one
+  /// timer event per link per interval, virtual hooks) instead of the
+  /// batched ControlPlane.  The parity test runs both wirings over the same
+  /// workload and asserts identical packet-level behavior.
+  bool legacy_link_agents = false;
 };
 
 class Fabric {
@@ -62,9 +68,16 @@ class Fabric {
   /// tiers differently.  pFabric keeps its own shallow queues regardless.
   net::QueueFactory queue_factory(std::size_t capacity_bytes) const;
 
-  /// Attaches the scheme's per-link agents.  Call once, after the topology
-  /// is fully built and before flows start.
+  /// Attaches the scheme's per-link control state: builds the batched
+  /// ControlPlane over every link (or, with legacy_link_agents, the old
+  /// object-per-link agents).  Call once, after the topology is fully built
+  /// and before flows start.
   void attach_agents(net::Topology& topo);
+
+  /// The batched control plane, once attach_agents has run.  nullptr for
+  /// schemes without per-link control state (DCTCP, pFabric) and in
+  /// legacy_link_agents mode.
+  const ControlPlane* control_plane() const { return control_plane_.get(); }
 
   /// Registers a flow; endpoints are created and started at spec.start_time.
   /// If spec.id is 0 an id is assigned.  Returns a stable pointer.
@@ -91,6 +104,7 @@ class Fabric {
 
   sim::Simulator& sim_;
   FabricOptions options_;
+  std::unique_ptr<ControlPlane> control_plane_;
   std::vector<std::unique_ptr<Flow>> flows_;
   std::unordered_map<net::FlowId, Flow*> by_id_;
   GroupRegistry groups_;

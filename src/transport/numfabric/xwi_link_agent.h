@@ -12,6 +12,12 @@
 // When an interval saw no data packet, minRes has no observation and only
 // the under-utilization term acts — driving idle links' prices to zero, as
 // Eq. 10 requires.
+//
+// This object-per-link encoding (own timer event, virtual hooks) is the
+// executable reference spec: production fabrics run the same update batched
+// over all links by transport::ControlPlane, and the parity tests assert
+// the two produce bit-identical prices.  Only tests (and the legacy
+// FabricOptions::legacy_link_agents mode) construct it.
 #pragma once
 
 #include <cstdint>

@@ -5,6 +5,10 @@
 // with T the update interval, d the average RTT, y the measured throughput,
 // q the queue backlog.  On dequeue, each data packet accumulates R^-alpha
 // into path_feedback (the RCP* analogue of the price field).
+//
+// Reference implementation for tests/parity runs only; production fabrics
+// run this update batched in transport::ControlPlane (which also hoists the
+// per-packet std::pow to once per tick).
 #pragma once
 
 #include <cstdint>

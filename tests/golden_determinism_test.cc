@@ -28,13 +28,19 @@ namespace {
 
 // Checked-in golden hashes (FNV-1a 64 of the normalized CSV).
 //
-// kConvergenceGolden was re-baselined by the PR-4 routing/topology bugfixes:
-// unbiased ECMP range reduction changes which spine each flow hashes to, and
-// the per-hop-rate cross_leaf_rtt changes BDP-derived quantities.  The
-// incast golden (single-spine grid, FCT mode) was unaffected by either.
-constexpr const char* kConvergenceGolden = "35ae3d08530ce51f";
-constexpr const char* kIncastSweepGolden = "e86f0de6df6f00a1";
-constexpr const char* kOversubSweepGolden = "decd087d12276069";
+// All three were re-baselined by the PR-5 batched control plane: the perf
+// table gained control_ticks / links_swept rows, and event-count metrics
+// (sim_events, events_scheduled/fired) drop because N per-link price timers
+// per interval collapse into one tick.  Packet-level physics (FCTs, rates,
+// prices, utilizations) was verified byte-identical against the PR-4
+// binaries for every scenario; the only value-level shifts anywhere are
+// low-order bits in fluid-oracle-normalized FCT scenarios from the NUM
+// warm start (not hashed here — these three scenarios' non-perf tables
+// changed only in event-count columns).  The control-plane parity test
+// locks the batched behavior to the legacy per-link agents.
+constexpr const char* kConvergenceGolden = "1952d70b2c508e0f";
+constexpr const char* kIncastSweepGolden = "39db440f64807605";
+constexpr const char* kOversubSweepGolden = "7065bdb15d954e9b";
 
 std::string fnv1a_hex(const std::string& text) {
   std::uint64_t hash = 1469598103934665603ull;
