@@ -4,6 +4,8 @@
 // quoted in README.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <vector>
@@ -149,11 +151,46 @@ void BM_NumSolver(benchmark::State& state) {
   const auto problem = make_problem(static_cast<int>(state.range(0)),
                                     static_cast<int>(state.range(0)) / 3 + 2, rng,
                                     store);
+  // Compile once, cold-solve per iteration (reset() drops the warm start but
+  // keeps the buffers) — the measured loop is pure solver arithmetic.
+  const num::CsrProblem csr = num::CsrProblem::compile(problem);
+  num::NumWorkspace workspace;
+  std::int64_t sweeps = 0;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(num::solve_num(problem));
+    workspace.reset();
+    sweeps += num::solve(csr, workspace).sweeps;
+    benchmark::DoNotOptimize(workspace.rates().data());
   }
+  state.SetItemsProcessed(sweeps);  // Gauss-Seidel sweeps/sec
 }
 BENCHMARK(BM_NumSolver)->Arg(50)->Arg(400);
+
+// Wave-parallel execution of the same solve.  The conflict-graph width caps
+// usable parallelism, so this uses a sparser problem (links == flows) whose
+// wave layers are wide enough to chunk; results are bit-identical to serial
+// for every thread count (locked by CsrSolverTest).
+void BM_NumSolverParallel(benchmark::State& state) {
+  sim::Rng rng(1);
+  std::vector<std::unique_ptr<num::AlphaFairUtility>> store;
+  const auto problem = make_problem(static_cast<int>(state.range(0)),
+                                    static_cast<int>(state.range(0)), rng, store);
+  const num::CsrProblem csr = num::CsrProblem::compile(problem);
+  num::NumWorkspace workspace;
+  num::NumSolverOptions options;
+  options.policy =
+      num::ExecutionPolicy::parallel(static_cast<int>(state.range(1)));
+  std::int64_t sweeps = 0;
+  for (auto _ : state) {
+    workspace.reset();
+    sweeps += num::solve(csr, workspace, options).sweeps;
+    benchmark::DoNotOptimize(workspace.rates().data());
+  }
+  state.SetItemsProcessed(sweeps);  // Gauss-Seidel sweeps/sec
+}
+BENCHMARK(BM_NumSolverParallel)
+    ->Args({400, 1})
+    ->Args({400, 2})
+    ->Args({400, 8});
 
 void BM_Waterfill(benchmark::State& state) {
   sim::Rng rng(2);
@@ -168,6 +205,8 @@ void BM_Waterfill(benchmark::State& state) {
   for (auto _ : state) {
     benchmark::DoNotOptimize(num::weighted_max_min(problem));
   }
+  // flow allocations/sec
+  state.SetItemsProcessed(state.iterations() * state.range(0));
 }
 BENCHMARK(BM_Waterfill)->Arg(50)->Arg(400);
 
@@ -175,9 +214,13 @@ void BM_XwiFluid(benchmark::State& state) {
   sim::Rng rng(3);
   std::vector<std::unique_ptr<num::AlphaFairUtility>> store;
   const auto problem = make_problem(100, 30, rng, store);
+  std::int64_t iterations = 0;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(num::xwi_fluid_solve(problem));
+    const num::XwiFluidResult result = num::xwi_fluid_solve(problem);
+    iterations += result.iterations;
+    benchmark::DoNotOptimize(result.rates.data());
   }
+  state.SetItemsProcessed(iterations);  // xWI price iterations/sec
 }
 BENCHMARK(BM_XwiFluid);
 
@@ -242,28 +285,36 @@ void BM_PriceTickChurn(benchmark::State& state) {
 BENCHMARK(BM_PriceTickChurn);
 
 // The fluid-FCT oracle's dominant cost: re-solving the NUM problem after a
-// small active-set change.  The warm-start policy (thread the previous
-// solution's prices through NumSolverOptions::initial_prices, as
-// fluid_fct_oracle does) starts each re-solve at the old optimum; before_ns
-// tracks the legacy cold restart at 1.0 everywhere.
+// small active-set change.  Exactly the oracle's production shape now: the
+// departure is a set_active row patch on the compiled problem, the re-solve
+// warm-starts from the base optimum in a reused workspace (allocation-free).
+// before_ns tracks the legacy path — rebuild the NumProblem minus one flow,
+// cold restart at 1.0 everywhere, allocate everything per solve.
 void BM_NumSolverWarmStart(benchmark::State& state) {
   sim::Rng rng(7);
   std::vector<std::unique_ptr<num::AlphaFairUtility>> store;
   const auto base = make_problem(static_cast<int>(state.range(0)),
                                  static_cast<int>(state.range(0)) / 3 + 2, rng,
                                  store);
-  const num::NumSolution base_solution = num::solve_num(base);
+  num::CsrProblem csr = num::CsrProblem::compile(base);
+  num::NumWorkspace workspace;
+  const num::SolveStats base_stats = num::solve(csr, workspace);
+  benchmark::DoNotOptimize(base_stats.sweeps);
+  const std::vector<double> base_prices(workspace.prices().begin(),
+                                        workspace.prices().end());
+  num::NumSolverOptions options;
   std::size_t drop = 0;
+  std::int64_t sweeps = 0;
   for (auto _ : state) {
     // One flow leaves; the rest of the problem (and its prices) barely move.
-    num::NumProblem perturbed = base;
-    perturbed.utilities.erase(perturbed.utilities.begin() + drop);
-    perturbed.flow_links.erase(perturbed.flow_links.begin() + drop);
-    drop = (drop + 1) % base.utilities.size();
-    num::NumSolverOptions options;
-    options.initial_prices = base_solution.prices;
-    benchmark::DoNotOptimize(num::solve_num(perturbed, options));
+    csr.set_active(drop, false);
+    options.initial_prices = base_prices;
+    sweeps += num::solve(csr, workspace, options).sweeps;
+    benchmark::DoNotOptimize(workspace.rates().data());
+    csr.set_active(drop, true);
+    drop = (drop + 1) % csr.num_flows();
   }
+  state.SetItemsProcessed(sweeps);  // Gauss-Seidel sweeps/sec
 }
 BENCHMARK(BM_NumSolverWarmStart)->Arg(50)->Arg(400);
 

@@ -3,7 +3,11 @@
 
 Runs the benchmark binary once and compares each benchmark's cpu time to the
 recorded after_ns baseline; anything slower than --factor (default 2.0 —
-deliberately tolerant, CI runners are noisy) fails the check:
+deliberately tolerant, CI runners are noisy) fails the check.  Benchmarks
+that record a throughput (items_per_second, e.g. solver sweeps/sec or
+links-swept/sec) are gated on it too: fresh throughput below
+recorded / factor fails.  Entries recorded with items_per_second == 0
+predate throughput reporting and are skipped for that half of the gate:
 
     scripts/bench_check.py <micro_core-binary> <BENCH_core.json> \
         [--factor 2.0] [--results results.json]
@@ -51,6 +55,8 @@ def main():
     report = json.loads(out.stdout)
 
     fresh_times = {b["run_name"]: b["cpu_time"] for b in report["benchmarks"]}
+    fresh_items = {b["run_name"]: b.get("items_per_second", 0.0)
+                   for b in report["benchmarks"]}
     scale = 1.0
     if args.anchor:
         anchor_recorded = baseline.get(args.anchor, {}).get("after_ns")
@@ -74,6 +80,16 @@ def main():
         print(f"{name:35s} {recorded:12.1f} {fresh:12.1f} {ratio:6.2f}x {verdict}")
         if ratio > args.factor:
             failures.append(name)
+        # Throughput half of the gate: fresh items/sec (machine-normalized)
+        # must stay within factor of the recorded rate.
+        recorded_ips = baseline.get(name, {}).get("items_per_second") or 0
+        ips = fresh_items.get(name) or 0
+        if recorded_ips and ips:
+            ips_ratio = recorded_ips / ips / scale
+            if ips_ratio > args.factor:
+                print(f"{name:35s} throughput {ips:.0f}/s vs recorded "
+                      f"{recorded_ips}/s ({ips_ratio:.2f}x slow) FAIL")
+                failures.append(f"{name} (items/sec)")
 
     if failures:
         print(f"\nperf regression (> {args.factor}x) in: {', '.join(failures)}",

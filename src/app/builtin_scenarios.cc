@@ -44,6 +44,19 @@ exp::Scale scale_for(const RunContext& ctx) {
   return ctx.full_scale ? exp::full_scale() : exp::quick_scale();
 }
 
+/// Applies the cross-cutting --control-threads / --solver-threads knobs to an
+/// experiment options struct.  Every fabric-backed struct embeds a
+/// FabricOptions; the ones that run the NUM oracle also take solver_threads.
+/// Both knobs are bit-identity-preserving, so they never appear in a
+/// scenario's declared parameter schema.
+template <typename ExpOptions>
+void apply_thread_context(const RunContext& ctx, ExpOptions& options) {
+  options.fabric.control_threads = ctx.control_threads;
+  if constexpr (requires { options.solver_threads; }) {
+    options.solver_threads = ctx.solver_threads;
+  }
+}
+
 /// Resolves the fabric: the optional `topology=HxLxS` shape token, the three
 /// explicit counts, per-tier rates and delays, then the `oversub=` re-rating
 /// (which derives the spine rate from host demand, overriding spine_gbps).
@@ -163,6 +176,7 @@ void run_convergence(RunContext& ctx) {
 
   for (const transport::Scheme scheme : transports_param(ctx)) {
     exp::SemiDynamicOptions options;
+    apply_thread_context(ctx, options);
     options.scheme = scheme;
     options.topology = leaf_spine_options(ctx, scale);
     options.num_paths =
@@ -204,6 +218,7 @@ void run_convergence(RunContext& ctx) {
 void run_rate_timeseries(RunContext& ctx) {
   const exp::Scale scale = scale_for(ctx);
   exp::SemiDynamicOptions options;
+  apply_thread_context(ctx, options);
   options.scheme = ctx.scheme;
   options.topology = leaf_spine_options(ctx, scale);
   options.num_paths =
@@ -268,6 +283,7 @@ void run_dynamic_deviation(RunContext& ctx) {
 
   for (const transport::Scheme scheme : transports_param(ctx)) {
     exp::DynamicWorkloadOptions options;
+    apply_thread_context(ctx, options);
     options.scheme = scheme;
     options.topology = leaf_spine_options(ctx, scale);
     options.sizes = &distribution_param(ctx, "websearch");
@@ -318,6 +334,7 @@ std::vector<double> loads_param(const RunContext& ctx,
 void run_fct_vs_pfabric(RunContext& ctx) {
   const exp::Scale scale = scale_for(ctx);
   exp::FctExperimentOptions options;
+  apply_thread_context(ctx, options);
   options.topology = leaf_spine_options(ctx, scale);
   options.loads = loads_param(
       ctx, ctx.full_scale
@@ -352,6 +369,7 @@ void run_fct_vs_pfabric(RunContext& ctx) {
 void run_resource_pooling(RunContext& ctx) {
   const exp::Scale scale = scale_for(ctx);
   exp::PoolingOptions options;
+  apply_thread_context(ctx, options);
   options.topology.hosts_per_leaf = static_cast<int>(
       ctx.options.get_int("hosts_per_leaf", scale.pooling_hosts_per_leaf));
   options.topology.num_leaves = static_cast<int>(
@@ -491,6 +509,7 @@ void run_traffic(RunContext& ctx, exp::TrafficPattern pattern,
                  std::int64_t default_flow_kb) {
   const exp::Scale scale = scale_for(ctx);
   exp::TrafficOptions options;
+  apply_thread_context(ctx, options);
   options.scheme = scheme_for(ctx);
   options.topology = leaf_spine_options(ctx, scale);
   options.core_buffer_bytes =
@@ -526,6 +545,7 @@ void run_fct_sweep(RunContext& ctx, const std::string& default_workload) {
   const std::vector<double> loads = loads_param(ctx, {0.2, 0.4, 0.6, 0.8});
   for (const double load : loads) {
     exp::DynamicWorkloadOptions options;
+    apply_thread_context(ctx, options);
     options.scheme = scheme_for(ctx);
     options.topology = leaf_spine_options(ctx, scale);
     options.sizes = &distribution_param(ctx, default_workload);
@@ -569,6 +589,7 @@ void run_fct_sweep(RunContext& ctx, const std::string& default_workload) {
 void run_oversub_fabric_scenario(RunContext& ctx) {
   const exp::Scale scale = scale_for(ctx);
   exp::OversubFabricOptions options;
+  apply_thread_context(ctx, options);
   options.scheme = scheme_for(ctx);
   options.topology = leaf_spine_options(ctx, scale);
   options.core_buffer_bytes =
@@ -613,6 +634,7 @@ void run_oversub_fabric_scenario(RunContext& ctx) {
 void run_background_burst_scenario(RunContext& ctx) {
   const exp::Scale scale = scale_for(ctx);
   exp::BackgroundBurstOptions options;
+  apply_thread_context(ctx, options);
   options.scheme = scheme_for(ctx);
   options.topology = leaf_spine_options(ctx, scale);
   options.core_buffer_bytes =
@@ -674,6 +696,7 @@ void run_background_burst_scenario(RunContext& ctx) {
 void run_sensitivity(RunContext& ctx) {
   const exp::Scale scale = scale_for(ctx);
   exp::SemiDynamicOptions options;
+  apply_thread_context(ctx, options);
   options.scheme = ctx.scheme;
   options.topology = leaf_spine_options(ctx, scale);
   // Sensitivity grids rerun the scenario at many points; defaults are a
@@ -732,6 +755,7 @@ void run_sensitivity(RunContext& ctx) {
 void run_trace_replay_scenario(RunContext& ctx) {
   const exp::Scale scale = scale_for(ctx);
   exp::TraceReplayOptions options;
+  apply_thread_context(ctx, options);
   options.scheme = ctx.scheme;
   options.topology = leaf_spine_options(ctx, scale);
   options.alpha = ctx.options.get_double("alpha", 1.0);

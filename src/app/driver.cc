@@ -38,6 +38,12 @@ void print_usage(std::FILE* out) {
       "                        (a,b,c) or inclusive range (lo:hi:step);\n"
       "                        repeat for a cross-product grid\n"
       "  --jobs=<N>            parallel sweep runs (default 1; 0 = all cores)\n"
+      "  --solver-threads=<N>  NUM oracle solve threads (default 1; 0 = all\n"
+      "                        cores; results are bit-identical for any N)\n"
+      "  --control-threads=<N> control-plane sweep threads (default 1; 0 = all\n"
+      "                        cores; results are bit-identical for any N)\n"
+      "  --solver-stats        add per-run oracle cost scalars to sweep\n"
+      "                        output (solver_solves/sweeps/wall_us)\n"
       "  --vary-seed           per-run seed = base seed + run index\n"
       "  --full                paper-scale runs (same as NUMFABRIC_FULL=1)\n"
       "  --list                list registered scenarios\n"
@@ -88,6 +94,9 @@ int run_cli(const std::vector<std::string>& args) {
   bool full = env_full_scale();
   bool vary_seed = false;
   int jobs = 1;
+  int solver_threads = 1;
+  int control_threads = 1;
+  bool solver_stats = false;
   std::vector<std::string> sweep_tokens;
   std::vector<std::string> param_tokens;
 
@@ -130,6 +139,26 @@ int run_cli(const std::vector<std::string>& args) {
         return 2;
       }
       jobs = static_cast<int>(*value);
+    } else if (arg.rfind("--solver-threads=", 0) == 0) {
+      const auto value = util::parse_int(value_of("--solver-threads="));
+      if (!value || *value < 0 || *value > 4096) {
+        std::fprintf(stderr,
+                     "bad --solver-threads value '%s' (expected 0..4096)\n",
+                     arg.c_str());
+        return 2;
+      }
+      solver_threads = static_cast<int>(*value);
+    } else if (arg.rfind("--control-threads=", 0) == 0) {
+      const auto value = util::parse_int(value_of("--control-threads="));
+      if (!value || *value < 0 || *value > 4096) {
+        std::fprintf(stderr,
+                     "bad --control-threads value '%s' (expected 0..4096)\n",
+                     arg.c_str());
+        return 2;
+      }
+      control_threads = static_cast<int>(*value);
+    } else if (arg == "--solver-stats") {
+      solver_stats = true;
     } else if (arg == "--vary-seed") {
       vary_seed = true;
     } else if (arg == "--full") {
@@ -222,7 +251,9 @@ int run_cli(const std::vector<std::string>& args) {
     metrics.scalar("scenario", scenario->name);
     int exit_code = 0;
     if (sweep_tokens.empty()) {
-      RunContext ctx{options, parse_scheme(transport), metrics, full};
+      RunContext ctx{options, parse_scheme(transport), metrics, full,
+                     WorkerPool::resolve_jobs(solver_threads),
+                     WorkerPool::resolve_jobs(control_threads)};
       const PerfSnapshot perf_snapshot;
       const auto wall_start = std::chrono::steady_clock::now();
       scenario->run(ctx);
@@ -236,6 +267,13 @@ int run_cli(const std::vector<std::string>& args) {
                      wall_ms > 0 ? static_cast<double>(delta.events_fired) *
                                        1000.0 / wall_ms
                                  : 0.0);
+      // Oracle cost for this run point (satellite of the perf table; kept
+      // out of record_perf so the scenario golden hashes stay stable).
+      metrics.scalar("solver_threads", ctx.solver_threads);
+      metrics.scalar("solver_solves", delta.solver_solves);
+      metrics.scalar("solver_sweeps", delta.solver_sweeps);
+      metrics.scalar("solver_wall_us",
+                     static_cast<double>(delta.solver_wall_ns) / 1000.0);
     } else {
       SweepRequest request;
       request.scenario = scenario;
@@ -244,6 +282,9 @@ int run_cli(const std::vector<std::string>& args) {
       request.scheme = parse_scheme(transport);
       request.full_scale = full;
       request.jobs = WorkerPool::resolve_jobs(jobs);
+      request.solver_threads = WorkerPool::resolve_jobs(solver_threads);
+      request.control_threads = WorkerPool::resolve_jobs(control_threads);
+      request.report_solver_stats = solver_stats;
       request.vary_seed = vary_seed;
       const SweepResult result = run_sweep(request, metrics);
       for (const SweepRunStatus& status : result.statuses) {

@@ -43,6 +43,11 @@ struct RunContext {
   MetricWriter& metrics;
   /// True under NUMFABRIC_FULL=1: scenarios scale to paper size.
   bool full_scale = false;
+  /// --solver-threads: wave-parallel NUM oracle solves (bit-identical to 1).
+  int solver_threads = 1;
+  /// --control-threads: chunked parallel control-plane sweeps (bit-identical
+  /// to 1).
+  int control_threads = 1;
 };
 
 struct Scenario {

@@ -76,12 +76,22 @@ SweepResult run_sweep(const SweepRequest& request, MetricWriter& merged) {
     const auto start = std::chrono::steady_clock::now();
     try {
       RunContext ctx{options, request.scheme,
-                     buffers[static_cast<std::size_t>(i)], request.full_scale};
+                     buffers[static_cast<std::size_t>(i)], request.full_scale,
+                     request.solver_threads, request.control_threads};
       // Counters are thread-local and this run executes entirely on this
       // worker, so the delta isolates the run's substrate activity.
       const PerfSnapshot perf_snapshot;
       scenario.run(ctx);
-      record_perf(buffers[static_cast<std::size_t>(i)], perf_snapshot.delta());
+      const sim::SubstrateStats delta = perf_snapshot.delta();
+      record_perf(buffers[static_cast<std::size_t>(i)], delta);
+      if (request.report_solver_stats) {
+        MetricWriter& buffer = buffers[static_cast<std::size_t>(i)];
+        buffer.scalar("solver_threads", request.solver_threads);
+        buffer.scalar("solver_solves", delta.solver_solves);
+        buffer.scalar("solver_sweeps", delta.solver_sweeps);
+        buffer.scalar("solver_wall_us",
+                      static_cast<double>(delta.solver_wall_ns) / 1000.0);
+      }
       status.ok = true;
     } catch (const std::exception& error) {
       status.error = error.what();

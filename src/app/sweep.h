@@ -42,6 +42,15 @@ struct SweepRequest {
   bool full_scale = false;
   /// Worker threads (already resolved; >= 1).
   int jobs = 1;
+  /// Per-run NUM oracle / control-plane threads (RunContext::solver_threads
+  /// and ::control_threads; results are bit-identical for any value).
+  int solver_threads = 1;
+  int control_threads = 1;
+  /// Emit per-run solver cost scalars (solver_solves / solver_sweeps /
+  /// solver_wall_us) into sweep_scalars.  Off by default: solver_wall_us is
+  /// nondeterministic, and the default keeps merged sweep output — which the
+  /// golden determinism tests hash — byte-stable.
+  bool report_solver_stats = false;
   /// Derive each run's seed as <base seed> + <plan index>.  Requires the
   /// scenario to declare a `seed` parameter.  Off by default so a sweep row
   /// is bit-identical to the equivalent single run.

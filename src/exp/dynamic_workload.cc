@@ -82,6 +82,7 @@ DynamicWorkloadResult run_dynamic_workload(const DynamicWorkloadOptions& options
   // Fluid oracle: ideal FCT per flow.
   num::NumSolverOptions solver_options;
   solver_options.tolerance = 1e-8;
+  solver_options.policy = num::ExecutionPolicy::parallel(options.solver_threads);
   const num::FluidFctResult oracle =
       num::fluid_fct_oracle(fluid_flows, indexer.capacities(), solver_options);
 

@@ -26,6 +26,9 @@ struct DynamicWorkloadOptions {
   double load = 0.6;
   int flow_count = 2000;
   double alpha = 1.0;  // proportional fairness
+  /// Threads for the fluid oracle's NUM re-solves (bit-identical for any
+  /// value; >1 uses the wave-parallel execution policy).
+  int solver_threads = 1;
   std::uint64_t seed = 1;
   /// Hard stop; flows not finished by then are reported as incomplete.
   sim::TimeNs horizon = sim::seconds(20);

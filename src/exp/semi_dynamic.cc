@@ -72,6 +72,7 @@ class Driver {
 
   std::unique_ptr<stats::ConvergenceDetector> detector_;
   std::vector<double> warm_prices_;  // oracle warm start between events
+  num::NumWorkspace solver_workspace_;
   int events_fired_ = 0;
   SemiDynamicResult result_;
   /// Self-rescheduling sampler closures.  Owned here (not by shared_ptr
@@ -159,14 +160,21 @@ std::vector<double> Driver::oracle_targets_bps() {
     }
     return targets;
   }
-  num::NumProblem problem = make_num_problem(*indexer_, flows);
+  // The active set changes every event, so the problem is recompiled in
+  // active order (the legacy summation order — keeps the convergence golden
+  // hash stable); the workspace and the explicit warm prices persist across
+  // events, making each re-solve warm and allocation-free.
+  const num::NumProblem problem = make_num_problem(*indexer_, flows);
+  const num::CsrProblem csr = num::CsrProblem::compile(problem);
   num::NumSolverOptions solver_options;
   solver_options.tolerance = 1e-10;
   solver_options.initial_prices = warm_prices_;  // empty on the first event
-  const num::NumSolution solution = num::solve_num(problem, solver_options);
-  warm_prices_ = solution.prices;
+  solver_options.policy = num::ExecutionPolicy::parallel(options_.solver_threads);
+  num::solve(csr, solver_workspace_, solver_options);
+  warm_prices_.assign(solver_workspace_.prices().begin(),
+                      solver_workspace_.prices().end());
   for (std::size_t i = 0; i < flows.size(); ++i) {
-    targets[i] = num::to_bps(solution.rates[i]);
+    targets[i] = num::to_bps(solver_workspace_.rates()[i]);
   }
   return targets;
 }

@@ -33,6 +33,10 @@ struct SemiDynamicOptions {
   /// Utility: alpha-fair (1.0 = the paper's proportional fairness).
   double alpha = 1.0;
 
+  /// Oracle execution: >1 runs the NUM solver's wave-parallel path on this
+  /// many threads (bit-identical results for any value).
+  int solver_threads = 1;
+
   stats::ConvergenceOptions convergence;  // filter_rise_time is auto-filled
   /// Pause between an event's verdict and the next event.
   sim::TimeNs event_gap = sim::micros(100);

@@ -4,6 +4,8 @@
 #include <limits>
 #include <stdexcept>
 
+#include "num/csr_problem.h"
+
 namespace numfabric::num {
 namespace {
 
@@ -31,7 +33,6 @@ BweResult bwe_waterfill(const BweProblem& problem, double max_fair_share) {
     if (fn == nullptr) throw std::invalid_argument("bwe_waterfill: null function");
   }
 
-  std::vector<std::vector<int>> flows_on_link(num_links);
   for (std::size_t i = 0; i < num_flows; ++i) {
     if (problem.flow_links[i].empty()) {
       throw std::invalid_argument("bwe_waterfill: empty path");
@@ -40,9 +41,10 @@ BweResult bwe_waterfill(const BweProblem& problem, double max_fair_share) {
       if (l < 0 || static_cast<std::size_t>(l) >= num_links) {
         throw std::invalid_argument("bwe_waterfill: bad link index");
       }
-      flows_on_link[static_cast<std::size_t>(l)].push_back(static_cast<int>(i));
     }
   }
+  const std::vector<std::vector<int>> on_link =
+      flows_on_link(problem.flow_links, num_links);
 
   BweResult result;
   result.rates.assign(num_flows, 0.0);
@@ -58,12 +60,12 @@ BweResult bwe_waterfill(const BweProblem& problem, double max_fair_share) {
     double next_level = max_fair_share;
     for (std::size_t l = 0; l < num_links; ++l) {
       bool has_active = false;
-      for (int i : flows_on_link[l]) {
+      for (int i : on_link[l]) {
         has_active = has_active || active[static_cast<std::size_t>(i)];
       }
       if (!has_active) continue;
       const double headroom = problem.capacities[l] - frozen[l];
-      if (active_demand(problem, flows_on_link[l], active, max_fair_share) <
+      if (active_demand(problem, on_link[l], active, max_fair_share) <
           headroom) {
         continue;  // this link never saturates within the search bound
       }
@@ -71,7 +73,7 @@ BweResult bwe_waterfill(const BweProblem& problem, double max_fair_share) {
       double hi = max_fair_share;
       for (int iter = 0; iter < 200; ++iter) {
         const double mid = 0.5 * (lo + hi);
-        if (active_demand(problem, flows_on_link[l], active, mid) < headroom) {
+        if (active_demand(problem, on_link[l], active, mid) < headroom) {
           lo = mid;
         } else {
           hi = mid;
@@ -85,11 +87,11 @@ BweResult bwe_waterfill(const BweProblem& problem, double max_fair_share) {
     bool froze_any = false;
     for (std::size_t l = 0; l < num_links; ++l) {
       const double headroom = problem.capacities[l] - frozen[l];
-      const double demand = active_demand(problem, flows_on_link[l], active, level);
+      const double demand = active_demand(problem, on_link[l], active, level);
       const bool saturated =
           demand >= headroom * (1.0 - 1e-9) || level >= max_fair_share;
       if (!saturated) continue;
-      for (int fi : flows_on_link[l]) {
+      for (int fi : on_link[l]) {
         const auto i = static_cast<std::size_t>(fi);
         if (!active[i]) continue;
         active[i] = false;

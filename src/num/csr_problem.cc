@@ -1,0 +1,160 @@
+#include "num/csr_problem.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace numfabric::num {
+namespace {
+
+void validate(const NumProblem& problem) {
+  const std::size_t num_flows = problem.utilities.size();
+  if (problem.flow_links.size() != num_flows) {
+    throw std::invalid_argument("solve_num: utilities/flow_links size mismatch");
+  }
+  for (const auto* u : problem.utilities) {
+    if (u == nullptr) throw std::invalid_argument("solve_num: null utility");
+  }
+  for (double c : problem.capacities) {
+    if (c <= 0) throw std::invalid_argument("solve_num: capacity <= 0");
+  }
+  for (const auto& links : problem.flow_links) {
+    if (links.empty()) throw std::invalid_argument("solve_num: empty path");
+    for (int l : links) {
+      if (l < 0 || static_cast<std::size_t>(l) >= problem.capacities.size()) {
+        throw std::invalid_argument("solve_num: bad link index");
+      }
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<std::vector<int>> flows_on_link(
+    const std::vector<std::vector<int>>& flow_links, std::size_t num_links) {
+  std::vector<std::vector<int>> on_link(num_links);
+  for (std::size_t i = 0; i < flow_links.size(); ++i) {
+    for (int l : flow_links[i]) {
+      on_link[static_cast<std::size_t>(l)].push_back(static_cast<int>(i));
+    }
+  }
+  return on_link;
+}
+
+CsrProblem CsrProblem::compile(const NumProblem& problem) {
+  validate(problem);
+  const std::size_t num_flows = problem.utilities.size();
+  const std::size_t num_links = problem.capacities.size();
+
+  CsrProblem csr;
+  csr.capacities_ = problem.capacities;
+
+  // Flow -> link CSR, preserving path order (path_price sums round the same
+  // way the legacy per-flow loops did).
+  csr.flow_offsets_.resize(num_flows + 1);
+  csr.flow_offsets_[0] = 0;
+  std::size_t nnz = 0;
+  for (std::size_t i = 0; i < num_flows; ++i) {
+    nnz += problem.flow_links[i].size();
+    csr.flow_offsets_[i + 1] = static_cast<std::int32_t>(nnz);
+  }
+  csr.flow_links_.reserve(nnz);
+  for (const auto& links : problem.flow_links) {
+    for (int l : links) csr.flow_links_.push_back(l);
+  }
+
+  // Link -> flow CSR in increasing flow order: counting sort over the same
+  // flow-major walk the legacy flows_on_link construction used.
+  csr.link_offsets_.assign(num_links + 1, 0);
+  for (int l : csr.flow_links_) ++csr.link_offsets_[static_cast<std::size_t>(l) + 1];
+  for (std::size_t l = 0; l < num_links; ++l) {
+    csr.link_offsets_[l + 1] += csr.link_offsets_[l];
+  }
+  csr.link_flows_.resize(nnz);
+  std::vector<std::int32_t> cursor(csr.link_offsets_.begin(),
+                                   csr.link_offsets_.end() - 1);
+  for (std::size_t i = 0; i < num_flows; ++i) {
+    for (int l : problem.flow_links[i]) {
+      csr.link_flows_[static_cast<std::size_t>(
+          cursor[static_cast<std::size_t>(l)]++)] = static_cast<std::int32_t>(i);
+    }
+  }
+
+  // Dense utility parameters.  Positive-alpha AlphaFairUtility flows get the
+  // closed form; everything else (including alpha == 0, whose
+  // marginal_inverse must keep throwing) goes through the virtual fallback.
+  csr.weight_.assign(num_flows, 1.0);
+  csr.neg_inv_alpha_.assign(num_flows, 0.0);
+  csr.generic_.assign(num_flows, nullptr);
+  csr.kind_.assign(num_flows, kGeneric);
+  for (std::size_t i = 0; i < num_flows; ++i) {
+    const auto* alpha_fair =
+        dynamic_cast<const AlphaFairUtility*>(problem.utilities[i]);
+    if (alpha_fair != nullptr && alpha_fair->alpha() > 0.0) {
+      csr.weight_[i] = alpha_fair->weight();
+      csr.neg_inv_alpha_[i] = -1.0 / alpha_fair->alpha();
+      csr.kind_[i] = csr.neg_inv_alpha_[i] == -1.0 ? kReciprocal : kPow;
+    } else {
+      csr.generic_[i] = problem.utilities[i];
+    }
+  }
+
+  csr.active_.assign(num_flows, 1);
+  csr.active_count_ = num_flows;
+  csr.build_waves();
+  return csr;
+}
+
+// Greedy layering of the link conflict graph (conflict = sharing a flow):
+// color(l) = 1 + max color of any conflicting earlier link.  This is the
+// minimal schedule in which every conflict edge crosses wave boundaries in
+// id order — the property that makes wave execution bit-identical to the
+// natural-order serial sweep for any thread count.
+void CsrProblem::build_waves() {
+  const std::size_t num_links = capacities_.size();
+  std::vector<std::int32_t> color(num_links, 0);
+  std::int32_t max_color = 0;
+  for (std::size_t l = 0; l < num_links; ++l) {
+    std::int32_t c = 0;
+    for (std::int32_t i : link_flows(l)) {
+      for (std::int32_t k : flow_links(static_cast<std::size_t>(i))) {
+        if (static_cast<std::size_t>(k) < l) {
+          c = std::max(c, color[static_cast<std::size_t>(k)] + 1);
+        }
+      }
+    }
+    color[l] = c;
+    max_color = std::max(max_color, c);
+  }
+
+  const std::size_t num_waves = num_links == 0 ? 0 : static_cast<std::size_t>(max_color) + 1;
+  wave_offsets_.assign(num_waves + 1, 0);
+  for (std::size_t l = 0; l < num_links; ++l) {
+    ++wave_offsets_[static_cast<std::size_t>(color[l]) + 1];
+  }
+  for (std::size_t w = 0; w < num_waves; ++w) {
+    wave_offsets_[w + 1] += wave_offsets_[w];
+  }
+  wave_links_.resize(num_links);
+  std::vector<std::int32_t> cursor(wave_offsets_.begin(),
+                                   wave_offsets_.end() - 1);
+  for (std::size_t l = 0; l < num_links; ++l) {
+    wave_links_[static_cast<std::size_t>(
+        cursor[static_cast<std::size_t>(color[l])]++)] =
+        static_cast<std::int32_t>(l);
+  }
+}
+
+void CsrProblem::set_active(std::size_t flow, bool active) {
+  if (flow >= active_.size()) {
+    throw std::invalid_argument("CsrProblem::set_active: bad flow index");
+  }
+  if ((active_[flow] != 0) == active) return;
+  active_[flow] = active ? 1 : 0;
+  if (active) {
+    ++active_count_;
+  } else {
+    --active_count_;
+  }
+}
+
+}  // namespace numfabric::num

@@ -1,0 +1,190 @@
+// Compiled NUM problem: CSR incidence + dense utility parameters + a wave
+// schedule for deterministic parallel Gauss-Seidel.
+//
+// Lifecycle (see src/num/README.md for the full story):
+//
+//   num::NumProblem problem = ...;                  // authoring form
+//   num::CsrProblem csr = num::CsrProblem::compile(problem);
+//   num::NumWorkspace workspace;                    // caller-owned, reusable
+//   num::solve(csr, workspace, options);            // cold solve
+//   ...
+//   csr.set_active(flow, false);                    // CSR row patch
+//   num::solve(csr, workspace, options);            // warm, zero-alloc
+//
+// compile() unpacks the pointer-heavy NumProblem into flat arrays:
+//  * flow->link and link->flow incidence in CSR form (offsets + flat index
+//    arrays) — the link->flow lists are in increasing flow order, which is
+//    byte-for-byte the summation order the legacy solve_num used, so load
+//    accumulation rounds identically;
+//  * per-flow AlphaFairUtility parameters as dense SoA (weight, -1/alpha),
+//    so the solver's inner loop runs closed-form arithmetic with no virtual
+//    dispatch.  Flows whose utility is not a positive-alpha AlphaFairUtility
+//    keep a generic UtilityFunction* fallback with the exact legacy
+//    semantics (including the alpha == 0 throw);
+//  * a wave schedule: links colored greedily in id order with
+//    color(l) = 1 + max{color(k) : k < l, k shares a flow with l}.  Within a
+//    wave no two links share a flow, every conflicting earlier link sits in
+//    a strictly earlier wave and every conflicting later link in a strictly
+//    later wave — so executing waves in order, links within a wave in any
+//    order or in parallel, is bit-identical to the natural-order serial
+//    sweep (non-conflicting per-link updates touch disjoint state).
+//
+// set_active() toggles a flow without recompiling: inactive flows are
+// skipped by the solver (their rate reports 0), which is exactly the
+// subproblem over the active rows.  The wave schedule is computed over the
+// full flow set and therefore stays valid for every active subset.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "num/utility.h"
+#include "util/worker_pool.h"
+
+namespace numfabric::num {
+
+struct NumProblem {
+  /// Non-owning views of per-flow utilities (caller keeps them alive).
+  std::vector<const UtilityFunction*> utilities;
+  /// Per-flow list of link indices (non-empty).
+  std::vector<std::vector<int>> flow_links;
+  /// Per-link capacity in rate units (Mbps).
+  std::vector<double> capacities;
+};
+
+/// How a solve runs.  serial() is the reference spec (natural link order);
+/// parallel(n) executes the wave schedule on n threads and is bit-identical
+/// to serial() for every n (see the wave-schedule argument above).
+struct ExecutionPolicy {
+  int threads = 1;
+
+  static ExecutionPolicy serial() { return {1}; }
+  static ExecutionPolicy parallel(int threads) {
+    return {threads < 1 ? 1 : threads};
+  }
+};
+
+class CsrProblem {
+ public:
+  /// Validates and compiles `problem` (throws std::invalid_argument exactly
+  /// where the legacy solve_num did).  All flows start active.  The utility
+  /// objects are borrowed; keep them alive for the CsrProblem's lifetime.
+  static CsrProblem compile(const NumProblem& problem);
+
+  std::size_t num_flows() const { return weight_.size(); }
+  std::size_t num_links() const { return capacities_.size(); }
+  std::size_t num_waves() const { return wave_offsets_.size() - 1; }
+
+  /// The CSR row patch: include/exclude one flow from subsequent solves.
+  void set_active(std::size_t flow, bool active);
+  bool active(std::size_t flow) const { return active_[flow] != 0; }
+  std::size_t active_count() const { return active_count_; }
+
+  const std::vector<double>& capacities() const { return capacities_; }
+
+  // --- flat views for the solver ------------------------------------------
+  std::span<const std::int32_t> flow_links(std::size_t flow) const {
+    return {flow_links_.data() + flow_offsets_[flow],
+            flow_links_.data() + flow_offsets_[flow + 1]};
+  }
+  std::span<const std::int32_t> link_flows(std::size_t link) const {
+    return {link_flows_.data() + link_offsets_[link],
+            link_flows_.data() + link_offsets_[link + 1]};
+  }
+  std::span<const std::int32_t> wave_links(std::size_t wave) const {
+    return {wave_links_.data() + wave_offsets_[wave],
+            wave_links_.data() + wave_offsets_[wave + 1]};
+  }
+
+  /// U'^{-1}(price) for one flow — bitwise the utility's marginal_inverse,
+  /// devirtualized for alpha-fair flows (reciprocal for alpha == 1, one
+  /// std::pow otherwise).
+  double marginal_inverse(std::size_t flow, double price) const {
+    switch (kind_[flow]) {
+      case kReciprocal: {
+        // pow(x, -1.0) is 1/x bitwise (asserted by a unit test), so the
+        // alpha == 1 inner loop is one divide instead of a pow.
+        const double rate =
+            1.0 / (std::max(price, kMinPrice) / weight_[flow]);
+        if (!std::isfinite(rate)) return kMaxRate;
+        return std::min(rate, kMaxRate);
+      }
+      case kPow: {
+        const double rate = std::pow(std::max(price, kMinPrice) / weight_[flow],
+                                     neg_inv_alpha_[flow]);
+        if (!std::isfinite(rate)) return kMaxRate;
+        return std::min(rate, kMaxRate);
+      }
+      default:
+        return generic_[flow]->marginal_inverse(price);
+    }
+  }
+
+ private:
+  enum Kind : std::uint8_t { kReciprocal, kPow, kGeneric };
+
+  CsrProblem() = default;
+
+  void build_waves();
+
+  std::vector<std::int32_t> flow_offsets_;  // num_flows + 1
+  std::vector<std::int32_t> flow_links_;    // flat, path order
+  std::vector<std::int32_t> link_offsets_;  // num_links + 1
+  std::vector<std::int32_t> link_flows_;    // flat, increasing flow id
+  std::vector<std::int32_t> wave_offsets_;  // num_waves + 1
+  std::vector<std::int32_t> wave_links_;    // flat, increasing link id per wave
+
+  std::vector<double> capacities_;
+  std::vector<double> weight_;         // alpha-fair weight (1.0 for generic)
+  std::vector<double> neg_inv_alpha_;  // -1/alpha (0.0 for generic)
+  std::vector<const UtilityFunction*> generic_;  // non-null iff kind kGeneric
+  std::vector<std::uint8_t> kind_;
+
+  std::vector<std::uint8_t> active_;
+  std::size_t active_count_ = 0;
+};
+
+/// Caller-owned solver state: prices, per-flow path prices, scratch, rates,
+/// and the lazily created worker pool for parallel policies.  Reusing one
+/// workspace across solves of the same (or same-shaped) problem makes every
+/// re-solve allocation-free (tracked by the allocs_solver_workspace
+/// substrate counter) and warm-starts it from the previous solve's prices.
+class NumWorkspace {
+ public:
+  NumWorkspace() = default;
+
+  /// Per-link prices after the last solve (link index order).
+  std::span<const double> prices() const { return prices_; }
+  /// Per-flow rates after the last solve; inactive flows report 0.
+  std::span<const double> rates() const { return rates_; }
+
+  /// Forgets the warm-start state: the next solve starts cold (prices 1.0)
+  /// unless the options carry explicit initial_prices.  Buffers keep their
+  /// capacity, so the next solve stays allocation-free.
+  void reset() { warm_ = false; }
+
+ private:
+  friend struct SolverAccess;
+
+  std::vector<double> prices_;
+  std::vector<double> path_price_;
+  std::vector<double> base_;    // path price minus the updating link's price
+  std::vector<double> change_;  // per-link |new - old| for the wave path
+  std::vector<double> rates_;
+  bool warm_ = false;
+
+  std::unique_ptr<util::WorkerPool> pool_;
+};
+
+/// Shared incidence helper: flows_on_link lists in increasing flow order —
+/// the summation order every solver in num/ uses.  bwe_waterfill and
+/// xwi_fluid build their transposed incidence through this so all of num/
+/// rounds identically.
+std::vector<std::vector<int>> flows_on_link(
+    const std::vector<std::vector<int>>& flow_links, std::size_t num_links);
+
+}  // namespace numfabric::num

@@ -28,6 +28,21 @@ FluidFctResult fluid_fct_oracle(const std::vector<FluidFlow>& flows,
   result.fct_seconds.assign(flows.size(), 0.0);
   result.ideal_rate.assign(flows.size(), 0.0);
 
+  // Compile the full flow set once; every arrival / departure is a
+  // CsrProblem::set_active row patch against the same compiled incidence, and
+  // every re-solve reuses one workspace (warm-started, allocation-free).
+  NumProblem problem;
+  problem.capacities = capacities;
+  problem.utilities.reserve(flows.size());
+  problem.flow_links.reserve(flows.size());
+  for (const FluidFlow& f : flows) {
+    problem.utilities.push_back(f.utility);
+    problem.flow_links.push_back(f.links);
+  }
+  CsrProblem csr = CsrProblem::compile(problem);
+  for (std::size_t i = 0; i < flows.size(); ++i) csr.set_active(i, false);
+  NumWorkspace workspace;
+
   std::vector<std::size_t> active;          // indices into `flows`
   std::vector<double> remaining_bits(flows.size(), 0.0);
   std::size_t next_arrival = 0;
@@ -44,43 +59,36 @@ FluidFctResult fluid_fct_oracle(const std::vector<FluidFlow>& flows,
       const std::size_t id = order[next_arrival++];
       active.push_back(id);
       remaining_bits[id] = flows[id].size_bytes * 8.0;
+      csr.set_active(id, true);
     }
 
-    // Optimal allocation for the active set.
-    NumProblem problem;
-    problem.capacities = capacities;
-    problem.utilities.reserve(active.size());
-    problem.flow_links.reserve(active.size());
-    for (std::size_t id : active) {
-      problem.utilities.push_back(flows[id].utility);
-      problem.flow_links.push_back(flows[id].links);
-    }
-    const NumSolution solution = solve_num(problem, warm);
+    // Optimal allocation for the active set.  The first solve honours the
+    // caller's initial_prices (cold at 1.0 when empty); after it the
+    // workspace's own converged prices warm-start every re-solve — the next
+    // event's active set differs by a flow or two while the dual stays close.
+    const SolveStats stats = solve(csr, workspace, warm);
+    warm.initial_prices.clear();
     ++result.solves;
-    result.sweeps += solution.sweeps;
-    // Prices are per-link, not per-flow: the next event's active set differs
-    // by a flow or two while the dual stays close, so the converged prices
-    // are the right warm start for the next solve (empty only before the
-    // first event, or if the caller supplied no initial_prices).
-    warm.initial_prices = solution.prices;
+    result.sweeps += stats.sweeps;
+    const std::span<const double> rates = workspace.rates();
 
     // Advance to the next event: first completion or next arrival.
     double dt = std::numeric_limits<double>::infinity();
     if (next_arrival < order.size()) {
       dt = flows[order[next_arrival]].arrival_seconds - now;
     }
-    for (std::size_t k = 0; k < active.size(); ++k) {
-      const double rate_bps = solution.rates[k] * kRateUnitBps;
+    for (const std::size_t id : active) {
+      const double rate_bps = rates[id] * kRateUnitBps;
       if (rate_bps <= 0) continue;
-      dt = std::min(dt, remaining_bits[active[k]] / rate_bps);
+      dt = std::min(dt, remaining_bits[id] / rate_bps);
     }
     if (!std::isfinite(dt)) {
       throw std::logic_error("fluid_fct_oracle: stalled (all rates zero)");
     }
     dt = std::max(dt, 0.0);
     now += dt;
-    for (std::size_t k = 0; k < active.size(); ++k) {
-      remaining_bits[active[k]] -= solution.rates[k] * kRateUnitBps * dt;
+    for (const std::size_t id : active) {
+      remaining_bits[id] -= rates[id] * kRateUnitBps * dt;
     }
 
     // Retire completed flows.
@@ -91,6 +99,7 @@ FluidFctResult fluid_fct_oracle(const std::vector<FluidFlow>& flows,
         result.fct_seconds[id] = fct;
         result.ideal_rate[id] =
             flows[id].size_bytes * 8.0 / std::max(fct, 1e-12) / kRateUnitBps;
+        csr.set_active(id, false);
         active[k] = active.back();
         active.pop_back();
       } else {

@@ -1,144 +1,269 @@
 #include "num/num_solver.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <stdexcept>
 
+#include "sim/substrate_stats.h"
+
 namespace numfabric::num {
+
+// Private accessor so the solver can use the workspace's buffers without the
+// header exposing mutable internals to every includer.
+struct SolverAccess {
+  static std::vector<double>& prices(NumWorkspace& ws) { return ws.prices_; }
+  static std::vector<double>& path_price(NumWorkspace& ws) {
+    return ws.path_price_;
+  }
+  static std::vector<double>& base(NumWorkspace& ws) { return ws.base_; }
+  static std::vector<double>& change(NumWorkspace& ws) { return ws.change_; }
+  static std::vector<double>& rates(NumWorkspace& ws) { return ws.rates_; }
+  static bool& warm(NumWorkspace& ws) { return ws.warm_; }
+  static std::unique_ptr<util::WorkerPool>& pool(NumWorkspace& ws) {
+    return ws.pool_;
+  }
+};
+
 namespace {
 
-void validate(const NumProblem& problem) {
-  const std::size_t num_flows = problem.utilities.size();
-  if (problem.flow_links.size() != num_flows) {
-    throw std::invalid_argument("solve_num: utilities/flow_links size mismatch");
-  }
-  for (const auto* u : problem.utilities) {
-    if (u == nullptr) throw std::invalid_argument("solve_num: null utility");
-  }
-  for (double c : problem.capacities) {
-    if (c <= 0) throw std::invalid_argument("solve_num: capacity <= 0");
-  }
-  for (const auto& links : problem.flow_links) {
-    if (links.empty()) throw std::invalid_argument("solve_num: empty path");
-    for (int l : links) {
-      if (l < 0 || static_cast<std::size_t>(l) >= problem.capacities.size()) {
-        throw std::invalid_argument("solve_num: bad link index");
-      }
+/// resize() that counts actual heap growth into the substrate stats — the
+/// zero-allocation-per-re-solve guarantee is measured, not assumed.
+void sized(std::vector<double>& v, std::size_t n) {
+  if (v.capacity() < n) ++sim::substrate_stats().allocs_solver_workspace;
+  v.resize(n);
+}
+
+/// The per-link Gauss-Seidel update.  Reads/writes prices[l], base and
+/// path_price of the link's active flows only — state disjoint from every
+/// other link in the same wave — and returns |new_price - old_price|.
+///
+/// Arithmetic is line-for-line the legacy solve_num bisection; the three
+/// differences are bit-exact accelerations:
+///  * load sums early-exit once the partial sum exceeds capacity (terms are
+///    non-negative and correctly rounded addition is monotone, so the
+///    verdict of the > capacity predicate — the only thing the bisection
+///    ever reads — is unchanged);
+///  * marginal_inverse is devirtualized through CsrProblem (same arithmetic
+///    sequence, see csr_problem.h);
+///  * the fixed-depth bisection breaks once an iteration leaves the bracket
+///    bitwise unchanged — every remaining iteration would recompute the same
+///    midpoint and take the same branch, so the final 0.5 * (lo + hi) is
+///    untouched.
+double update_link(const CsrProblem& problem, std::size_t l,
+                   std::vector<double>& prices,
+                   std::vector<double>& path_price, std::vector<double>& base,
+                   double price_resolution) {
+  const auto flows = problem.link_flows(l);
+
+  // Does the load at `candidate` exceed capacity?  (The bisection only ever
+  // needs this predicate, never the load value itself.)
+  const auto overloaded = [&](double candidate) {
+    const double capacity = problem.capacities()[l];
+    double load = 0.0;
+    for (const std::int32_t i : flows) {
+      const auto fi = static_cast<std::size_t>(i);
+      if (!problem.active(fi)) continue;
+      load += problem.marginal_inverse(fi, base[fi] + candidate);
+      if (load > capacity) return true;
     }
+    return false;
+  };
+
+  bool any_active = false;
+  for (const std::int32_t i : flows) {
+    const auto fi = static_cast<std::size_t>(i);
+    if (!problem.active(fi)) continue;
+    any_active = true;
+    base[fi] = path_price[fi] - prices[l];
   }
+  if (!any_active) {
+    prices[l] = 0.0;  // same as the legacy empty-link skip: no change recorded
+    return 0.0;
+  }
+
+  double new_price;
+  if (!overloaded(0.0)) {
+    new_price = 0.0;  // under-loaded even for free: complementary slackness
+  } else {
+    // Bracket: load decreases in price; double until under capacity.
+    double lo = 0.0;
+    double hi = std::max(prices[l], 1e-6);
+    while (overloaded(hi)) {
+      lo = hi;
+      hi *= 2.0;
+      if (hi > 1e30) throw std::logic_error("solve_num: price diverged");
+    }
+    for (int iter = 0; iter < 100; ++iter) {
+      if (price_resolution > 0.0 && hi - lo <= price_resolution) break;
+      const double mid = 0.5 * (lo + hi);
+      const double prev_lo = lo;
+      const double prev_hi = hi;
+      if (overloaded(mid)) {
+        lo = mid;
+      } else {
+        hi = mid;
+      }
+      if (lo == prev_lo && hi == prev_hi) break;  // bracket bitwise frozen
+    }
+    new_price = 0.5 * (lo + hi);
+  }
+
+  const double change = std::abs(new_price - prices[l]);
+  for (const std::int32_t i : flows) {
+    const auto fi = static_cast<std::size_t>(i);
+    if (!problem.active(fi)) continue;
+    path_price[fi] = base[fi] + new_price;
+  }
+  prices[l] = new_price;
+  return change;
 }
 
 }  // namespace
 
-NumSolution solve_num(const NumProblem& problem, const NumSolverOptions& options) {
-  validate(problem);
-  const std::size_t num_flows = problem.utilities.size();
-  const std::size_t num_links = problem.capacities.size();
+SolveStats solve(const CsrProblem& problem, NumWorkspace& workspace,
+                 const NumSolverOptions& options) {
+  const auto wall_start = std::chrono::steady_clock::now();
+  const std::size_t num_flows = problem.num_flows();
+  const std::size_t num_links = problem.num_links();
 
-  // flows_on_link[l]: which flows cross link l.
-  std::vector<std::vector<int>> flows_on_link(num_links);
-  for (std::size_t i = 0; i < num_flows; ++i) {
-    for (int l : problem.flow_links[i]) {
-      flows_on_link[static_cast<std::size_t>(l)].push_back(static_cast<int>(i));
+  std::vector<double>& prices = SolverAccess::prices(workspace);
+  std::vector<double>& path_price = SolverAccess::path_price(workspace);
+  std::vector<double>& base = SolverAccess::base(workspace);
+  std::vector<double>& change = SolverAccess::change(workspace);
+  std::vector<double>& rates = SolverAccess::rates(workspace);
+
+  bool warm;
+  if (!options.initial_prices.empty()) {
+    if (options.initial_prices.size() != num_links) {
+      throw std::invalid_argument("solve_num: initial_prices size mismatch");
     }
-  }
-
-  std::vector<double> prices = options.initial_prices;
-  const bool warm = !prices.empty();
-  if (!warm) {
-    prices.assign(num_links, 1.0);
-  } else if (prices.size() != num_links) {
-    throw std::invalid_argument("solve_num: initial_prices size mismatch");
+    sized(prices, num_links);
+    std::copy(options.initial_prices.begin(), options.initial_prices.end(),
+              prices.begin());
+    warm = true;
+  } else if (SolverAccess::warm(workspace) && prices.size() == num_links) {
+    warm = true;  // previous solve's prices carry over
+  } else {
+    sized(prices, num_links);
+    std::fill(prices.begin(), prices.end(), 1.0);
+    warm = false;
   }
   // Warm-started solves (re-solves across semi-dynamic epochs / fluid-oracle
   // events) stop each per-link bisection once the bracket is two orders of
   // magnitude below the sweep tolerance — the sweep loop cannot distinguish
-  // prices closer than that, so the remaining ~60 fixed-depth halvings are
-  // pure waste.  Cold solves keep the legacy fixed-depth bisection so their
-  // results stay bit-identical.
+  // prices closer than that, so the remaining fixed-depth halvings are pure
+  // waste.  Cold solves keep the full-depth bisection so their results stay
+  // bit-identical to the legacy solver.
   const double price_resolution = warm ? options.tolerance * 1e-2 : 0.0;
 
-  // path_price[i] = sum of prices along flow i's path, kept incrementally.
-  std::vector<double> path_price(num_flows, 0.0);
+  sized(path_price, num_flows);
+  sized(base, num_flows);
   for (std::size_t i = 0; i < num_flows; ++i) {
-    for (int l : problem.flow_links[i]) {
-      path_price[i] += prices[static_cast<std::size_t>(l)];
+    if (!problem.active(i)) continue;
+    double sum = 0.0;
+    for (const std::int32_t l : problem.flow_links(i)) {
+      sum += prices[static_cast<std::size_t>(l)];
     }
+    path_price[i] = sum;
   }
 
-  auto link_load = [&](std::size_t l, double candidate_price,
-                       const std::vector<double>& base) {
-    double load = 0.0;
-    for (int i : flows_on_link[l]) {
-      load += problem.utilities[static_cast<std::size_t>(i)]->marginal_inverse(
-          base[static_cast<std::size_t>(i)] + candidate_price);
+  const int threads = std::max(options.policy.threads, 1);
+  util::WorkerPool* pool = nullptr;
+  if (threads > 1) {
+    auto& owned = SolverAccess::pool(workspace);
+    if (owned == nullptr || owned->jobs() != threads) {
+      owned = std::make_unique<util::WorkerPool>(threads);
     }
-    return load;
-  };
+    pool = owned.get();
+    sized(change, num_links);
+  }
 
-  NumSolution solution;
-  std::vector<double> base(num_flows);  // path price minus this link's price
+  SolveStats stats;
   for (int sweep = 0; sweep < options.max_sweeps; ++sweep) {
     double max_price_change = 0.0;
-    for (std::size_t l = 0; l < num_links; ++l) {
-      if (flows_on_link[l].empty()) {
-        prices[l] = 0.0;
-        continue;
+    if (pool == nullptr) {
+      // Reference spec: natural link order.
+      for (std::size_t l = 0; l < num_links; ++l) {
+        max_price_change = std::max(
+            max_price_change,
+            update_link(problem, l, prices, path_price, base,
+                        price_resolution));
       }
-      for (int i : flows_on_link[l]) {
-        base[static_cast<std::size_t>(i)] =
-            path_price[static_cast<std::size_t>(i)] - prices[l];
-      }
-      const double capacity = problem.capacities[l];
-      double new_price;
-      if (link_load(l, 0.0, base) <= capacity) {
-        new_price = 0.0;  // under-loaded even for free: complementary slackness
-      } else {
-        // Bracket: load decreases in price; double until under capacity.
-        double lo = 0.0;
-        double hi = std::max(prices[l], 1e-6);
-        while (link_load(l, hi, base) > capacity) {
-          lo = hi;
-          hi *= 2.0;
-          if (hi > 1e30) throw std::logic_error("solve_num: price diverged");
-        }
-        for (int iter = 0; iter < 100; ++iter) {
-          if (price_resolution > 0.0 && hi - lo <= price_resolution) break;
-          const double mid = 0.5 * (lo + hi);
-          if (link_load(l, mid, base) > capacity) {
-            lo = mid;
-          } else {
-            hi = mid;
+    } else {
+      // Wave execution: per the schedule's construction every link's inputs
+      // are exactly what the natural-order sweep would have shown it, so
+      // this computes the same bits for any thread/chunk count.
+      for (std::size_t w = 0; w < problem.num_waves(); ++w) {
+        const auto wave = problem.wave_links(w);
+        const int chunks = static_cast<int>(
+            std::min<std::size_t>(static_cast<std::size_t>(threads),
+                                  wave.size()));
+        pool->parallel_for(chunks, [&](int chunk) {
+          const std::size_t begin = wave.size() * static_cast<std::size_t>(chunk) /
+                                    static_cast<std::size_t>(chunks);
+          const std::size_t end =
+              wave.size() * (static_cast<std::size_t>(chunk) + 1) /
+              static_cast<std::size_t>(chunks);
+          for (std::size_t k = begin; k < end; ++k) {
+            const auto l = static_cast<std::size_t>(wave[k]);
+            change[l] = update_link(problem, l, prices, path_price, base,
+                                    price_resolution);
           }
-        }
-        new_price = 0.5 * (lo + hi);
+        });
       }
-      max_price_change = std::max(max_price_change, std::abs(new_price - prices[l]));
-      for (int i : flows_on_link[l]) {
-        path_price[static_cast<std::size_t>(i)] =
-            base[static_cast<std::size_t>(i)] + new_price;
+      // max is exact and order-independent, so reducing after the sweep
+      // matches the serial running max bit-for-bit.
+      for (std::size_t l = 0; l < num_links; ++l) {
+        max_price_change = std::max(max_price_change, change[l]);
       }
-      prices[l] = new_price;
     }
-    solution.sweeps = sweep + 1;
+    stats.sweeps = sweep + 1;
     if (max_price_change < options.tolerance) {
-      solution.converged = true;
+      stats.converged = true;
       break;
     }
   }
 
-  solution.prices = prices;
-  solution.rates.resize(num_flows);
+  sized(rates, num_flows);
   for (std::size_t i = 0; i < num_flows; ++i) {
-    solution.rates[i] = problem.utilities[i]->marginal_inverse(path_price[i]);
+    rates[i] = problem.active(i) ? problem.marginal_inverse(i, path_price[i])
+                                 : 0.0;
   }
-  // Feasibility check on saturated links.
   for (std::size_t l = 0; l < num_links; ++l) {
     double load = 0.0;
-    for (int i : flows_on_link[l]) load += solution.rates[static_cast<std::size_t>(i)];
-    const double violation = (load - problem.capacities[l]) / problem.capacities[l];
-    solution.max_violation = std::max(solution.max_violation, violation);
+    for (const std::int32_t i : problem.link_flows(l)) {
+      const auto fi = static_cast<std::size_t>(i);
+      if (problem.active(fi)) load += rates[fi];
+    }
+    const double violation =
+        (load - problem.capacities()[l]) / problem.capacities()[l];
+    stats.max_violation = std::max(stats.max_violation, violation);
   }
+
+  SolverAccess::warm(workspace) = true;
+
+  auto& counters = sim::substrate_stats();
+  ++counters.solver_solves;
+  counters.solver_sweeps += static_cast<std::uint64_t>(stats.sweeps);
+  counters.solver_wall_ns += static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - wall_start)
+          .count());
+  return stats;
+}
+
+NumSolution solve_num(const NumProblem& problem,
+                      const NumSolverOptions& options) {
+  const CsrProblem csr = CsrProblem::compile(problem);
+  NumWorkspace workspace;
+  const SolveStats stats = solve(csr, workspace, options);
+  NumSolution solution;
+  solution.rates.assign(workspace.rates().begin(), workspace.rates().end());
+  solution.prices.assign(workspace.prices().begin(), workspace.prices().end());
+  solution.sweeps = stats.sweeps;
+  solution.converged = stats.converged;
+  solution.max_violation = stats.max_violation;
   return solution;
 }
 

@@ -11,30 +11,54 @@
 // exactly; sweeping to a fixed point yields KKT-satisfying prices/rates
 // (Eqs. 5-6).  This is far more robust than running DGD to convergence and
 // needs no step size — ideal for an oracle.
+//
+// API: compile the problem once (num::CsrProblem::compile), then call
+// solve() with a caller-owned NumWorkspace.  Re-solves against the same
+// workspace are warm-started and allocation-free; flow arrival/departure is
+// a CsrProblem::set_active row patch.  NumSolverOptions::policy selects
+// serial (the reference spec) or parallel wave execution — bit-identical for
+// every thread count.  See src/num/README.md.
 #pragma once
 
 #include <vector>
 
+#include "num/csr_problem.h"
 #include "num/utility.h"
 
 namespace numfabric::num {
-
-struct NumProblem {
-  /// Non-owning views of per-flow utilities (caller keeps them alive).
-  std::vector<const UtilityFunction*> utilities;
-  /// Per-flow list of link indices (non-empty).
-  std::vector<std::vector<int>> flow_links;
-  /// Per-link capacity in rate units (Mbps).
-  std::vector<double> capacities;
-};
 
 struct NumSolverOptions {
   int max_sweeps = 2000;
   /// Relative feasibility / slackness tolerance.
   double tolerance = 1e-9;
-  /// Warm-start prices (empty = start at 1.0 everywhere).
+  /// Warm-start prices.  Non-empty overrides the workspace's warm state;
+  /// empty defers to the workspace (warm after a previous solve, else cold
+  /// at 1.0 everywhere).
   std::vector<double> initial_prices;
+  /// serial (default) or parallel(n); results are identical either way.
+  ExecutionPolicy policy;
 };
+
+struct SolveStats {
+  int sweeps = 0;
+  bool converged = false;
+  /// max_l (sum_{i on l} x_i - c_l) / c_l over links.
+  double max_violation = 0.0;
+};
+
+/// Runs Gauss-Seidel dual sweeps on the compiled problem.  Results land in
+/// the workspace: prices() per link, rates() per flow (0 for inactive
+/// flows).  Allocation-free when the workspace has solved this shape before
+/// (counted by the allocs_solver_workspace substrate stat).
+SolveStats solve(const CsrProblem& problem, NumWorkspace& workspace,
+                 const NumSolverOptions& options = {});
+
+// ---------------------------------------------------------------------------
+// Deprecated compatibility wrapper: compiles + solves in one call, paying a
+// compile and a workspace allocation per invocation.  Call sites that solve
+// once don't care; anything that re-solves (oracles, experiment loops)
+// should hold a CsrProblem + NumWorkspace instead.
+// ---------------------------------------------------------------------------
 
 struct NumSolution {
   std::vector<double> rates;
@@ -45,6 +69,9 @@ struct NumSolution {
   double max_violation = 0.0;
 };
 
+/// DEPRECATED: compile once via CsrProblem::compile and call solve() with a
+/// reusable NumWorkspace.  Kept as a thin adapter so pre-CSR call sites keep
+/// compiling during the migration; new code must not use it.
 NumSolution solve_num(const NumProblem& problem,
                       const NumSolverOptions& options = {});
 

@@ -18,12 +18,8 @@ XwiFluidResult xwi_fluid_solve(const NumProblem& problem,
     throw std::invalid_argument("xwi_fluid_solve: reference size mismatch");
   }
 
-  std::vector<std::vector<int>> flows_on_link(num_links);
-  for (std::size_t i = 0; i < num_flows; ++i) {
-    for (int l : problem.flow_links[i]) {
-      flows_on_link[static_cast<std::size_t>(l)].push_back(static_cast<int>(i));
-    }
-  }
+  const std::vector<std::vector<int>> on_link =
+      flows_on_link(problem.flow_links, num_links);
 
   std::vector<double> prices(num_links, options.initial_price);
   XwiFluidResult result;
@@ -68,7 +64,7 @@ XwiFluidResult xwi_fluid_solve(const NumProblem& problem,
     for (std::size_t l = 0; l < num_links; ++l) {
       double min_residual = std::numeric_limits<double>::infinity();
       double load = 0.0;
-      for (int fi : flows_on_link[l]) {
+      for (int fi : on_link[l]) {
         const auto i = static_cast<std::size_t>(fi);
         const double residual =
             (problem.utilities[i]->marginal(allocation.rates[i]) - path_price[i]) /

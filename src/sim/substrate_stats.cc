@@ -17,6 +17,11 @@ SubstrateStats SubstrateStats::operator-(const SubstrateStats& rhs) const {
   out.allocs_packet_pool = allocs_packet_pool - rhs.allocs_packet_pool;
   out.allocs_flow_table = allocs_flow_table - rhs.allocs_flow_table;
   out.allocs_queue = allocs_queue - rhs.allocs_queue;
+  out.solver_solves = solver_solves - rhs.solver_solves;
+  out.solver_sweeps = solver_sweeps - rhs.solver_sweeps;
+  out.solver_wall_ns = solver_wall_ns - rhs.solver_wall_ns;
+  out.allocs_solver_workspace =
+      allocs_solver_workspace - rhs.allocs_solver_workspace;
   return out;
 }
 

@@ -44,6 +44,18 @@ struct SubstrateStats {
   std::uint64_t allocs_flow_table = 0;      // dense flow-table rehash
   std::uint64_t allocs_queue = 0;           // queue-internal vector growth
 
+  // NUM solver (num::solve): solve invocations, Gauss-Seidel sweeps run and
+  // wall time spent inside them.  allocs_solver_workspace ticks only when a
+  // NumWorkspace buffer actually grows — a warm re-solve with a zero delta is
+  // the measured allocation-free guarantee.  It is deliberately NOT part of
+  // allocs_total(): that sum feeds the perf metric table (and through it the
+  // scenario golden hashes), which tracks the simulation substrate, not the
+  // oracle.
+  std::uint64_t solver_solves = 0;
+  std::uint64_t solver_sweeps = 0;
+  std::uint64_t solver_wall_ns = 0;
+  std::uint64_t allocs_solver_workspace = 0;
+
   std::uint64_t allocs_total() const {
     return allocs_callable_spill + allocs_event_queue + allocs_packet_pool +
            allocs_flow_table + allocs_queue;

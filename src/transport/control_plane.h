@@ -44,6 +44,7 @@
 #include "transport/flow.h"
 #include "transport/numfabric/config.h"
 #include "transport/rcp/rcp_sender.h"
+#include "util/worker_pool.h"
 
 namespace numfabric::transport {
 
@@ -54,6 +55,10 @@ class ControlPlane {
     NumFabricConfig numfabric;
     DgdConfig dgd;
     RcpConfig rcp;
+    /// >1 splits each sweep into contiguous slot chunks on a worker pool.
+    /// Per-link updates touch only their own slot's state, so any thread
+    /// count produces the same bits as the serial slot-order sweep.
+    int threads = 1;
   };
 
   /// Builds the control plane for the scheme and takes over every link of
@@ -101,9 +106,10 @@ class ControlPlane {
 
   void attach_links(net::Topology& topo);
   void sweep();
-  void sweep_xwi();
-  void sweep_dgd();
-  void sweep_rcp();
+  void sweep_range(std::size_t begin, std::size_t end);
+  void sweep_xwi(std::size_t begin, std::size_t end);
+  void sweep_dgd(std::size_t begin, std::size_t end);
+  void sweep_rcp(std::size_t begin, std::size_t end);
 
   sim::Simulator& sim_;
   Params params_;
@@ -123,6 +129,7 @@ class ControlPlane {
   net::LinkControlArrays arrays_;
   sim::PeriodicTick tick_;
   std::uint64_t links_swept_ = 0;
+  std::unique_ptr<util::WorkerPool> pool_;  // non-null iff params_.threads > 1
 };
 
 }  // namespace numfabric::transport

@@ -60,7 +60,7 @@ void Fabric::attach_agents(net::Topology& topo) {
     control_plane_ = ControlPlane::attach(
         sim_,
         ControlPlane::Params{options_.scheme, options_.numfabric, options_.dgd,
-                             options_.rcp},
+                             options_.rcp, options_.control_threads},
         topo);
     return;
   }

@@ -1,9 +1,9 @@
-#include "app/worker_pool.h"
+#include "util/worker_pool.h"
 
 #include <algorithm>
 #include <cstdint>
 
-namespace numfabric::app {
+namespace numfabric::util {
 
 WorkerPool::WorkerPool(int jobs) : jobs_(std::max(1, jobs)) {
   // jobs_ == 1 runs everything on the calling thread; no workers needed.
@@ -79,5 +79,5 @@ void WorkerPool::worker_loop() {
   }
 }
 
-}  // namespace numfabric::app
+}  // namespace numfabric::util
 

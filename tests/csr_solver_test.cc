@@ -1,0 +1,307 @@
+// Properties of the compiled CSR solver path (num::CsrProblem +
+// num::NumWorkspace + num::solve):
+//
+//  * serial vs parallel(2/4/8) wave execution is BITWISE identical — the
+//    determinism contract behind --solver-threads (randomized problems
+//    across alphas, cold and warm);
+//  * solutions satisfy the KKT system to the solver tolerance;
+//  * pow(x, -1.0) == 1.0 / x bitwise — the identity the alpha == 1
+//    reciprocal fast path rests on;
+//  * warm re-solves against a reused workspace are allocation-free
+//    (measured by the allocs_solver_workspace substrate counter);
+//  * a set_active row patch solves exactly the freshly compiled subproblem;
+//  * the deprecated solve_num wrapper reproduces the new API bit-for-bit.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "num/csr_problem.h"
+#include "num/num_solver.h"
+#include "num/utility.h"
+#include "sim/random.h"
+#include "sim/substrate_stats.h"
+
+namespace numfabric::num {
+namespace {
+
+/// A randomized NUM instance that owns its utility objects (CsrProblem
+/// borrows them).
+struct RandomInstance {
+  std::vector<std::unique_ptr<AlphaFairUtility>> utilities;
+  NumProblem problem;
+};
+
+RandomInstance make_random(double alpha, int flows, int links,
+                           std::uint64_t seed) {
+  RandomInstance instance;
+  sim::Rng rng(seed);
+  instance.problem.capacities.resize(static_cast<std::size_t>(links));
+  for (auto& c : instance.problem.capacities) c = rng.uniform(10.0, 100.0);
+  for (int i = 0; i < flows; ++i) {
+    instance.utilities.push_back(
+        std::make_unique<AlphaFairUtility>(alpha, rng.uniform(0.5, 2.0)));
+    instance.problem.utilities.push_back(instance.utilities.back().get());
+    std::vector<int> path;
+    const int hops = static_cast<int>(rng.uniform_int(1, 3));
+    for (int h = 0; h < hops; ++h) {
+      const int link =
+          static_cast<int>(rng.index(static_cast<std::size_t>(links)));
+      if (std::find(path.begin(), path.end(), link) == path.end()) {
+        path.push_back(link);
+      }
+    }
+    instance.problem.flow_links.push_back(path);
+  }
+  return instance;
+}
+
+/// Bitwise equality of two double sequences (EXPECT_EQ on doubles would
+/// conflate -0.0 with 0.0 and choke on NaN).
+::testing::AssertionResult bitwise_equal(std::span<const double> a,
+                                         std::span<const double> b) {
+  if (a.size() != b.size()) {
+    return ::testing::AssertionFailure()
+           << "size mismatch: " << a.size() << " vs " << b.size();
+  }
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (std::memcmp(&a[i], &b[i], sizeof(double)) != 0) {
+      return ::testing::AssertionFailure()
+             << "index " << i << ": " << a[i] << " vs " << b[i]
+             << " (bit patterns differ)";
+    }
+  }
+  return ::testing::AssertionSuccess();
+}
+
+struct CsrCase {
+  double alpha;
+  int flows;
+  int links;
+  std::uint64_t seed;
+};
+
+class CsrSolverRandom : public ::testing::TestWithParam<CsrCase> {};
+
+// The --solver-threads contract: for every thread count, prices AND rates
+// are bit-identical to the serial reference sweep — cold, and warm after a
+// set_active row patch.
+TEST_P(CsrSolverRandom, ParallelIsBitIdenticalToSerial) {
+  const CsrCase param = GetParam();
+  const RandomInstance instance =
+      make_random(param.alpha, param.flows, param.links, param.seed);
+
+  CsrProblem serial_csr = CsrProblem::compile(instance.problem);
+  NumWorkspace serial_ws;
+  const SolveStats serial = solve(serial_csr, serial_ws);
+  ASSERT_TRUE(serial.converged);
+
+  for (const int threads : {2, 4, 8}) {
+    CsrProblem csr = CsrProblem::compile(instance.problem);
+    NumWorkspace ws;
+    NumSolverOptions options;
+    options.policy = ExecutionPolicy::parallel(threads);
+    const SolveStats stats = solve(csr, ws, options);
+    EXPECT_EQ(stats.sweeps, serial.sweeps) << "threads=" << threads;
+    EXPECT_TRUE(bitwise_equal(ws.prices(), serial_ws.prices()))
+        << "prices diverged at threads=" << threads;
+    EXPECT_TRUE(bitwise_equal(ws.rates(), serial_ws.rates()))
+        << "rates diverged at threads=" << threads;
+
+    // Warm re-solve after a row patch: drop one flow on both sides, re-solve
+    // from the previous prices, and the wave execution must still track the
+    // serial sweep bit-for-bit.
+    const std::size_t drop = static_cast<std::size_t>(param.seed) %
+                             static_cast<std::size_t>(param.flows);
+    serial_csr.set_active(drop, false);
+    csr.set_active(drop, false);
+    const SolveStats warm_serial = solve(serial_csr, serial_ws);
+    const SolveStats warm_parallel = solve(csr, ws, options);
+    EXPECT_EQ(warm_parallel.sweeps, warm_serial.sweeps);
+    EXPECT_TRUE(bitwise_equal(ws.prices(), serial_ws.prices()))
+        << "warm prices diverged at threads=" << threads;
+    EXPECT_TRUE(bitwise_equal(ws.rates(), serial_ws.rates()))
+        << "warm rates diverged at threads=" << threads;
+    serial_csr.set_active(drop, true);
+    serial_ws.reset();
+    const SolveStats again = solve(serial_csr, serial_ws);
+    ASSERT_TRUE(again.converged);
+  }
+}
+
+// The CSR path must still be a correct NUM solver: KKT residual near zero.
+TEST_P(CsrSolverRandom, SatisfiesKkt) {
+  const CsrCase param = GetParam();
+  const RandomInstance instance =
+      make_random(param.alpha, param.flows, param.links, param.seed);
+  const CsrProblem csr = CsrProblem::compile(instance.problem);
+  NumWorkspace ws;
+  const SolveStats stats = solve(csr, ws);
+  ASSERT_TRUE(stats.converged);
+  EXPECT_LT(stats.max_violation, 1e-6);
+  const std::vector<double> rates(ws.rates().begin(), ws.rates().end());
+  const std::vector<double> prices(ws.prices().begin(), ws.prices().end());
+  EXPECT_LT(kkt_residual(instance.problem, rates, prices), 1e-5);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomSweep, CsrSolverRandom,
+    ::testing::Values(CsrCase{0.5, 10, 4, 11}, CsrCase{1.0, 10, 4, 12},
+                      CsrCase{2.0, 10, 4, 13}, CsrCase{1.0, 50, 10, 14},
+                      CsrCase{4.0, 30, 8, 15}, CsrCase{0.125, 20, 6, 16},
+                      CsrCase{1.0, 200, 30, 17}));
+
+// The alpha == 1 fast path replaces pow(x, -1.0) with 1/x.  They are the
+// same bit pattern on every x the solver can produce (IEEE-754 pow is exact
+// for integer exponent -1 on this libm); this test is the canary that would
+// catch a platform where they differ.
+TEST(CsrSolverTest, PowMinusOneIsReciprocalBitwise) {
+  sim::Rng rng(99);
+  for (int i = 0; i < 20000; ++i) {
+    // Log-uniform over the solver's realistic price range.
+    const double x = std::exp(rng.uniform(std::log(1e-12), std::log(1e12)));
+    const double via_pow = std::pow(x, -1.0);
+    const double via_div = 1.0 / x;
+    ASSERT_EQ(std::memcmp(&via_pow, &via_div, sizeof(double)), 0)
+        << "pow(x,-1) != 1/x bitwise at x=" << x;
+  }
+}
+
+// Re-solving against a reused workspace must not touch the heap: the
+// allocs_solver_workspace counter measures it.
+TEST(CsrSolverTest, WarmResolveIsAllocationFree) {
+  const RandomInstance instance = make_random(1.0, 50, 10, 21);
+  CsrProblem csr = CsrProblem::compile(instance.problem);
+  NumWorkspace ws;
+  solve(csr, ws);  // first solve sizes the buffers
+
+  const std::uint64_t before = sim::substrate_stats().allocs_solver_workspace;
+  csr.set_active(3, false);  // row patch — no recompile, no allocation
+  solve(csr, ws);
+  csr.set_active(3, true);
+  ws.reset();  // cold restart reuses the same buffers
+  solve(csr, ws);
+  const std::uint64_t after = sim::substrate_stats().allocs_solver_workspace;
+  EXPECT_EQ(after - before, 0u)
+      << "warm re-solve allocated workspace buffers";
+}
+
+// set_active is a row patch: the solve over the active subset must be the
+// solve of the freshly compiled subproblem — bitwise, including prices of
+// links only the dropped flows used (they go to 0).
+TEST(CsrSolverTest, SetActiveMatchesRecompiledSubproblem) {
+  const RandomInstance full = make_random(1.0, 30, 8, 31);
+  CsrProblem patched = CsrProblem::compile(full.problem);
+  const std::vector<std::size_t> dropped = {2, 7, 11, 19, 28};
+  for (const std::size_t flow : dropped) patched.set_active(flow, false);
+  EXPECT_EQ(patched.active_count(), full.problem.utilities.size() - 5);
+  NumWorkspace patched_ws;
+  const SolveStats patched_stats = solve(patched, patched_ws);
+  ASSERT_TRUE(patched_stats.converged);
+
+  // The same instance with those rows physically removed.
+  NumProblem sub;
+  sub.capacities = full.problem.capacities;
+  std::vector<std::size_t> kept;
+  for (std::size_t i = 0; i < full.problem.utilities.size(); ++i) {
+    if (std::find(dropped.begin(), dropped.end(), i) != dropped.end()) {
+      continue;
+    }
+    kept.push_back(i);
+    sub.utilities.push_back(full.problem.utilities[i]);
+    sub.flow_links.push_back(full.problem.flow_links[i]);
+  }
+  const CsrProblem sub_csr = CsrProblem::compile(sub);
+  NumWorkspace sub_ws;
+  const SolveStats sub_stats = solve(sub_csr, sub_ws);
+  ASSERT_TRUE(sub_stats.converged);
+
+  EXPECT_EQ(patched_stats.sweeps, sub_stats.sweeps);
+  EXPECT_TRUE(bitwise_equal(patched_ws.prices(), sub_ws.prices()));
+  for (std::size_t k = 0; k < kept.size(); ++k) {
+    const double a = patched_ws.rates()[kept[k]];
+    const double b = sub_ws.rates()[k];
+    EXPECT_EQ(std::memcmp(&a, &b, sizeof(double)), 0)
+        << "active flow " << kept[k] << " rate diverged";
+  }
+  for (const std::size_t flow : dropped) {
+    EXPECT_EQ(patched_ws.rates()[flow], 0.0);
+  }
+}
+
+// The deprecated wrapper is a thin adapter: identical results, bit for bit.
+TEST(CsrSolverTest, SolveNumWrapperMatchesNewApi) {
+  const RandomInstance instance = make_random(2.0, 40, 9, 41);
+  const NumSolution legacy = solve_num(instance.problem);
+
+  const CsrProblem csr = CsrProblem::compile(instance.problem);
+  NumWorkspace ws;
+  const SolveStats stats = solve(csr, ws);
+  EXPECT_EQ(legacy.sweeps, stats.sweeps);
+  EXPECT_EQ(legacy.converged, stats.converged);
+  EXPECT_EQ(legacy.max_violation, stats.max_violation);
+  EXPECT_TRUE(bitwise_equal(legacy.prices, ws.prices()));
+  EXPECT_TRUE(bitwise_equal(legacy.rates, ws.rates()));
+}
+
+// Explicit initial_prices must match the link count exactly (legacy
+// contract, preserved through the redesign).
+TEST(CsrSolverTest, InitialPricesSizeMismatchThrows) {
+  const RandomInstance instance = make_random(1.0, 4, 3, 51);
+  const CsrProblem csr = CsrProblem::compile(instance.problem);
+  NumWorkspace ws;
+  NumSolverOptions options;
+  options.initial_prices = {1.0};  // 3 links expected
+  EXPECT_THROW(solve(csr, ws, options), std::invalid_argument);
+}
+
+// Explicit initial_prices override the workspace's warm state: seeding a
+// fresh workspace with a previous solve's prices reproduces the reused
+// workspace's warm re-solve exactly.
+TEST(CsrSolverTest, ExplicitInitialPricesMatchWorkspaceWarmStart) {
+  const RandomInstance instance = make_random(1.0, 25, 6, 61);
+  CsrProblem csr = CsrProblem::compile(instance.problem);
+  NumWorkspace reused;
+  solve(csr, reused);
+  const std::vector<double> after_cold(reused.prices().begin(),
+                                       reused.prices().end());
+  csr.set_active(0, false);
+  const SolveStats warm = solve(csr, reused);
+
+  NumWorkspace fresh;
+  NumSolverOptions options;
+  options.initial_prices = after_cold;
+  const SolveStats seeded = solve(csr, fresh, options);
+  EXPECT_EQ(warm.sweeps, seeded.sweeps);
+  EXPECT_TRUE(bitwise_equal(reused.prices(), fresh.prices()));
+  EXPECT_TRUE(bitwise_equal(reused.rates(), fresh.rates()));
+}
+
+// Wave schedule sanity: within a wave no two links share an active flow —
+// the invariant the parallel executor's bit-identity argument rests on.
+TEST(CsrSolverTest, WaveScheduleHasNoIntraWaveConflicts) {
+  const RandomInstance instance = make_random(1.0, 60, 12, 71);
+  const CsrProblem csr = CsrProblem::compile(instance.problem);
+  std::size_t links_seen = 0;
+  for (std::size_t w = 0; w < csr.num_waves(); ++w) {
+    std::vector<int> flows_in_wave;
+    for (const std::int32_t link : csr.wave_links(w)) {
+      ++links_seen;
+      for (const std::int32_t flow : csr.link_flows(
+               static_cast<std::size_t>(link))) {
+        EXPECT_EQ(std::find(flows_in_wave.begin(), flows_in_wave.end(), flow),
+                  flows_in_wave.end())
+            << "flow " << flow << " appears on two links of wave " << w;
+        flows_in_wave.push_back(flow);
+      }
+    }
+  }
+  EXPECT_EQ(links_seen, csr.num_links());
+}
+
+}  // namespace
+}  // namespace numfabric::num
