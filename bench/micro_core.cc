@@ -10,6 +10,8 @@
 #include <memory>
 #include <vector>
 
+#include "flowsim/flow_sim_engine.h"
+#include "flowsim/virtual_fabric.h"
 #include "net/drop_tail_queue.h"
 #include "net/link.h"
 #include "net/node.h"
@@ -23,6 +25,8 @@
 #include "sim/random.h"
 #include "sim/simulator.h"
 #include "transport/control_plane.h"
+#include "workload/scenarios.h"
+#include "workload/size_distribution.h"
 
 namespace {
 
@@ -317,6 +321,44 @@ void BM_NumSolverWarmStart(benchmark::State& state) {
   state.SetItemsProcessed(sweeps);  // Gauss-Seidel sweeps/sec
 }
 BENCHMARK(BM_NumSolverWarmStart)->Arg(50)->Arg(400);
+
+// One grid epoch of the flow-fluid engine at 10^3 / 10^5 concurrent flows:
+// a warm NUM re-solve on the virtual leaf-spine plus an O(active) analytic
+// advance of remaining bytes.  The flow set is compiled once outside the
+// timed loop; reset() replays the identical workload whenever a run drains,
+// so the loop meters steady-state per-epoch cost — the number that bounds
+// mega-fct wall time.
+void BM_FlowSimEpoch(benchmark::State& state) {
+  const int num_flows = static_cast<int>(state.range(0));
+  const flowsim::VirtualLeafSpine fabric{.hosts_per_leaf = 32,
+                                         .leaves = 32,
+                                         .spines = 8,
+                                         .host_rate = 10e3,
+                                         .leaf_spine_rate = 40e3};
+  static num::AlphaFairUtility utility(1.0);
+  sim::Rng rng(11);
+  const auto draws = workload::batch_index_flows(
+      fabric.hosts(), num_flows, workload::websearch_distribution(), rng);
+  std::vector<flowsim::FlowSimFlow> flows(draws.size());
+  for (std::size_t i = 0; i < draws.size(); ++i) {
+    flows[i] = {0.0, static_cast<double>(draws[i].size_bytes),
+                fabric.path(draws[i].src, draws[i].dst, i + 1), &utility};
+  }
+  flowsim::FlowSimOptions options;
+  options.resolve_interval_seconds = 1e-3;
+  // Match the mega-fct scenario's solver configuration (grid-quantized FCTs
+  // don't benefit from tighter prices — see MegaFctOptions::solver_tolerance).
+  options.solver.tolerance = 1e-5;
+  flowsim::FlowSimEngine engine(std::move(flows), fabric.capacities(), options);
+  std::int64_t epochs = 0;
+  for (auto _ : state) {
+    if (engine.finished()) engine.reset();
+    engine.step();
+    ++epochs;
+  }
+  state.SetItemsProcessed(epochs);  // epochs/sec
+}
+BENCHMARK(BM_FlowSimEpoch)->Arg(1000)->Arg(100000);
 
 }  // namespace
 

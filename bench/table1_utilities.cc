@@ -10,6 +10,7 @@
 
 #include "num/bandwidth_function.h"
 #include "num/bwe_waterfill.h"
+#include "num/csr_problem.h"
 #include "num/num_solver.h"
 #include "num/utility.h"
 #include "num/xwi_fluid.h"
@@ -17,6 +18,15 @@
 namespace {
 
 using namespace numfabric::num;
+
+// Oracle rates via the compiled CSR path (the solve_num(NumProblem) adapter
+// is kept only as a compatibility shim for external callers).
+std::vector<double> oracle_rates(const NumProblem& problem) {
+  const CsrProblem csr = CsrProblem::compile(problem);
+  NumWorkspace workspace;
+  solve(csr, workspace, {});
+  return {workspace.rates().begin(), workspace.rates().end()};
+}
 
 void print_row(const char* label, const std::vector<double>& rates,
                const char* expectation) {
@@ -38,10 +48,10 @@ void alpha_fairness() {
     problem.utilities = {&u, &u, &u};
     problem.flow_links = {{0, 1}, {0}, {1}};
     problem.capacities = {9000, 9000};
-    const auto solution = solve_num(problem);
+    const auto rates = oracle_rates(problem);
     char label[64];
     std::snprintf(label, sizeof(label), "alpha = %.1f", alpha);
-    print_row(label, solution.rates,
+    print_row(label, rates,
               alpha == 1.0 ? "(3000, 6000, 6000) for alpha=1"
                            : "long flow rises with alpha");
   }
@@ -54,8 +64,8 @@ void weighted_alpha_fairness() {
   problem.utilities = {&u1, &u3};
   problem.flow_links = {{0}, {0}};
   problem.capacities = {10'000};
-  const auto solution = solve_num(problem);
-  print_row("weights (1, 3)", solution.rates, "(2500, 7500)");
+  const auto rates = oracle_rates(problem);
+  print_row("weights (1, 3)", rates, "(2500, 7500)");
 }
 
 void fct_minimization() {
@@ -68,8 +78,8 @@ void fct_minimization() {
   problem.utilities = {small.get(), large.get()};
   problem.flow_links = {{0}, {0}};
   problem.capacities = {10'000};
-  const auto solution = solve_num(problem);
-  print_row("sizes (100 KB, 10 MB)", solution.rates,
+  const auto rates = oracle_rates(problem);
+  print_row("sizes (100 KB, 10 MB)", rates,
             "small flow takes nearly the whole link");
 }
 
@@ -88,9 +98,9 @@ void resource_pooling() {
   problem.utilities = {&u, &u, &u};
   problem.flow_links = {{0}, {1}, {1}};
   problem.capacities = {10'000, 10'000};
-  const auto solution = solve_num(problem);
-  std::vector<double> aggregates = {solution.rates[0] + solution.rates[1],
-                                    solution.rates[2]};
+  const auto rates = oracle_rates(problem);
+  std::vector<double> aggregates = {rates[0] + rates[1],
+                                    rates[2]};
   print_row("no pooling: (A, B) aggregates", aggregates,
             "(15000, 5000) — equals pooling here");
   std::printf("    (Fig. 8 exercises the packet-level pooling heuristic; the fluid\n"
@@ -107,7 +117,7 @@ void bandwidth_functions() {
     problem.utilities = {&u1, &u2};
     problem.flow_links = {{0}, {0}};
     problem.capacities = {capacity};
-    const auto solution = solve_num(problem);
+    const auto rates = oracle_rates(problem);
 
     BweProblem bwe;
     bwe.functions = {&b1, &b2};
@@ -119,7 +129,7 @@ void bandwidth_functions() {
                   capacity / 1000);
     std::snprintf(expect, sizeof(expect), "water-fill (%.0f, %.0f)",
                   expected.rates[0], expected.rates[1]);
-    print_row(label, solution.rates, expect);
+    print_row(label, rates, expect);
   }
 }
 
@@ -130,9 +140,9 @@ void xwi_agreement() {
   problem.utilities = {&u, &u, &u};
   problem.flow_links = {{0, 1}, {0}, {1}};
   problem.capacities = {9000, 9000};
-  const auto oracle = solve_num(problem);
+  const auto oracle = oracle_rates(problem);
   const auto xwi = xwi_fluid_solve(problem);
-  print_row("oracle", oracle.rates, "(3000, 6000, 6000)");
+  print_row("oracle", oracle, "(3000, 6000, 6000)");
   print_row("xWI fixed point", xwi.rates, "same");
   std::printf("  xWI iterations to fixed point: %d\n", xwi.iterations);
 }

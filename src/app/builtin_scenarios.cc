@@ -25,6 +25,7 @@
 #include "exp/contention_experiment.h"
 #include "exp/dynamic_workload.h"
 #include "exp/fct_experiment.h"
+#include "exp/flow_fidelity.h"
 #include "exp/pooling_experiment.h"
 #include "exp/semi_dynamic.h"
 #include "exp/trace_replay.h"
@@ -159,6 +160,58 @@ std::uint64_t kb_to_bytes(const RunContext& ctx, const std::string& key,
                                 std::to_string(kb) + ")");
   }
   return static_cast<std::uint64_t>(kb) * 1000;
+}
+
+// ---------------------------------------------------------------------------
+// Simulation fidelity (`fidelity=packet|flow`).
+//
+// Scenarios that declare fidelity_params() can swap the packet substrate for
+// the flow-fluid engine (src/flowsim/): same workload draw, same paths, same
+// output tables, but epochs + warm NUM re-solves instead of packet events.
+// Scenarios without the declaration are packet-only; the driver rejects
+// `fidelity=` there with a pointed error (see driver.cc).
+// ---------------------------------------------------------------------------
+
+enum class Fidelity { kPacket, kFlow };
+
+Fidelity fidelity_param(const RunContext& ctx) {
+  const std::string token = ctx.options.get("fidelity", "packet");
+  if (token == "packet") return Fidelity::kPacket;
+  if (token == "flow") return Fidelity::kFlow;
+  throw std::invalid_argument("unknown fidelity '" + token +
+                              "' (expected packet or flow)");
+}
+
+double resolve_interval_param(const RunContext& ctx, double default_us) {
+  const double us = ctx.options.get_double("resolve_us", default_us);
+  if (us < 0) {
+    throw std::invalid_argument(
+        "resolve_us must be >= 0 (0 = exact event-driven mode)");
+  }
+  return us * 1e-6;
+}
+
+/// The flow-fluid engine assigns every flow its NUM-optimal rate, which
+/// models the NUM-solving transports.  Window/loss protocols (DCTCP,
+/// pFabric) have no flow-fluid model — running them would silently report
+/// oracle numbers under their name, so fail loudly instead.
+void require_flow_capable_scheme(transport::Scheme scheme) {
+  if (scheme != transport::Scheme::kNumFabric &&
+      scheme != transport::Scheme::kDgd) {
+    throw std::invalid_argument(
+        "fidelity=flow models NUM-optimal rates; transport '" +
+        scheme_token(scheme) +
+        "' has no flow-fluid model (supported: numfabric, dgd)");
+  }
+}
+
+std::vector<ParamSpec> fidelity_params() {
+  return {{"fidelity", "packet",
+           "packet | flow: packet-level substrate or the flow-fluid engine "
+           "(NUM-optimal rates, no queueing; see src/flowsim/README.md)"},
+          {"resolve_us", "0",
+           "fidelity=flow: epoch-grid re-solve period in us (0 = exact "
+           "event-driven re-solve at every arrival/departure)"}};
 }
 
 // ---------------------------------------------------------------------------
@@ -527,6 +580,15 @@ void run_traffic(RunContext& ctx, exp::TrafficPattern pattern,
       "measure_ms", sim::to_seconds(scale.measure) * 1e3));
   options.horizon = ms_time(ctx.options.get_double("horizon_ms", 5'000));
   options.seed = static_cast<std::uint64_t>(ctx.options.get_int("seed", 1));
+  if (fidelity_param(ctx) == Fidelity::kFlow) {
+    require_flow_capable_scheme(options.scheme);
+    emit_traffic_result(
+        ctx, options.scheme,
+        exp::run_traffic_experiment_flow(options,
+                                         resolve_interval_param(ctx, 0),
+                                         ctx.solver_threads));
+    return;
+  }
   emit_traffic_result(ctx, options.scheme, exp::run_traffic_experiment(options));
 }
 
@@ -542,6 +604,7 @@ void run_fct_sweep(RunContext& ctx, const std::string& default_workload) {
   MetricTable& bins = ctx.metrics.table(
       "fct_by_size", {"load", "bin_bdps", "count", "mean_norm_fct"});
 
+  const Fidelity fidelity = fidelity_param(ctx);
   const std::vector<double> loads = loads_param(ctx, {0.2, 0.4, 0.6, 0.8});
   for (const double load : loads) {
     exp::DynamicWorkloadOptions options;
@@ -555,7 +618,12 @@ void run_fct_sweep(RunContext& ctx, const std::string& default_workload) {
     options.alpha = ctx.options.get_double("alpha", 1.0);
     options.seed = static_cast<std::uint64_t>(ctx.options.get_int("seed", 13));
     options.horizon = ms_time(ctx.options.get_double("horizon_ms", 20'000));
-    const exp::DynamicWorkloadResult result = exp::run_dynamic_workload(options);
+    if (fidelity == Fidelity::kFlow) require_flow_capable_scheme(options.scheme);
+    const exp::DynamicWorkloadResult result =
+        fidelity == Fidelity::kFlow
+            ? exp::run_dynamic_workload_flow(options,
+                                             resolve_interval_param(ctx, 0))
+            : exp::run_dynamic_workload(options);
 
     // Normalized FCT = measured FCT / oracle-ideal FCT = ideal_rate / rate.
     std::vector<double> norms;
@@ -763,7 +831,13 @@ void run_trace_replay_scenario(RunContext& ctx) {
   const std::string path = ctx.options.get("trace", "");
   options.trace =
       path.empty() ? workload::example_trace() : workload::load_trace_csv(path);
-  const exp::TraceReplayResult result = exp::run_trace_replay(options);
+  const Fidelity fidelity = fidelity_param(ctx);
+  if (fidelity == Fidelity::kFlow) require_flow_capable_scheme(options.scheme);
+  const exp::TraceReplayResult result =
+      fidelity == Fidelity::kFlow
+          ? exp::run_trace_replay_flow(options, resolve_interval_param(ctx, 0),
+                                       ctx.solver_threads)
+          : exp::run_trace_replay(options);
 
   ctx.metrics.scalar("transport", scheme_token(ctx.scheme));
   ctx.metrics.scalar("trace", path.empty() ? "<builtin>" : path);
@@ -796,6 +870,70 @@ void run_trace_replay_scenario(RunContext& ctx) {
                    flow.completed ? flow.fct_seconds * 1e6
                                   : std::numeric_limits<double>::quiet_NaN()});
   }
+}
+
+// ---------------------------------------------------------------------------
+// mega-fct: >= 10^5 concurrent flows through the flow-fluid engine on a
+// virtual (index-arithmetic) leaf-spine.  Flow-fidelity only by construction:
+// the packet substrate cannot represent this scale.
+// ---------------------------------------------------------------------------
+
+void run_mega_fct_scenario(RunContext& ctx) {
+  // Unlike the dual-fidelity scenarios this one *defaults* to flow (matching
+  // its declared ParamSpec default); only an explicit fidelity=packet lands
+  // in the rejection below.
+  if (ctx.options.get("fidelity", "flow") != "flow") {
+    throw std::invalid_argument(
+        "mega-fct is flow-fidelity only (a packet run at 10^5+ concurrent "
+        "flows is the problem this scenario exists to avoid); drop "
+        "fidelity=packet");
+  }
+  require_flow_capable_scheme(scheme_for(ctx));
+
+  exp::MegaFctOptions options;
+  const std::string shape = ctx.options.get("topology", "32x32x8");
+  char trailing = 0;
+  if (std::sscanf(shape.c_str(), "%dx%dx%d%c", &options.fabric.hosts_per_leaf,
+                  &options.fabric.leaves, &options.fabric.spines,
+                  &trailing) != 3 ||
+      options.fabric.hosts_per_leaf < 1 || options.fabric.leaves < 1 ||
+      options.fabric.spines < 1) {
+    throw std::invalid_argument("bad topology '" + shape +
+                                "' (expected HxLxS, e.g. 32x32x8)");
+  }
+  // Gbps knobs -> the engine's Mbps rate units.
+  options.fabric.host_rate = ctx.options.get_double("host_gbps", 10.0) * 1e3;
+  options.fabric.leaf_spine_rate =
+      ctx.options.get_double("spine_gbps", 40.0) * 1e3;
+  options.concurrent =
+      static_cast<int>(ctx.options.get_int("concurrent", 100'000));
+  options.sizes = &distribution_param(ctx, "websearch");
+  options.alpha = ctx.options.get_double("alpha", 1.0);
+  options.resolve_interval_seconds = resolve_interval_param(ctx, 1000);
+  options.horizon_seconds = ctx.options.get_double("horizon_s", 30.0);
+  options.solver_tolerance = ctx.options.get_double("tolerance", 1e-5);
+  options.solver_threads = ctx.solver_threads;
+  options.seed = static_cast<std::uint64_t>(ctx.options.get_int("seed", 1));
+  const exp::MegaFctResult result = exp::run_mega_fct(options);
+
+  ctx.metrics.scalar("transport", scheme_token(scheme_for(ctx)));
+  ctx.metrics.scalar("hosts", options.fabric.hosts());
+  ctx.metrics.scalar("links", options.fabric.links());
+  ctx.metrics.scalar("flow_count", options.concurrent);
+  ctx.metrics.scalar("peak_active",
+                     static_cast<std::int64_t>(result.sim.peak_active));
+  ctx.metrics.scalar("epochs", result.sim.epochs);
+  ctx.metrics.scalar("resolves", result.sim.resolves);
+  ctx.metrics.scalar("solver_sweeps", result.sim.solver_sweeps);
+  ctx.metrics.scalar("end_ms", result.sim.end_seconds * 1e3);
+
+  std::vector<double> fct_us;
+  fct_us.reserve(result.sim.fct_seconds.size());
+  for (const double fct : result.sim.fct_seconds) {
+    if (fct >= 0) fct_us.push_back(fct * 1e6);
+  }
+  emit_fct_table(ctx, result.sim.completed, result.sim.incomplete,
+                 std::move(fct_us));
 }
 
 // ---------------------------------------------------------------------------
@@ -937,7 +1075,7 @@ void register_builtin_scenarios() {
           "(FCT mode; flow_kb=0 for long-running rate mode)",
       .figure = "",
       .params = merge_params(
-          topology_params(),
+          merge_params(topology_params(), fidelity_params()),
           {transport_param(),
            {"core_buffer_kb", "0", "core per-port buffer KB (0 = edge buffer)"},
            {"fanin", "16", "concurrent senders"},
@@ -958,7 +1096,7 @@ void register_builtin_scenarios() {
           "fraction and Jain fairness",
       .figure = "",
       .params = merge_params(
-          topology_params(),
+          merge_params(topology_params(), fidelity_params()),
           {transport_param(),
            {"core_buffer_kb", "0", "core per-port buffer KB (0 = edge buffer)"},
            {"flow_kb", "0", "KB per flow (0 = long-running)"},
@@ -978,7 +1116,7 @@ void register_builtin_scenarios() {
           "completion times reported",
       .figure = "",
       .params = merge_params(
-          topology_params(),
+          merge_params(topology_params(), fidelity_params()),
           {transport_param(),
            {"core_buffer_kb", "0", "core per-port buffer KB (0 = edge buffer)"},
            {"flow_kb", "250", "KB per host pair (0 = long-running)"},
@@ -998,7 +1136,7 @@ void register_builtin_scenarios() {
           "transport",
       .figure = "",
       .params = merge_params(
-          topology_params(),
+          merge_params(topology_params(), fidelity_params()),
           {transport_param(),
            {"workload", "websearch", "websearch | enterprise | datamining"},
            {"loads", "0.2,0.4,0.6,0.8", "offered loads to sweep"},
@@ -1016,7 +1154,7 @@ void register_builtin_scenarios() {
           "sizes, any transport",
       .figure = "",
       .params = merge_params(
-          topology_params(),
+          merge_params(topology_params(), fidelity_params()),
           {transport_param(),
            {"workload", "datamining", "websearch | enterprise | datamining"},
            {"loads", "0.2,0.4,0.6,0.8", "offered loads to sweep"},
@@ -1099,13 +1237,43 @@ void register_builtin_scenarios() {
           "flow completion times",
       .figure = "",
       .params = merge_params(
-          topology_params(),
+          merge_params(topology_params(), fidelity_params()),
           {{"trace", "",
             "trace CSV path (arrival_s,size_bytes,src,dst); empty = built-in "
             "demo trace"},
            {"alpha", "1", "alpha-fairness of the NUM objective"},
            {"horizon_ms", "20000", "hard stop for stragglers"}}),
       .run = run_trace_replay_scenario});
+
+  registry.add(Scenario{
+      .name = "mega-fct",
+      .description =
+          "10^5-10^6 concurrent flows through the flow-fluid engine on a "
+          "virtual leaf-spine (flow fidelity only)",
+      .figure = "",
+      .params = {{"fidelity", "flow",
+                  "flow (this scenario has no packet mode; fidelity=packet "
+                  "is rejected)"},
+                 {"resolve_us", "1000",
+                  "epoch-grid re-solve period in us (must be > 0 at this "
+                  "scale)"},
+                 {"topology", "32x32x8",
+                  "virtual fabric shape HxLxS (hosts_per_leaf x leaves x "
+                  "spines)"},
+                 {"host_gbps", "10", "host NIC rate"},
+                 {"spine_gbps", "40", "leaf-to-spine link rate"},
+                 {"concurrent", "100000", "concurrent flows, all at t = 0"},
+                 {"workload", "websearch",
+                  "websearch | enterprise | datamining"},
+                 {"alpha", "1", "alpha-fairness of the NUM objective"},
+                 {"horizon_s", "30", "simulated-time hard stop"},
+                 {"tolerance", "1e-5",
+                  "solver price tolerance (grid FCTs are quantized to "
+                  "resolve_us, so 1e-8 precision only buys sweeps)"},
+                 {"transport", "<--transport>",
+                  "scheme label for the run (numfabric or dgd)"},
+                 {"seed", "1", "workload RNG seed"}},
+      .run = run_mega_fct_scenario});
 }
 
 }  // namespace numfabric::app

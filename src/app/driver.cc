@@ -46,17 +46,31 @@ void print_usage(std::FILE* out) {
       "                        output (solver_solves/sweeps/wall_us)\n"
       "  --vary-seed           per-run seed = base seed + run index\n"
       "  --full                paper-scale runs (same as NUMFABRIC_FULL=1)\n"
-      "  --list                list registered scenarios\n"
+      "  --list                list registered scenarios (the fidelity column\n"
+      "                        shows which take fidelity=flow)\n"
       "  --describe=<name>     show a scenario's parameter schema\n",
       out);
 }
 
+/// Which substrates a scenario runs on, read off its declared schema: no
+/// `fidelity` knob means packet-only, a knob defaulting to "flow" means the
+/// packet substrate cannot express it (mega-fct), anything else does both.
+const char* fidelity_support(const Scenario& scenario) {
+  for (const ParamSpec& param : scenario.params) {
+    if (param.key == "fidelity") {
+      return param.default_value == "flow" ? "flow" : "packet|flow";
+    }
+  }
+  return "packet";
+}
+
 void print_list() {
-  std::printf("%-18s %-10s %s\n", "scenario", "figure", "description");
+  std::printf("%-18s %-10s %-11s %s\n", "scenario", "figure", "fidelity",
+              "description");
   for (const Scenario* scenario : ScenarioRegistry::global().list()) {
-    std::printf("%-18s %-10s %s\n", scenario->name.c_str(),
+    std::printf("%-18s %-10s %-11s %s\n", scenario->name.c_str(),
                 scenario->figure.empty() ? "-" : scenario->figure.c_str(),
-                scenario->description.c_str());
+                fidelity_support(*scenario), scenario->description.c_str());
   }
 }
 
@@ -195,6 +209,17 @@ int run_cli(const std::vector<std::string>& args) {
     for (const ParamSpec& param : scenario->params) declared.insert(param.key);
     for (const auto& [key, value] : options.values()) {
       if (declared.count(key) == 0) {
+        // `fidelity` gets a pointed message: the knob exists, this scenario
+        // just has no flow-fluid model (a generic "unknown parameter" would
+        // read like a typo).
+        if (key == "fidelity") {
+          std::fprintf(stderr,
+                       "scenario %s is packet-only: it has no flow-fluid "
+                       "model, so fidelity= does not apply "
+                       "(--list shows each scenario's fidelity support)\n",
+                       scenario->name.c_str());
+          return 2;
+        }
         std::fprintf(stderr,
                      "scenario %s does not take parameter '%s' "
                      "(see --describe=%s)\n",
@@ -220,6 +245,14 @@ int run_cli(const std::vector<std::string>& args) {
       }
       for (const SweepSpec& spec : specs) {
         if (declared.count(spec.key) == 0) {
+          if (spec.key == "fidelity") {
+            std::fprintf(stderr,
+                         "scenario %s is packet-only: it has no flow-fluid "
+                         "model, so fidelity= cannot be swept "
+                         "(--list shows each scenario's fidelity support)\n",
+                         scenario->name.c_str());
+            return 2;
+          }
           std::fprintf(stderr,
                        "scenario %s does not take swept parameter '%s' "
                        "(see --describe=%s)\n",

@@ -15,6 +15,8 @@ void record_perf(MetricWriter& metrics, const sim::SubstrateStats& delta) {
   row("packets_dropped", delta.packets_dropped);
   row("control_ticks", delta.control_ticks);
   row("links_swept", delta.links_swept);
+  row("flowsim_epochs", delta.flowsim_epochs);
+  row("flowsim_resolves", delta.flowsim_resolves);
   row("allocs_callable_spill", delta.allocs_callable_spill);
   row("allocs_event_queue", delta.allocs_event_queue);
   row("allocs_packet_pool", delta.allocs_packet_pool);

@@ -14,7 +14,6 @@
 #include "sim/random.h"
 #include "stats/summary.h"
 #include "transport/control_plane.h"
-#include "transport/numfabric/xwi_link_agent.h"
 #include "transport/receiver.h"
 #include "workload/scenarios.h"
 
@@ -36,45 +35,40 @@ net::LeafSpine build_fabric(net::Topology& topo, transport::Fabric& fabric,
 ///
 /// Prices come from the batched ControlPlane's contiguous snapshot span,
 /// indexed by the core links' slot ids — one array scan per sample instead
-/// of N virtual agent->price() calls.  Legacy per-link agents (parity runs)
-/// are supported as a fallback.
+/// of N virtual agent->price() calls.  Gated by the explicit
+/// Fabric::exposes_price_snapshot() capability: a NUMFabric wiring that
+/// cannot publish prices (legacy_link_agents) throws instead of silently
+/// recording no samples, and non-NUM schemes simply disable tracking (their
+/// convergence metric reports NaN).
 struct PriceTracker {
   std::span<const double> prices;        // ControlPlane snapshot, by slot
   std::vector<std::uint32_t> slots;      // core links' slot ids
-  std::vector<const transport::XwiLinkAgent*> agents;  // legacy fallback
   std::vector<double> last;
   PriceConvergenceOptions options;
   sim::TimeNs stable_since = -1;
   sim::TimeNs converged_at = -1;
 
-  PriceTracker(const transport::ControlPlane* control_plane,
+  PriceTracker(const transport::Fabric& fabric,
                const std::vector<net::Link*>& core_links,
                const PriceConvergenceOptions& opts)
       : options(opts) {
-    if (control_plane != nullptr &&
-        control_plane->scheme() == transport::Scheme::kNumFabric) {
-      prices = control_plane->snapshot_prices();
+    if (fabric.exposes_price_snapshot()) {
+      prices = fabric.control_plane()->snapshot_prices();
       slots.reserve(core_links.size());
       for (const net::Link* link : core_links) {
         slots.push_back(link->control_slot());
       }
-    } else {
-      for (const net::Link* link : core_links) {
-        if (const auto* agent =
-                dynamic_cast<const transport::XwiLinkAgent*>(link->agent())) {
-          agents.push_back(agent);
-        }
-      }
+    } else if (fabric.options().scheme == transport::Scheme::kNumFabric) {
+      throw std::invalid_argument(
+          "price-convergence tracking needs the batched ControlPlane's price "
+          "snapshot, which legacy_link_agents mode does not expose; disable "
+          "legacy_link_agents for this experiment");
     }
     last.resize(size(), 0.0);
   }
 
-  std::size_t size() const {
-    return slots.empty() ? agents.size() : slots.size();
-  }
-  double price(std::size_t i) const {
-    return slots.empty() ? agents[i]->price() : prices[slots[i]];
-  }
+  std::size_t size() const { return slots.size(); }
+  double price(std::size_t i) const { return prices[slots[i]]; }
 
   bool enabled() const { return size() > 0; }
   bool done() const { return converged_at >= 0; }
@@ -169,7 +163,7 @@ OversubFabricResult run_oversub_fabric(const OversubFabricOptions& options) {
   std::vector<std::uint64_t> background_end(background.size(), 0);
   std::vector<std::uint64_t> core_start(leaf_spine.core_links.size(), 0);
   std::vector<std::uint64_t> core_end(leaf_spine.core_links.size(), 0);
-  PriceTracker tracker(fabric.control_plane(), leaf_spine.core_links,
+  PriceTracker tracker(fabric, leaf_spine.core_links,
                        options.price);
   sim.schedule_at(options.warmup, [&] {
     for (std::size_t i = 0; i < background.size(); ++i) {

@@ -70,8 +70,9 @@ struct NumSolution {
 };
 
 /// DEPRECATED: compile once via CsrProblem::compile and call solve() with a
-/// reusable NumWorkspace.  Kept as a thin adapter so pre-CSR call sites keep
-/// compiling during the migration; new code must not use it.
+/// reusable NumWorkspace.  The repo has no internal callers left; this is a
+/// compatibility shim for external code only (parity-tested against the new
+/// API in csr_solver_test.cc).  New code must not use it.
 NumSolution solve_num(const NumProblem& problem,
                       const NumSolverOptions& options = {});
 

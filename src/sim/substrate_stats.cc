@@ -22,6 +22,8 @@ SubstrateStats SubstrateStats::operator-(const SubstrateStats& rhs) const {
   out.solver_wall_ns = solver_wall_ns - rhs.solver_wall_ns;
   out.allocs_solver_workspace =
       allocs_solver_workspace - rhs.allocs_solver_workspace;
+  out.flowsim_epochs = flowsim_epochs - rhs.flowsim_epochs;
+  out.flowsim_resolves = flowsim_resolves - rhs.flowsim_resolves;
   return out;
 }
 

@@ -56,6 +56,13 @@ struct SubstrateStats {
   std::uint64_t solver_wall_ns = 0;
   std::uint64_t allocs_solver_workspace = 0;
 
+  // Flow-fluid engine (flowsim::FlowSimEngine): epochs advanced (arrival
+  // admissions, departures, periodic re-solve ticks) and NUM re-solves
+  // performed.  Deterministic, so they live in the perf metric table; a
+  // packet-fidelity run reports both as 0.
+  std::uint64_t flowsim_epochs = 0;
+  std::uint64_t flowsim_resolves = 0;
+
   std::uint64_t allocs_total() const {
     return allocs_callable_spill + allocs_event_queue + allocs_packet_pool +
            allocs_flow_table + allocs_queue;

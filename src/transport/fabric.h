@@ -82,6 +82,17 @@ class Fabric {
   /// legacy_link_agents mode.
   const ControlPlane* control_plane() const { return control_plane_.get(); }
 
+  /// Capability query: does this fabric publish per-link xWI prices through
+  /// the batched ControlPlane's snapshot span?  True only for the NUMFabric
+  /// scheme with the batched wiring (not legacy_link_agents).  Price
+  /// instrumentation must key off this instead of probing link agents —
+  /// a NUMFabric run whose prices are unreachable should fail loudly, not
+  /// silently skip samples.
+  bool exposes_price_snapshot() const {
+    return control_plane_ != nullptr &&
+           control_plane_->scheme() == Scheme::kNumFabric;
+  }
+
   /// Registers a flow; endpoints are created and started at spec.start_time.
   /// If spec.id is 0 an id is assigned.  Returns a stable pointer.
   Flow* add_flow(FlowSpec spec);

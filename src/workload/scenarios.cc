@@ -89,4 +89,24 @@ std::vector<ArrivedFlow> poisson_flows(const std::vector<net::Host*>& hosts,
   return flows;
 }
 
+std::vector<IndexFlow> batch_index_flows(int num_hosts, int count,
+                                         const SizeDistribution& sizes,
+                                         sim::Rng& rng) {
+  if (num_hosts < 2) {
+    throw std::invalid_argument("batch_index_flows: need >= 2 hosts");
+  }
+  std::vector<IndexFlow> flows;
+  flows.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    IndexFlow flow;
+    flow.size_bytes = sizes.sample(rng);
+    flow.src = static_cast<int>(rng.index(static_cast<std::size_t>(num_hosts)));
+    std::size_t b = rng.index(static_cast<std::size_t>(num_hosts) - 1);
+    if (b >= static_cast<std::size_t>(flow.src)) ++b;  // uniform over != src
+    flow.dst = static_cast<int>(b);
+    flows.push_back(flow);
+  }
+  return flows;
+}
+
 }  // namespace numfabric::workload

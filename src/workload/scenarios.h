@@ -56,4 +56,19 @@ std::vector<ArrivedFlow> poisson_flows(const std::vector<net::Host*>& hosts,
                                        const SizeDistribution& sizes,
                                        int flow_count, sim::Rng& rng);
 
+/// Host-object-free flow record for fabrics that exist only as index
+/// arithmetic (flowsim::VirtualLeafSpine — no net::Host to point at).
+struct IndexFlow {
+  std::uint64_t size_bytes = 0;
+  int src = 0;
+  int dst = 0;
+};
+
+/// `count` flows over hosts [0, num_hosts): sizes from `sizes`, uniformly
+/// random distinct src/dst (same draw sequence as random_pairs).  All flows
+/// are concurrent — this is the mega-fct batch, not an arrival process.
+std::vector<IndexFlow> batch_index_flows(int num_hosts, int count,
+                                         const SizeDistribution& sizes,
+                                         sim::Rng& rng);
+
 }  // namespace numfabric::workload

@@ -1,7 +1,9 @@
 // Event-driven fluid FCT oracle tests.
 #include <gtest/gtest.h>
 
+#include "num/csr_problem.h"
 #include "num/fluid_fct_oracle.h"
+#include "num/num_solver.h"
 #include "num/utility.h"
 
 namespace numfabric::num {
@@ -108,7 +110,9 @@ TEST(FluidFctOracleTest, WarmStartPreservesPhysicsAndSavesSweeps) {
     cold_problem.utilities.push_back(f.utility);
     cold_problem.flow_links.push_back(f.links);
   }
-  const int cold_sweeps = solve_num(cold_problem).sweeps;
+  const CsrProblem cold_csr = CsrProblem::compile(cold_problem);
+  NumWorkspace cold_workspace;
+  const int cold_sweeps = solve(cold_csr, cold_workspace, {}).sweeps;
   ASSERT_GT(warm.solves, 6);  // arrivals + completions both trigger solves
   EXPECT_LT(warm.sweeps, static_cast<std::int64_t>(warm.solves) * cold_sweeps)
       << "warm-started re-solves should cost less than cold restarts "

@@ -28,19 +28,16 @@ namespace {
 
 // Checked-in golden hashes (FNV-1a 64 of the normalized CSV).
 //
-// All three were re-baselined by the PR-5 batched control plane: the perf
-// table gained control_ticks / links_swept rows, and event-count metrics
-// (sim_events, events_scheduled/fired) drop because N per-link price timers
-// per interval collapse into one tick.  Packet-level physics (FCTs, rates,
-// prices, utilizations) was verified byte-identical against the PR-4
-// binaries for every scenario; the only value-level shifts anywhere are
-// low-order bits in fluid-oracle-normalized FCT scenarios from the NUM
-// warm start (not hashed here — these three scenarios' non-perf tables
-// changed only in event-count columns).  The control-plane parity test
-// locks the batched behavior to the legacy per-link agents.
-constexpr const char* kConvergenceGolden = "1952d70b2c508e0f";
-constexpr const char* kIncastSweepGolden = "39db440f64807605";
-constexpr const char* kOversubSweepGolden = "7065bdb15d954e9b";
+// All three were re-baselined by the flow-fluid engine PR: the perf table
+// gained flowsim_epochs / flowsim_resolves rows (zero for these packet-level
+// runs).  Every other byte of the normalized CSVs was verified identical to
+// the previous baseline — packet physics is untouched; only the counter
+// schema grew.
+constexpr const char* kConvergenceGolden = "7316ce15d5fe22da";
+constexpr const char* kIncastSweepGolden = "23385e309a77ead";
+constexpr const char* kOversubSweepGolden = "70bc326b7db6685";
+// fidelity=flow websearch sweep (see FlowFidelitySweepIsJobCountInvariant).
+constexpr const char* kFlowSweepGolden = "4719adfa9f05a47";
 
 std::string fnv1a_hex(const std::string& text) {
   std::uint64_t hash = 1469598103934665603ull;
@@ -180,6 +177,47 @@ TEST(GoldenDeterminismTest, OversubSweepIsJobCountInvariantAndMatchesGolden) {
   EXPECT_EQ(fnv1a_hex(serial), kOversubSweepGolden)
       << "oversub-fabric sweep output changed. If intentional, update "
          "kOversubSweepGolden.\n--- normalized CSV (first 2000 chars) ---\n"
+      << serial.substr(0, 2000);
+}
+
+// A fidelity=flow sweep must be as deterministic as the packet-level ones:
+// the merged CSV is byte-identical across sweep worker counts AND solver
+// thread counts (the flow engine re-solves through the wave-deterministic
+// parallel NUM solver), and hashes to a checked-in golden.
+TEST(GoldenDeterminismTest, FlowFidelitySweepIsJobCountInvariant) {
+  register_builtin_scenarios();
+  const Scenario* scenario = ScenarioRegistry::global().find("websearch-fct");
+  ASSERT_NE(scenario, nullptr);
+
+  const auto run_with = [scenario](int jobs, int solver_threads) {
+    SweepRequest request;
+    request.scenario = scenario;
+    Options options;
+    options.set("hosts_per_leaf", "2");
+    options.set("leaves", "2");
+    options.set("spines", "1");
+    options.set("flows", "60");
+    options.set("horizon_ms", "300");
+    options.set("fidelity", "flow");
+    options.set("resolve_us", "50");
+    request.base_options = options;
+    request.plan = RunPlan::expand({parse_sweep_spec("loads=0.3,0.5")});
+    request.jobs = jobs;
+    request.solver_threads = solver_threads;
+    MetricWriter merged;
+    const SweepResult result = run_sweep(request, merged);
+    EXPECT_EQ(result.failed, 0) << "golden sweep runs must succeed";
+    return normalize(merged);
+  };
+
+  const std::string serial = run_with(1, 1);
+  EXPECT_EQ(serial, run_with(4, 1))
+      << "merged flow-fidelity sweep output depends on the worker count";
+  EXPECT_EQ(serial, run_with(1, 4))
+      << "flow-fidelity output depends on the solver thread count";
+  EXPECT_EQ(fnv1a_hex(serial), kFlowSweepGolden)
+      << "flow-fidelity sweep output changed. If intentional, update "
+         "kFlowSweepGolden.\n--- normalized CSV (first 2000 chars) ---\n"
       << serial.substr(0, 2000);
 }
 

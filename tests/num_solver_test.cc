@@ -11,13 +11,30 @@
 namespace numfabric::num {
 namespace {
 
+// All tests drive the solver through the compiled CSR path; the deprecated
+// solve_num(NumProblem) shim keeps its own parity coverage in
+// csr_solver_test.cc.
+NumSolution solve_oracle(const NumProblem& problem,
+                         const NumSolverOptions& options = {}) {
+  const CsrProblem csr = CsrProblem::compile(problem);
+  NumWorkspace workspace;
+  const SolveStats stats = solve(csr, workspace, options);
+  NumSolution solution;
+  solution.rates.assign(workspace.rates().begin(), workspace.rates().end());
+  solution.prices.assign(workspace.prices().begin(), workspace.prices().end());
+  solution.sweeps = stats.sweeps;
+  solution.converged = stats.converged;
+  solution.max_violation = stats.max_violation;
+  return solution;
+}
+
 TEST(NumSolverTest, SingleLinkEqualLogFlows) {
   AlphaFairUtility u(1.0);
   NumProblem problem;
   problem.utilities = {&u, &u, &u, &u};
   problem.flow_links = {{0}, {0}, {0}, {0}};
   problem.capacities = {100};
-  const auto solution = solve_num(problem);
+  const auto solution = solve_oracle(problem);
   ASSERT_TRUE(solution.converged);
   for (double rate : solution.rates) EXPECT_NEAR(rate, 25.0, 1e-6);
   EXPECT_LT(kkt_residual(problem, solution.rates, solution.prices), 1e-6);
@@ -29,7 +46,7 @@ TEST(NumSolverTest, WeightedLogFlowsSplitByWeight) {
   problem.utilities = {&u1, &u3};
   problem.flow_links = {{0}, {0}};
   problem.capacities = {100};
-  const auto solution = solve_num(problem);
+  const auto solution = solve_oracle(problem);
   EXPECT_NEAR(solution.rates[0], 25.0, 1e-6);
   EXPECT_NEAR(solution.rates[1], 75.0, 1e-6);
 }
@@ -42,7 +59,7 @@ TEST(NumSolverTest, ParkingLotProportionalFairness) {
   problem.utilities = {&u, &u, &u};
   problem.flow_links = {{0, 1}, {0}, {1}};
   problem.capacities = {9, 9};
-  const auto solution = solve_num(problem);
+  const auto solution = solve_oracle(problem);
   EXPECT_NEAR(solution.rates[0], 3.0, 1e-6);
   EXPECT_NEAR(solution.rates[1], 6.0, 1e-6);
   EXPECT_NEAR(solution.rates[2], 6.0, 1e-6);
@@ -55,7 +72,7 @@ TEST(NumSolverTest, UnderloadedLinkGetsZeroPrice) {
   problem.utilities = {&u};
   problem.flow_links = {{0, 1}};
   problem.capacities = {10, 1000};
-  const auto solution = solve_num(problem);
+  const auto solution = solve_oracle(problem);
   EXPECT_NEAR(solution.rates[0], 10.0, 1e-6);
   EXPECT_NEAR(solution.prices[1], 0.0, 1e-9);
   EXPECT_GT(solution.prices[0], 0.0);
@@ -68,7 +85,7 @@ TEST(NumSolverTest, AlphaInfinityApproachesMaxMin) {
   problem.utilities = {&u, &u, &u};
   problem.flow_links = {{0, 1}, {0}, {1}};
   problem.capacities = {10, 10};
-  const auto solution = solve_num(problem);
+  const auto solution = solve_oracle(problem);
   EXPECT_NEAR(solution.rates[0], 5.0, 0.3);
   EXPECT_NEAR(solution.rates[1], 5.0, 0.3);
 }
@@ -79,10 +96,10 @@ TEST(NumSolverTest, WarmStartConverges) {
   problem.utilities = {&u, &u};
   problem.flow_links = {{0}, {0}};
   problem.capacities = {10};
-  const auto cold = solve_num(problem);
+  const auto cold = solve_oracle(problem);
   NumSolverOptions warm_options;
   warm_options.initial_prices = cold.prices;
-  const auto warm = solve_num(problem, warm_options);
+  const auto warm = solve_oracle(problem, warm_options);
   EXPECT_LE(warm.sweeps, cold.sweeps);
   EXPECT_NEAR(warm.rates[0], cold.rates[0], 1e-9);
 }
@@ -93,12 +110,12 @@ TEST(NumSolverTest, RejectsMalformedInput) {
   problem.utilities = {&u};
   problem.flow_links = {{0}, {0}};
   problem.capacities = {10};
-  EXPECT_THROW(solve_num(problem), std::invalid_argument);
+  EXPECT_THROW(solve_oracle(problem), std::invalid_argument);
   problem.flow_links = {{}};
-  EXPECT_THROW(solve_num(problem), std::invalid_argument);
+  EXPECT_THROW(solve_oracle(problem), std::invalid_argument);
   problem.flow_links = {{0}};
   problem.capacities = {-1};
-  EXPECT_THROW(solve_num(problem), std::invalid_argument);
+  EXPECT_THROW(solve_oracle(problem), std::invalid_argument);
 }
 
 // Random problems across alphas: the solution must satisfy the KKT system
@@ -133,7 +150,7 @@ TEST_P(NumSolverRandom, SatisfiesKkt) {
     }
     problem.flow_links.push_back(links);
   }
-  const auto solution = solve_num(problem);
+  const auto solution = solve_oracle(problem);
   EXPECT_TRUE(solution.converged);
   EXPECT_LT(solution.max_violation, 1e-6);
   EXPECT_LT(kkt_residual(problem, solution.rates, solution.prices), 1e-5);

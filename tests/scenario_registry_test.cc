@@ -239,6 +239,9 @@ const std::map<std::string, std::vector<std::string>>& smoke_params() {
        {"hosts_per_leaf=2", "leaves=2", "spines=1", "background_load=0.5",
         "fanin=2", "burst_kb=10", "burst_interval_ms=1", "bursts=2",
         "warmup_ms=1", "horizon_ms=100"}},
+      {"mega-fct",
+       {"topology=4x2x2", "concurrent=200", "resolve_us=500", "horizon_s=5",
+        "seed=7"}},
   };
   return params;
 }
