@@ -25,7 +25,7 @@ import sys
 from datetime import date
 
 
-def run_benchmarks(binary, min_time, runs):
+def run_benchmarks(binary, min_time, runs, bench_filter=None):
     mins = {}
     for _ in range(runs):
         cmd = [
@@ -33,6 +33,8 @@ def run_benchmarks(binary, min_time, runs):
             "--benchmark_format=json",
             f"--benchmark_min_time={min_time}",
         ]
+        if bench_filter:
+            cmd.append(f"--benchmark_filter={bench_filter}")
         out = subprocess.run(cmd, check=True, capture_output=True, text=True)
         for bench in json.loads(out.stdout)["benchmarks"]:
             name = bench["run_name"]
@@ -40,7 +42,7 @@ def run_benchmarks(binary, min_time, runs):
             if record is None or bench["cpu_time"] < record["cpu_ns"]:
                 mins[name] = {
                     "cpu_ns": round(bench["cpu_time"], 1),
-                    "items_per_second": round(bench.get("items_per_second", 0.0)),
+                    "items_per_second": round(bench.get("items_per_second", 0.0), 3),
                 }
     return mins
 
@@ -57,6 +59,9 @@ def main():
     parser.add_argument("--min-time", default="0.25")
     parser.add_argument("--runs", type=int, default=5,
                         help="process repetitions; the minimum is recorded")
+    parser.add_argument("--filter", default=None,
+                        help="--benchmark_filter regex; only matching "
+                             "benchmarks are run and re-recorded")
     args = parser.parse_args()
 
     try:
@@ -66,7 +71,7 @@ def main():
         baseline = {"benchmarks": {}}
 
     field = "before_ns" if args.update_before else "after_ns"
-    mins = run_benchmarks(args.binary, args.min_time, args.runs)
+    mins = run_benchmarks(args.binary, args.min_time, args.runs, args.filter)
     benches = baseline.setdefault("benchmarks", {})
     for name, result in sorted(mins.items()):
         entry = benches.setdefault(name, {})

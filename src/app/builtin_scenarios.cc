@@ -56,6 +56,31 @@ void apply_thread_context(const RunContext& ctx, ExpOptions& options) {
   if constexpr (requires { options.solver_threads; }) {
     options.solver_threads = ctx.solver_threads;
   }
+  // --shards (also bit-identity-preserving) reaches the experiments whose
+  // options declare the knob; the driver already rejected the flag for
+  // scenarios that don't.
+  if constexpr (requires { options.shards; }) {
+    options.shards = ctx.shards;
+  }
+}
+
+/// Appends per-shard engine counters to the `perf` table.  Serial runs have
+/// no shard_perf rows, so shards=1 output is byte-identical to the
+/// pre-sharding format (and the existing golden hashes).  blocked_us is
+/// worker cv-wait wall time — nondeterministic, stripped (like wall_ms)
+/// wherever sharded output is golden-compared.
+void emit_shard_perf(RunContext& ctx,
+                     const std::vector<sim::ShardPerf>& shard_perf) {
+  if (shard_perf.empty()) return;
+  MetricTable& table = ctx.metrics.table("perf", {"counter", "value"});
+  for (std::size_t k = 0; k < shard_perf.size(); ++k) {
+    const std::string prefix = "shard" + std::to_string(k) + "_";
+    table.add_row({prefix + "events", shard_perf[k].events});
+    table.add_row({prefix + "merged_msgs", shard_perf[k].merged_msgs});
+    table.add_row({prefix + "null_windows", shard_perf[k].null_steps});
+    table.add_row({prefix + "blocked_us",
+                   static_cast<double>(shard_perf[k].blocked_ns) / 1000.0});
+  }
 }
 
 /// Resolves the fabric: the optional `topology=HxLxS` shape token, the three
@@ -261,6 +286,7 @@ void run_convergence(RunContext& ctx) {
         cdf.add_row({name, value, fraction});
       }
     }
+    emit_shard_perf(ctx, result.shard_perf);
   }
 }
 
@@ -306,6 +332,7 @@ void run_rate_timeseries(RunContext& ctx) {
   for (const auto& [at_ms, rate] : result.expected_steps) {
     expected.add_row({at_ms, rate});
   }
+  emit_shard_perf(ctx, result.shard_perf);
 }
 
 // ---------------------------------------------------------------------------
@@ -556,6 +583,7 @@ void emit_traffic_result(RunContext& ctx, transport::Scheme scheme,
   if (result.completed + result.incomplete > 0) {
     emit_fct_table(ctx, result.completed, result.incomplete, result.fct_us);
   }
+  emit_shard_perf(ctx, result.shard_perf);
 }
 
 void run_traffic(RunContext& ctx, exp::TrafficPattern pattern,
@@ -697,6 +725,7 @@ void run_oversub_fabric_scenario(RunContext& ctx) {
 
   emit_fct_table(ctx, result.shuffle_completed, result.shuffle_incomplete,
                  result.shuffle_fct_us);
+  emit_shard_perf(ctx, result.shard_perf);
 }
 
 void run_background_burst_scenario(RunContext& ctx) {
@@ -753,6 +782,7 @@ void run_background_burst_scenario(RunContext& ctx) {
                                 : fcts.back(),
                    result.background_flows,
                    result.background_goodput_bps / 1e9});
+  emit_shard_perf(ctx, result.shard_perf);
 }
 
 // ---------------------------------------------------------------------------
@@ -814,6 +844,7 @@ void run_sensitivity(RunContext& ctx) {
            : 0.0,
        percentile_or_nan(result.convergence_times_us, 50),
        percentile_or_nan(result.convergence_times_us, 95)});
+  emit_shard_perf(ctx, result.shard_perf);
 }
 
 // ---------------------------------------------------------------------------
@@ -968,7 +999,8 @@ void register_builtin_scenarios() {
                                "per-event convergence verdict timeout"},
                               {"transports", "<--transport>",
                                "comma list of schemes to compare"}}),
-      .run = run_convergence});
+      .run = run_convergence,
+      .supports_shards = true});
 
   registry.add(Scenario{
       .name = "rate-timeseries",
@@ -988,7 +1020,8 @@ void register_builtin_scenarios() {
            {"seed", "7", "workload RNG seed"},
            {"sample_us", "20", "trace sample interval"},
            {"event_interval_ms", "4", "fixed gap between network events"}}),
-      .run = run_rate_timeseries});
+      .run = run_rate_timeseries,
+      .supports_shards = true});
 
   registry.add(Scenario{
       .name = "dynamic-deviation",
@@ -1087,7 +1120,8 @@ void register_builtin_scenarios() {
            {"seed", "1", "sender/receiver selection seed"}}),
       .run = [](RunContext& ctx) {
         run_traffic(ctx, exp::TrafficPattern::kIncast, 64);
-      }});
+      },
+      .supports_shards = true});
 
   registry.add(Scenario{
       .name = "permutation",
@@ -1107,7 +1141,8 @@ void register_builtin_scenarios() {
            {"seed", "1", "matching RNG seed"}}),
       .run = [](RunContext& ctx) {
         run_traffic(ctx, exp::TrafficPattern::kPermutation, 0);
-      }});
+      },
+      .supports_shards = true});
 
   registry.add(Scenario{
       .name = "shuffle",
@@ -1127,7 +1162,8 @@ void register_builtin_scenarios() {
            {"seed", "1", "RNG seed"}}),
       .run = [](RunContext& ctx) {
         run_traffic(ctx, exp::TrafficPattern::kAllToAll, 250);
-      }});
+      },
+      .supports_shards = true});
 
   registry.add(Scenario{
       .name = "websearch-fct",
@@ -1181,7 +1217,8 @@ void register_builtin_scenarios() {
            {"measure_ms", "4", "utilization / goodput window after the wave"},
            {"horizon_ms", "200", "hard stop for wave stragglers"},
            {"seed", "1", "workload RNG seed"}}),
-      .run = run_oversub_fabric_scenario});
+      .run = run_oversub_fabric_scenario,
+      .supports_shards = true});
 
   registry.add(Scenario{
       .name = "background-burst",
@@ -1204,7 +1241,8 @@ void register_builtin_scenarios() {
             "background settling time (>= burst_interval_ms / 2)"},
            {"horizon_ms", "500", "hard stop for burst stragglers"},
            {"seed", "1", "workload RNG seed"}}),
-      .run = run_background_burst_scenario});
+      .run = run_background_burst_scenario,
+      .supports_shards = true});
 
   registry.add(Scenario{
       .name = "sensitivity",
@@ -1228,7 +1266,8 @@ void register_builtin_scenarios() {
            {"beta", "0.5", "xWI price averaging factor (Eq. 11)"},
            {"slowdown", "1", "control-loop slowdown factor (§6.2)"},
            {"seed", "21", "workload RNG seed"}}),
-      .run = run_sensitivity});
+      .run = run_sensitivity,
+      .supports_shards = true});
 
   registry.add(Scenario{
       .name = "trace-replay",

@@ -48,6 +48,10 @@ struct RunContext {
   /// --control-threads: chunked parallel control-plane sweeps (bit-identical
   /// to 1).
   int control_threads = 1;
+  /// --shards: parallel engine shards (1 = serial; 0 = one per leaf, capped
+  /// at cores; bit-identical to serial).  Only consulted by scenarios with
+  /// supports_shards; the driver rejects the flag elsewhere.
+  int shards = 1;
 };
 
 struct Scenario {
@@ -57,6 +61,10 @@ struct Scenario {
   std::string figure;
   std::vector<ParamSpec> params;
   std::function<void(RunContext&)> run;
+  /// True when the scenario's packet path runs on the sharded engine
+  /// (RunContext::shards); the driver rejects --shards != 1 elsewhere
+  /// rather than silently running serial.
+  bool supports_shards = false;
 };
 
 class ScenarioRegistry {

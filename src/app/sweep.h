@@ -46,6 +46,9 @@ struct SweepRequest {
   /// and ::control_threads; results are bit-identical for any value).
   int solver_threads = 1;
   int control_threads = 1;
+  /// Per-run engine shards (RunContext::shards; passed through unresolved so
+  /// 0 keeps its "one per leaf, capped at cores" meaning inside the run).
+  int shards = 1;
   /// Emit per-run solver cost scalars (solver_solves / solver_sweeps /
   /// solver_wall_us) into sweep_scalars.  Off by default: solver_wall_us is
   /// nondeterministic, and the default keeps merged sweep output — which the

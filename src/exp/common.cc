@@ -7,6 +7,19 @@
 
 namespace numfabric::exp {
 
+void apply_sharding(ShardSetup& setup, sim::ShardedSimulator& engine,
+                    net::Topology& topo, transport::Fabric& fabric,
+                    const net::LeafSpine& leaf_spine,
+                    const net::LeafSpineOptions& topology) {
+  if (!engine.sharded()) return;
+  setup.plan =
+      net::build_leaf_shard_plan(leaf_spine, topology, engine.num_shards());
+  engine.set_lookahead(setup.plan.lookahead);
+  setup.router = std::make_unique<net::ShardRouter>(engine);
+  net::apply_shard_plan(topo, setup.plan, engine, *setup.router);
+  fabric.set_sharding(&setup.plan, &engine);
+}
+
 LinkIndexer::LinkIndexer(const net::Topology& topo) {
   int next = 0;
   for (const auto& link : topo.links()) {

@@ -3,16 +3,39 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "net/shard_plan.h"
 #include "net/topology.h"
 #include "num/num_solver.h"
+#include "sim/sharded_simulator.h"
 #include "sim/simulator.h"
+#include "transport/fabric.h"
 #include "transport/flow.h"
 
 namespace numfabric::exp {
+
+/// Sharded-engine wiring owned by one experiment run: the leaf shard plan
+/// and the cross-shard delivery router.  Empty (no router) when the engine
+/// is serial.  Declare it in the experiment's scope — the fabric keeps a
+/// pointer to the plan.
+struct ShardSetup {
+  net::ShardPlan plan;
+  std::unique_ptr<net::ShardRouter> router;
+};
+
+/// When `engine` is sharded: builds the leaf-major shard plan, sets the
+/// engine's lookahead to the core-link delay, rebinds every link onto its
+/// shard, and switches the fabric to sharded endpoint placement.  Serial
+/// engines are left untouched.  Call after attach_agents and before any
+/// flow is added.
+void apply_sharding(ShardSetup& setup, sim::ShardedSimulator& engine,
+                    net::Topology& topo, transport::Fabric& fabric,
+                    const net::LeafSpine& leaf_spine,
+                    const net::LeafSpineOptions& topology);
 
 /// Maps every link of a topology to a dense index and exposes capacities in
 /// NUM rate units — the glue between the packet world and the fluid oracles.

@@ -1,6 +1,7 @@
 #include "exp/traffic_experiment.h"
 
 #include <algorithm>
+#include <atomic>
 #include <stdexcept>
 
 #include "exp/common.h"
@@ -30,7 +31,9 @@ TrafficPattern parse_traffic_pattern(const std::string& name) {
 }
 
 TrafficResult run_traffic_experiment(const TrafficOptions& options) {
-  sim::Simulator sim;
+  sim::ShardedSimulator engine(
+      net::resolve_shard_count(options.shards, options.topology.num_leaves));
+  sim::Simulator& sim = engine.global();
   transport::FabricOptions fabric_options = options.fabric;
   fabric_options.scheme = options.scheme;
   transport::Fabric fabric(sim, fabric_options);
@@ -41,6 +44,9 @@ TrafficResult run_traffic_experiment(const TrafficOptions& options) {
       topo, options.topology, fabric.queue_factory(),
       fabric.queue_factory(options.core_buffer_bytes));
   fabric.attach_agents(topo);
+
+  ShardSetup sharding;
+  apply_sharding(sharding, engine, topo, fabric, leaf_spine, options.topology);
 
   sim::Rng rng(options.seed);
   std::vector<workload::HostPair> pairs;
@@ -58,8 +64,12 @@ TrafficResult run_traffic_experiment(const TrafficOptions& options) {
 
   const bool rate_mode = options.flow_size_bytes == 0;
   const num::AlphaFairUtility utility(options.alpha);
-  int completed = 0;
-  fabric.set_on_complete([&completed](transport::Flow&) { ++completed; });
+  // Completions fire on the source host's shard worker; the count is the
+  // only completion state the coordinator polls mid-run.
+  std::atomic<int> completed{0};
+  fabric.set_on_complete([&completed](transport::Flow&) {
+    completed.fetch_add(1, std::memory_order_relaxed);
+  });
 
   std::vector<const transport::Flow*> flows;
   flows.reserve(pairs.size());
@@ -85,7 +95,7 @@ TrafficResult run_traffic_experiment(const TrafficOptions& options) {
         start_bytes[i] = flows[i]->receiver().total_bytes();
       }
     });
-    sim.run_until(options.warmup + options.measure);
+    engine.run_until(options.warmup + options.measure);
 
     for (std::size_t i = 0; i < flows.size(); ++i) {
       const double rate = window_rate_bps(
@@ -95,9 +105,10 @@ TrafficResult run_traffic_experiment(const TrafficOptions& options) {
     }
     result.jain_index = jain_index(result.flow_rates_bps);
   } else {
-    while (completed < static_cast<int>(flows.size()) &&
-           sim.now() < options.horizon && sim.pending()) {
-      sim.run_until(std::min(sim.now() + sim::millis(5), options.horizon));
+    while (completed.load(std::memory_order_relaxed) <
+               static_cast<int>(flows.size()) &&
+           engine.now() < options.horizon && engine.pending()) {
+      engine.run_until(std::min(engine.now() + sim::millis(5), options.horizon));
     }
     for (const transport::Flow* flow : flows) {
       if (!flow->completed()) {
@@ -122,7 +133,8 @@ TrafficResult run_traffic_experiment(const TrafficOptions& options) {
       break;
   }
 
-  result.sim_events = sim.events_executed();
+  result.sim_events = engine.events_executed();
+  result.shard_perf = engine.shard_perf();
   for (const auto& link : topo.links()) {
     result.queue_drops += link->queue().drops();
   }

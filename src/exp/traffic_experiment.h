@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "net/topology.h"
+#include "sim/sharded_simulator.h"
 #include "transport/fabric.h"
 
 namespace numfabric::exp {
@@ -57,6 +58,10 @@ struct TrafficOptions {
   sim::TimeNs measure = sim::millis(12);  // rate mode
   sim::TimeNs horizon = sim::seconds(5);  // FCT mode hard stop
   std::uint64_t seed = 1;
+
+  /// Parallel engine shards (1 = serial; 0 = one per leaf, capped at
+  /// cores).  Output is bit-identical for every value.
+  int shards = 1;
 };
 
 struct TrafficResult {
@@ -77,6 +82,8 @@ struct TrafficResult {
 
   std::uint64_t sim_events = 0;
   std::uint64_t queue_drops = 0;
+  /// Per-shard engine counters; empty when the run was serial.
+  std::vector<sim::ShardPerf> shard_perf;
 };
 
 TrafficResult run_traffic_experiment(const TrafficOptions& options);

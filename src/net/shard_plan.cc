@@ -1,0 +1,138 @@
+#include "net/shard_plan.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+#include "net/node.h"
+#include "sim/substrate_stats.h"
+
+namespace numfabric::net {
+
+int ShardPlan::shard_of(const Node* node) const {
+  const auto it = node_shard.find(node);
+  if (it == node_shard.end()) {
+    throw std::logic_error("ShardPlan: node not in plan: " + node->name());
+  }
+  return it->second;
+}
+
+int resolve_shard_count(int requested, int num_leaves) {
+  if (requested == 0) {
+    const int cores =
+        std::max(1, static_cast<int>(std::thread::hardware_concurrency()));
+    requested = cores;
+  }
+  return std::clamp(requested, 1, std::max(1, num_leaves));
+}
+
+ShardPlan build_leaf_shard_plan(const LeafSpine& fabric,
+                                const LeafSpineOptions& options, int shards) {
+  const int num_leaves = static_cast<int>(fabric.leaves.size());
+  if (shards < 1 || shards > num_leaves) {
+    throw std::invalid_argument("build_leaf_shard_plan: shards out of range");
+  }
+  ShardPlan plan;
+  plan.shards = shards;
+  plan.lookahead = options.effective_core_delay();
+  for (int l = 0; l < num_leaves; ++l) {
+    plan.node_shard[fabric.leaves[static_cast<std::size_t>(l)]] =
+        l * shards / num_leaves;
+  }
+  for (std::size_t h = 0; h < fabric.hosts.size(); ++h) {
+    const int leaf = static_cast<int>(h) / options.hosts_per_leaf;
+    plan.node_shard[fabric.hosts[h]] = leaf * shards / num_leaves;
+  }
+  for (std::size_t s = 0; s < fabric.spines.size(); ++s) {
+    plan.node_shard[fabric.spines[s]] = static_cast<int>(s) % shards;
+  }
+  return plan;
+}
+
+ShardRouter::ShardRouter(sim::ShardedSimulator& engine)
+    : engine_(engine), shards_(engine.num_shards()) {
+  channels_.reserve(static_cast<std::size_t>(shards_ * shards_));
+  for (int i = 0; i < shards_ * shards_; ++i) {
+    channels_.push_back(std::make_unique<Channel>());
+  }
+  slabs_.resize(static_cast<std::size_t>(shards_));
+  engine_.add_barrier_hook([this] { merge(); });
+}
+
+void ShardRouter::post(int src_shard, int dst_shard, sim::TimeNs fire,
+                       sim::PushKey key, Node* dst, Packet&& packet) {
+  Channel& ch = channel(src_shard, dst_shard);
+  std::lock_guard<std::mutex> lock(ch.mu);
+  if (ch.fifo.size() == ch.fifo.capacity()) {
+    ++sim::substrate_stats().allocs_packet_pool;
+  }
+  ch.fifo.push_back(Message{fire, key, src_shard, dst, std::move(packet)});
+}
+
+void ShardRouter::merge() {
+  for (int dst = 0; dst < shards_; ++dst) {
+    sim::Simulator& dsim = engine_.shard(dst);
+    Slab& slab = slabs_[static_cast<std::size_t>(dst)];
+    for (int src = 0; src < shards_; ++src) {
+      if (src == dst) continue;
+      Channel& ch = channel(src, dst);
+      std::lock_guard<std::mutex> lock(ch.mu);
+      for (Message& m : ch.fifo) {
+        std::uint32_t slot;
+        if (!slab.free.empty()) {
+          slot = slab.free.back();
+          slab.free.pop_back();
+        } else {
+          if (slab.packets.size() == slab.packets.capacity()) {
+            ++sim::substrate_stats().allocs_packet_pool;
+          }
+          slot = static_cast<std::uint32_t>(slab.packets.size());
+          slab.packets.emplace_back();
+        }
+        slab.packets[slot] = std::move(m.packet);
+        // A message posted inside the last window carries a provisional
+        // rank; the source shard finalized it at the barrier just taken.
+        const std::uint64_t rank =
+            engine_.shard(m.src_shard).resolve_rank(m.key.rank);
+        dsim.schedule_keyed(m.fire, rank, m.key.seq,
+                            [this, dst, slot, node = m.dst] {
+                              deliver(dst, slot, node);
+                            });
+      }
+      ch.fifo.clear();
+    }
+  }
+}
+
+void ShardRouter::deliver(int dst_shard, std::uint32_t slot, Node* dst) {
+  Slab& slab = slabs_[static_cast<std::size_t>(dst_shard)];
+  Packet packet = std::move(slab.packets[slot]);
+  if (slab.free.size() == slab.free.capacity()) {
+    ++sim::substrate_stats().allocs_packet_pool;
+  }
+  slab.free.push_back(slot);
+  dst->receive(std::move(packet));
+}
+
+void apply_shard_plan(Topology& topo, const ShardPlan& plan,
+                      sim::ShardedSimulator& engine, ShardRouter& router) {
+  const auto bind_node = [&](const Node* node) {
+    const int src_shard = plan.shard_of(node);
+    for (Link* link : topo.outgoing(node)) {
+      link->rebind_sim(engine.shard(src_shard));
+      const int dst_shard = plan.shard_of(link->dst());
+      if (dst_shard == src_shard) continue;
+      if (link->delay() < plan.lookahead) {
+        throw std::logic_error(
+            "apply_shard_plan: cross-shard link shorter than lookahead: " +
+            link->name());
+      }
+      link->set_cross_shard(&router, src_shard, dst_shard);
+    }
+  };
+  for (const Host* host : topo.hosts()) bind_node(host);
+  for (const Switch* sw : topo.switches()) bind_node(sw);
+}
+
+}  // namespace numfabric::net

@@ -1,0 +1,113 @@
+// Leaf-sharding of a leaf-spine fabric for the parallel engine.
+//
+// Partition: leaf L (its switch, its hosts, and every link whose source is
+// one of them) lives on shard L * S / num_leaves — contiguous leaf-major
+// blocks, so stream ranks follow the leaf-major order in which serial setup
+// enumerates hosts and flows.  Spine s lives on shard s % S.  A link belongs
+// to the shard of its SOURCE node (its transmitter and queue are that
+// shard's state); the only cross-shard hops are therefore leaf->spine and
+// spine->leaf deliveries, both across a core link — which makes the core
+// propagation delay the engine's conservative lookahead.
+//
+// ShardRouter carries those deliveries: the source link posts a timestamped
+// message into a per-(src,dst) channel carrying the (rank, seq) key the
+// serial push would have had (a provisional rank if the posting event ran
+// inside a window; the engine finalizes it before the message is drained).
+// The engine's barrier merge drains every channel in a fixed (dst-major,
+// src-minor, FIFO) order into the destination shard's queue via
+// Simulator::schedule_keyed — insertion order is immaterial for correctness
+// since keys are total, but a fixed order keeps the walk deterministic.
+// Channels are mutex-guarded but phase-separated: sources post during
+// windows, the coordinator drains at barriers, so the locks are uncontended
+// and exist for the memory ordering.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "net/packet.h"
+#include "net/topology.h"
+#include "sim/sharded_simulator.h"
+#include "sim/time.h"
+
+namespace numfabric::net {
+
+struct ShardPlan {
+  int shards = 1;
+  /// Minimum delay of any cross-shard link (the core propagation delay).
+  sim::TimeNs lookahead = 0;
+  std::unordered_map<const Node*, int> node_shard;
+
+  int shard_of(const Node* node) const;
+};
+
+/// Resolves a --shards request: 0 means "one shard per leaf, capped at the
+/// machine's core count"; any request is clamped to [1, num_leaves].
+int resolve_shard_count(int requested, int num_leaves);
+
+/// Assigns every node of `fabric` to a shard (leaf-major blocks; spines
+/// round-robin) and derives the lookahead from the core-link delay.
+ShardPlan build_leaf_shard_plan(const LeafSpine& fabric,
+                                const LeafSpineOptions& options, int shards);
+
+/// Cross-shard packet delivery channels (see file comment).
+class ShardRouter {
+ public:
+  ShardRouter(sim::ShardedSimulator& engine);
+  ShardRouter(const ShardRouter&) = delete;
+  ShardRouter& operator=(const ShardRouter&) = delete;
+
+  /// Posts a delivery that fires at `fire` on `dst_shard`, carrying the
+  /// (rank, seq) key the serial push would have had (see
+  /// Simulator::consume_push_key).  Called by source links during windows
+  /// (and by flow-start sends on the coordinator, with all workers
+  /// quiesced).
+  void post(int src_shard, int dst_shard, sim::TimeNs fire, sim::PushKey key,
+            Node* dst, Packet&& packet);
+
+ private:
+  struct Message {
+    sim::TimeNs fire;
+    sim::PushKey key;
+    int src_shard;
+    Node* dst;
+    Packet packet;
+  };
+  struct Channel {
+    std::mutex mu;
+    std::vector<Message> fifo;
+  };
+  /// Parked packets per destination shard; the merged delivery event
+  /// captures only (router, shard, slot, node) and stays inline in the
+  /// event queue's small-buffer slot.
+  struct Slab {
+    std::vector<Packet> packets;
+    std::vector<std::uint32_t> free;
+  };
+
+  /// Barrier hook: drains every channel into the destination queues in a
+  /// fixed deterministic order.  Runs on the coordinator, workers quiesced.
+  void merge();
+  void deliver(int dst_shard, std::uint32_t slot, Node* dst);
+  Channel& channel(int src, int dst) {
+    return *channels_[static_cast<std::size_t>(src * shards_ + dst)];
+  }
+
+  sim::ShardedSimulator& engine_;
+  const int shards_;
+  std::vector<std::unique_ptr<Channel>> channels_;  // [src * shards_ + dst]
+  std::vector<Slab> slabs_;                         // per destination shard
+};
+
+/// Rebinds every link of `topo` onto its shard's simulator and routes
+/// cross-shard deliveries through `router`.  Must run after the fabric is
+/// built and before any traffic.  Throws std::logic_error if a cross-shard
+/// link is shorter than the plan's lookahead (the conservative bound would
+/// be unsound).
+void apply_shard_plan(Topology& topo, const ShardPlan& plan,
+                      sim::ShardedSimulator& engine, ShardRouter& router);
+
+}  // namespace numfabric::net

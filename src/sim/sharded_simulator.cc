@@ -1,0 +1,280 @@
+#include "sim/sharded_simulator.h"
+
+#include <algorithm>
+#include <chrono>
+#include <stdexcept>
+
+namespace numfabric::sim {
+namespace {
+
+std::uint64_t steady_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+ShardedSimulator::ShardedSimulator(int shards)
+    : num_shards_(std::max(1, shards)) {
+  if (!sharded()) return;
+  // One rank counter and one coordinator-side sequence counter across every
+  // member simulator: single-threaded phases (setup, global events, code
+  // between runs) get globally ordered keys, exactly the order one serial
+  // queue would have assigned, and shard windows draw their ranks from the
+  // same counter at each barrier merge.
+  global_.set_rank_counter(&rank_counter_);
+  global_.set_shared_seq(&shared_seq_);
+  shards_.reserve(static_cast<std::size_t>(num_shards_));
+  for (int k = 0; k < num_shards_; ++k) {
+    auto sim = std::make_unique<Simulator>();
+    sim->set_rank_counter(&rank_counter_);
+    sim->set_shared_seq(&shared_seq_);
+    sim->set_deferred_ranks(true);
+    shards_.push_back(std::move(sim));
+  }
+  perf_.resize(static_cast<std::size_t>(num_shards_));
+  window_before_.resize(static_cast<std::size_t>(num_shards_));
+  ranks_scratch_.resize(static_cast<std::size_t>(num_shards_));
+  merge_pos_.resize(static_cast<std::size_t>(num_shards_));
+  merge_head_.resize(static_cast<std::size_t>(num_shards_));
+  workers_.resize(static_cast<std::size_t>(num_shards_));
+  threads_.reserve(static_cast<std::size_t>(num_shards_));
+  for (int k = 0; k < num_shards_; ++k) {
+    threads_.emplace_back([this, k] { worker_main(k); });
+  }
+}
+
+ShardedSimulator::~ShardedSimulator() {
+  if (threads_.empty()) return;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    quit_ = true;
+  }
+  cv_work_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void ShardedSimulator::add_barrier_hook(std::function<void()> hook) {
+  barrier_hooks_.push_back(std::move(hook));
+}
+
+void ShardedSimulator::stop() {
+  stop_requested_ = true;
+  global_.stop();
+}
+
+bool ShardedSimulator::pending() const {
+  if (global_.pending()) return true;
+  for (const auto& shard : shards_) {
+    if (shard->pending()) return true;
+  }
+  return false;
+}
+
+std::uint64_t ShardedSimulator::events_executed() const {
+  std::uint64_t total = global_.events_executed();
+  for (const auto& shard : shards_) total += shard->events_executed();
+  return total;
+}
+
+void ShardedSimulator::run() {
+  if (!sharded()) {
+    global_.run();
+    return;
+  }
+  drive(kNever, /*drain=*/true);
+}
+
+void ShardedSimulator::run_until(TimeNs until) {
+  if (!sharded()) {
+    global_.run_until(until);
+    return;
+  }
+  drive(until, /*drain=*/false);
+}
+
+void ShardedSimulator::drive(TimeNs until, bool drain) {
+  if (lookahead_ <= 0) {
+    throw std::logic_error(
+        "ShardedSimulator: set_lookahead(>0) required before running");
+  }
+  stop_requested_ = false;
+  global_.clear_stopped();
+
+  for (;;) {
+    // Barrier: workers quiesced; merge every cross-shard channel so the
+    // horizon computed below is causally complete.
+    for (const auto& hook : barrier_hooks_) hook();
+    if (stop_requested_ || global_.stopped()) break;
+
+    OrderKey gkey{};
+    const bool has_global = global_.peek_next_key(gkey);
+    TimeNs base = has_global ? gkey.at : kNever;
+    for (const auto& shard : shards_) {
+      if (shard->pending()) base = std::min(base, shard->next_time());
+    }
+    if (base == kNever) break;               // everything drained
+    if (!drain && base > until) break;       // nothing left at or before until
+
+    // Conservative window (channels are empty): any message a still-pending
+    // event can produce fires at >= base + lookahead, so every key below
+    // that floor is safe.  The event at `base` is always inside the window:
+    // progress is guaranteed for lookahead > 0.
+    OrderKey bound = OrderKey::floor_of(base + lookahead_);
+    TimeNs clock_to = 0;  // plain windows leave shard clocks on their events
+    if (!drain) {
+      const OrderKey after_until = OrderKey::floor_of(until + 1);
+      if (after_until < bound) bound = after_until;
+    }
+    // A minimal-key global event is itself the barrier: run shards short of
+    // it, advance their clocks to its instant (its callbacks may schedule
+    // relative delays into shard queues), then execute exactly that event.
+    const bool exec_global = has_global && gkey < bound;
+    if (exec_global) {
+      bound = gkey;
+      clock_to = gkey.at;
+    }
+
+    superstep(bound, clock_to);
+    // Rank this window's events before the global event runs: its rank (and
+    // the keys of everything it pushes) must come after theirs.
+    finalize_window();
+
+    if (exec_global) global_.run_one();
+  }
+
+  // Align clocks the way one serial simulator would have left them.  After
+  // stop() the serial contract leaves the clock on the stopping event (a
+  // global-stream sampler), which global_.now() already is.
+  if (!stop_requested_ && !global_.stopped()) {
+    if (drain) {
+      TimeNs last = global_.now();
+      for (const auto& shard : shards_) last = std::max(last, shard->now());
+      global_.advance_to(last);
+    } else {
+      global_.advance_to(until);
+      for (auto& shard : shards_) shard->advance_to(until);
+    }
+  }
+  fold_worker_stats();
+}
+
+void ShardedSimulator::superstep(const OrderKey& bound, TimeNs clock_to) {
+  for (int k = 0; k < num_shards_; ++k) {
+    window_before_[static_cast<std::size_t>(k)] =
+        shards_[static_cast<std::size_t>(k)]->events_executed();
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    bound_ = bound;
+    clock_to_ = clock_to;
+    done_ = 0;
+    ++epoch_;
+  }
+  cv_work_.notify_all();
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_done_.wait(lock, [this] { return done_ == num_shards_; });
+  }
+  for (int k = 0; k < num_shards_; ++k) {
+    const auto idx = static_cast<std::size_t>(k);
+    const std::uint64_t executed = shards_[idx]->events_executed();
+    ShardPerf& perf = perf_[idx];
+    if (executed == window_before_[idx]) ++perf.null_steps;
+    perf.events = executed;
+    perf.merged_msgs = shards_[idx]->keyed_pushes();
+  }
+}
+
+void ShardedSimulator::finalize_window() {
+  // Each shard's window log lists the keys it executed, in local execution
+  // order — which is serial order restricted to that shard.  A k-way merge
+  // over the logs therefore visits the window's events in exact serial
+  // order; each visit assigns the next global rank.  A logged key may still
+  // be provisional (the event was pushed and consumed inside this window):
+  // its pusher sits earlier in the same log — strictly smaller key, hence
+  // already merged and ranked — so heads always resolve.
+  const auto resolve_head = [&](int k) -> bool {
+    auto& shard = *shards_[static_cast<std::size_t>(k)];
+    const auto& log = shard.window_log();
+    const std::size_t pos = merge_pos_[static_cast<std::size_t>(k)];
+    if (pos == log.size()) return false;
+    OrderKey key = log[pos];
+    if (key.rank >= kProvisionalRankBase) {
+      const std::uint64_t idx =
+          key.rank - kProvisionalRankBase - shard.window_log_base();
+      key.rank = ranks_scratch_[static_cast<std::size_t>(k)][idx];
+    }
+    merge_head_[static_cast<std::size_t>(k)] = key;
+    return true;
+  };
+
+  std::size_t remaining = 0;
+  for (int k = 0; k < num_shards_; ++k) {
+    const auto idx = static_cast<std::size_t>(k);
+    merge_pos_[idx] = 0;
+    ranks_scratch_[idx].resize(shards_[idx]->window_log().size());
+    remaining += shards_[idx]->window_log().size();
+    resolve_head(k);
+  }
+  while (remaining > 0) {
+    int best = -1;
+    for (int k = 0; k < num_shards_; ++k) {
+      const auto idx = static_cast<std::size_t>(k);
+      if (merge_pos_[idx] == shards_[idx]->window_log().size()) continue;
+      if (best < 0 ||
+          merge_head_[idx] < merge_head_[static_cast<std::size_t>(best)]) {
+        best = k;
+      }
+    }
+    const auto bidx = static_cast<std::size_t>(best);
+    ranks_scratch_[bidx][merge_pos_[bidx]++] = ++rank_counter_;
+    resolve_head(best);
+    --remaining;
+  }
+  for (int k = 0; k < num_shards_; ++k) {
+    const auto idx = static_cast<std::size_t>(k);
+    // finalize_window swaps buffers, handing the old rank vector back into
+    // the scratch slot so no allocation recurs at steady state.
+    shards_[idx]->finalize_window(std::move(ranks_scratch_[idx]));
+  }
+}
+
+void ShardedSimulator::worker_main(int k) {
+  const auto idx = static_cast<std::size_t>(k);
+  std::uint64_t seen_epoch = 0;
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    const std::uint64_t wait_start = steady_ns();
+    cv_work_.wait(lock, [&] { return quit_ || epoch_ != seen_epoch; });
+    workers_[idx].blocked_ns += steady_ns() - wait_start;
+    if (quit_) return;
+    seen_epoch = epoch_;
+    const OrderKey bound = bound_;
+    const TimeNs clock_to = clock_to_;
+    lock.unlock();
+
+    Simulator& sim = *shards_[idx];
+    sim.run_to_key(bound);
+    sim.advance_to(clock_to);
+
+    lock.lock();
+    workers_[idx].published = substrate_stats();
+    if (++done_ == num_shards_) cv_done_.notify_one();
+  }
+}
+
+void ShardedSimulator::fold_worker_stats() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (int k = 0; k < num_shards_; ++k) {
+    const auto idx = static_cast<std::size_t>(k);
+    WorkerState& w = workers_[idx];
+    substrate_stats() += w.published - w.folded;
+    w.folded = w.published;
+    perf_[idx].blocked_ns = w.blocked_ns;
+  }
+}
+
+}  // namespace numfabric::sim

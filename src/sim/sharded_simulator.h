@@ -1,0 +1,189 @@
+// Conservative parallel discrete-event engine: N shard Simulators on worker
+// threads plus one global stream on the caller's thread, bit-identical to a
+// single serial Simulator.
+//
+// Each shard is a logical process owning a disjoint slice of the network
+// (one or more leaves with their hosts and edge links; see
+// net/shard_plan.h).  Cross-shard interactions are timestamped messages
+// that, by construction, arrive at least `lookahead` after the event that
+// sent them (every cross-shard path crosses a core link, whose propagation
+// delay lower-bounds the gap).  The engine runs barrier-synchronized
+// windows:
+//
+//   1. merge   — barrier hooks drain every cross-shard channel into the
+//                destination shards' queues (coordinator thread, in a fixed
+//                deterministic order);
+//   2. bound   — with all channels empty, let `base` be the earliest
+//                pending fire time anywhere (shards or global stream).  Any
+//                message a future event can still produce fires at
+//                >= base + lookahead, so every event with
+//                key < floor_of(base + lookahead) is causally closed;
+//   3. window  — workers run their shards up to that bound in parallel,
+//                then quiesce.  The event at `base` always executes, so the
+//                engine makes progress whenever lookahead > 0 (the classic
+//                Chandy–Misra–Bryant argument; with every LP adjacent to
+//                every other through the core, per-neighbor null messages
+//                collapse to this one shared horizon).
+//
+// Global-stream events (control-plane ticks on the PeriodicTick grid, flow
+// arrivals, experiment samplers) act as barriers of their own: when the
+// global queue holds the minimal key, the window bound shrinks to it, the
+// workers quiesce short of it, and the coordinator executes exactly that
+// one event before opening the next window.
+//
+// Determinism: every event carries an OrderKey (fire, rank of the pushing
+// event, seq) — see event_queue.h.  Shard events push with provisional
+// ranks during windows; after each superstep the coordinator merges the
+// per-shard logs of just-executed events in exact serial order, assigns
+// global execution ranks from the engine-wide counter, and finalizes the
+// surviving pushes and in-flight messages in place.  Global-stream events
+// are ranked inline as they run.  The result is the same total order one
+// serial queue realizes, so --shards=1 and --shards=N produce
+// byte-identical output — see src/sim/README.md for the full argument.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "sim/simulator.h"
+#include "sim/substrate_stats.h"
+#include "sim/time.h"
+
+namespace numfabric::sim {
+
+/// Per-shard progress counters for the perf table.  events / merged_msgs /
+/// null_steps are deterministic; blocked_ns is wall time and is not.
+struct ShardPerf {
+  std::uint64_t events = 0;       // events executed on this shard
+  std::uint64_t merged_msgs = 0;  // cross-shard messages merged into it
+  std::uint64_t null_steps = 0;   // windows that executed zero local events
+  std::uint64_t blocked_ns = 0;   // worker wall time blocked at barriers
+};
+
+class ShardedSimulator {
+ public:
+  /// `shards` <= 1 is the passthrough mode: one serial Simulator, no
+  /// threads, behavior identical to using that Simulator directly.
+  explicit ShardedSimulator(int shards);
+  ShardedSimulator(const ShardedSimulator&) = delete;
+  ShardedSimulator& operator=(const ShardedSimulator&) = delete;
+  ~ShardedSimulator();
+
+  bool sharded() const { return num_shards_ > 1; }
+  int num_shards() const { return num_shards_; }
+
+  /// The global stream: control-plane grid, flow arrivals, samplers.
+  /// In passthrough mode this is the one and only simulator.
+  Simulator& global() { return global_; }
+  const Simulator& global() const { return global_; }
+
+  /// Shard k's simulator.  Precondition: sharded() and 0 <= k < num_shards.
+  Simulator& shard(int k) { return *shards_[static_cast<std::size_t>(k)]; }
+
+  /// Minimum cross-shard delay; must be > 0 before the first run when
+  /// sharded.  (net/shard_plan.h derives it from the core-link delay.)
+  void set_lookahead(TimeNs lookahead) { lookahead_ = lookahead; }
+  TimeNs lookahead() const { return lookahead_; }
+
+  /// Registers a hook run on the coordinator thread at every barrier, with
+  /// all workers quiesced.  The shard router drains its channels here;
+  /// the fabric drains deferred cross-shard maintenance.
+  void add_barrier_hook(std::function<void()> hook);
+
+  // --- serial-compatible facade -------------------------------------------
+
+  TimeNs now() const { return global_.now(); }
+
+  template <typename F>
+  EventId schedule_in(TimeNs delay, F&& action) {
+    return global_.schedule_in(delay, std::forward<F>(action));
+  }
+
+  template <typename F>
+  EventId schedule_at(TimeNs at, F&& action) {
+    return global_.schedule_at(at, std::forward<F>(action));
+  }
+
+  void cancel(EventId id) { global_.cancel(id); }
+
+  /// Runs until every queue and channel drains, or stop() is called.
+  void run();
+
+  /// Runs events with time <= `until`, then sets every clock to `until`.
+  void run_until(TimeNs until);
+
+  /// Makes run/run_until return at the next barrier.  Callable from global
+  /// events (samplers) and between runs; shard events must not call it.
+  void stop();
+
+  /// True while any queue holds a runnable event.
+  bool pending() const;
+
+  /// Total events executed across the global stream and all shards.
+  std::uint64_t events_executed() const;
+
+  /// Per-shard counters; empty in passthrough mode.
+  const std::vector<ShardPerf>& shard_perf() const { return perf_; }
+
+ private:
+  static constexpr TimeNs kNever = std::numeric_limits<TimeNs>::max();
+
+  void drive(TimeNs until, bool drain);
+  /// Runs one parallel window: all workers execute events with
+  /// key < `bound`, then advance their clocks to at least `clock_to`.
+  void superstep(const OrderKey& bound, TimeNs clock_to);
+  /// Merges the per-shard logs of the window just executed in serial key
+  /// order, assigns global execution ranks, and finalizes every surviving
+  /// provisional push.  Coordinator thread, workers quiesced.
+  void finalize_window();
+  void worker_main(int k);
+  void fold_worker_stats();
+
+  struct WorkerState {
+    SubstrateStats published;  // worker TLS totals, copied under mu_
+    SubstrateStats folded;     // portion already folded into the caller TLS
+    std::uint64_t blocked_ns = 0;
+  };
+
+  const int num_shards_;
+  TimeNs lookahead_ = 0;
+  Simulator global_;
+  std::vector<std::unique_ptr<Simulator>> shards_;
+  std::vector<std::function<void()>> barrier_hooks_;
+  /// Global execution-rank counter shared by every member simulator: the
+  /// global stream increments it inline as its events run; shard windows
+  /// draw their ranks from it in the barrier merge.
+  std::uint64_t rank_counter_ = 0;
+  /// Shared sequence counter for coordinator-side pushes (setup, global
+  /// events, code between runs) — see Simulator::set_shared_seq.
+  std::uint64_t shared_seq_ = 0;
+  bool stop_requested_ = false;
+  std::vector<ShardPerf> perf_;
+  std::vector<std::uint64_t> window_before_;  // scratch: events before window
+  // finalize_window scratch, reused across barriers.
+  std::vector<std::vector<std::uint64_t>> ranks_scratch_;
+  std::vector<std::size_t> merge_pos_;
+  std::vector<OrderKey> merge_head_;
+
+  // Worker synchronization.  All shared control state lives under mu_; the
+  // cv_work_/cv_done_ edges give the happens-before that publishes shard
+  // simulator state between workers and the coordinator.
+  std::mutex mu_;
+  std::condition_variable cv_work_;
+  std::condition_variable cv_done_;
+  std::uint64_t epoch_ = 0;
+  int done_ = 0;
+  OrderKey bound_{};
+  TimeNs clock_to_ = 0;
+  bool quit_ = false;
+  std::vector<WorkerState> workers_;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace numfabric::sim

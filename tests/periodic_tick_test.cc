@@ -137,6 +137,42 @@ TEST(PeriodicTickTest, InCallbackReArmKeepsTheExecutingCallableAlive) {
   EXPECT_EQ(seen, (std::vector<int>{42, 99, 99}));
 }
 
+TEST(PeriodicTickTest, GridSurvivesRepeatedRunUntilBoundaries) {
+  // run_until sets the clock to `until` between ticks (the sharded engine
+  // and every experiment loop pause this way); the grid must not drift no
+  // matter where the pauses land — on-grid, off-grid, or mid-interval.
+  Simulator sim;
+  PeriodicTick tick;
+  std::vector<TimeNs> fired;
+  tick.arm(sim, micros(30), [&] { fired.push_back(sim.now()); });
+  sim.run_until(micros(45));   // fires 30, clock parks off-grid at 45
+  sim.run_until(micros(60));   // fires 60, clock parks exactly on-grid
+  sim.run_until(micros(71));   // no fire, clock parks mid-interval
+  sim.run_until(micros(200));  // 90..180 in one leg
+  EXPECT_EQ(fired,
+            (std::vector<TimeNs>{micros(30), micros(60), micros(90),
+                                 micros(120), micros(150), micros(180)}));
+  EXPECT_EQ(tick.ticks(), 6u);
+  EXPECT_TRUE(tick.armed());
+}
+
+TEST(PeriodicTickTest, ReArmAfterOffGridPauseAlignsToTheGlobalGrid) {
+  // Cancel, pause with run_until at an off-grid time, then re-arm between
+  // runs: the first fire lands on the next *global* multiple of the
+  // interval, not pause-time + interval.
+  Simulator sim;
+  PeriodicTick tick;
+  std::vector<TimeNs> fired;
+  tick.arm(sim, micros(30), [&] { fired.push_back(sim.now()); });
+  sim.run_until(micros(40));  // fires 30
+  tick.cancel();
+  sim.run_until(micros(47));  // clock sits at 47 us, nothing pending
+  tick.arm(sim, micros(30), [&] { fired.push_back(sim.now()); });
+  sim.run_until(micros(130));
+  EXPECT_EQ(fired, (std::vector<TimeNs>{micros(30), micros(60), micros(90),
+                                        micros(120)}));
+}
+
 TEST(PeriodicTickTest, RejectsNonPositiveInterval) {
   Simulator sim;
   PeriodicTick tick;

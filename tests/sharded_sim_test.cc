@@ -1,0 +1,293 @@
+// Sharded-engine guard: the conservative parallel engine must be
+// byte-identical to the serial one.
+//
+// Unit half: shard-count resolution, leaf-major plan assignment, the
+// passthrough facade, the missing-lookahead guard and run_until clock
+// alignment.
+//
+// Golden half: runs fig4a (`convergence`), one incast sweep and one
+// oversub-fabric sweep serial (--shards=1) and sharded (--shards=2/4) and
+// asserts the outputs are byte-identical after stripping the rows that
+// legitimately differ: per-shard perf counters (shard*_ rows exist only when
+// sharded), substrate allocation counters (each shard grows its own event
+// queue and packet pool) and wall-clock cells.  Every behavioral byte —
+// events fired, packets, bytes, FCTs, rates, queue depths — must match.
+// The serial hashes themselves are guarded by golden_determinism_test.cc.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "app/metrics.h"
+#include "app/options.h"
+#include "app/run_plan.h"
+#include "app/scenario.h"
+#include "app/sweep.h"
+#include "net/shard_plan.h"
+#include "net/topology.h"
+#include "sim/sharded_simulator.h"
+#include "sim/simulator.h"
+#include "sim/time.h"
+
+namespace numfabric {
+namespace {
+
+using app::MetricWriter;
+using app::Options;
+using app::RunContext;
+using app::ScenarioRegistry;
+using app::SweepRequest;
+using app::SweepResult;
+
+// --- unit half -------------------------------------------------------------
+
+TEST(ShardPlanTest, ResolveShardCountClampsToLeaves) {
+  EXPECT_EQ(net::resolve_shard_count(1, 8), 1);
+  EXPECT_EQ(net::resolve_shard_count(3, 8), 3);
+  EXPECT_EQ(net::resolve_shard_count(100, 4), 4);
+  // 0 = one shard per leaf, capped at the core count; always in [1, leaves].
+  const int zero = net::resolve_shard_count(0, 8);
+  EXPECT_GE(zero, 1);
+  EXPECT_LE(zero, 8);
+  EXPECT_EQ(net::resolve_shard_count(0, 1), 1);
+}
+
+TEST(ShardPlanTest, LeafMajorAssignmentAndLookahead) {
+  sim::Simulator sim;
+  net::Topology topo(sim);
+  net::LeafSpineOptions options;
+  options.num_leaves = 4;
+  options.hosts_per_leaf = 2;
+  options.num_spines = 2;
+  const net::LeafSpine fabric =
+      net::build_leaf_spine(topo, options, net::drop_tail_factory());
+
+  const net::ShardPlan plan = net::build_leaf_shard_plan(fabric, options, 2);
+  EXPECT_EQ(plan.shards, 2);
+  EXPECT_EQ(plan.lookahead, options.effective_core_delay());
+
+  // Leaves split into contiguous leaf-major blocks: 0,1 -> shard 0;
+  // 2,3 -> shard 1.  Hosts follow their leaf; spines go round-robin.
+  for (int leaf = 0; leaf < options.num_leaves; ++leaf) {
+    const int expected = leaf * 2 / options.num_leaves;
+    EXPECT_EQ(plan.shard_of(fabric.leaves[static_cast<std::size_t>(leaf)]),
+              expected)
+        << "leaf " << leaf;
+    for (int h = 0; h < options.hosts_per_leaf; ++h) {
+      const std::size_t host =
+          static_cast<std::size_t>(leaf * options.hosts_per_leaf + h);
+      EXPECT_EQ(plan.shard_of(fabric.hosts[host]), expected)
+          << "host " << host;
+    }
+  }
+  for (int s = 0; s < options.num_spines; ++s) {
+    EXPECT_EQ(plan.shard_of(fabric.spines[static_cast<std::size_t>(s)]),
+              s % 2)
+        << "spine " << s;
+  }
+}
+
+TEST(ShardedSimulatorTest, PassthroughModeMatchesPlainSimulator) {
+  // shards=1 must behave exactly like using one Simulator directly: same
+  // event order, same clock, no threads, no per-shard counters.
+  std::vector<int> plain_order;
+  sim::Simulator plain;
+  plain.schedule_at(sim::micros(3), [&] { plain_order.push_back(3); });
+  plain.schedule_at(sim::micros(1), [&] { plain_order.push_back(1); });
+  plain.schedule_at(sim::micros(2), [&] { plain_order.push_back(2); });
+  plain.run();
+
+  std::vector<int> engine_order;
+  sim::ShardedSimulator engine(1);
+  EXPECT_FALSE(engine.sharded());
+  engine.schedule_at(sim::micros(3), [&] { engine_order.push_back(3); });
+  engine.schedule_at(sim::micros(1), [&] { engine_order.push_back(1); });
+  engine.schedule_at(sim::micros(2), [&] { engine_order.push_back(2); });
+  engine.run();
+
+  EXPECT_EQ(engine_order, plain_order);
+  EXPECT_EQ(engine.now(), plain.now());
+  EXPECT_EQ(engine.events_executed(), 3u);
+  EXPECT_TRUE(engine.shard_perf().empty());
+}
+
+TEST(ShardedSimulatorTest, RunningShardedWithoutLookaheadThrows) {
+  sim::ShardedSimulator engine(2);
+  engine.schedule_at(sim::micros(1), [] {});
+  EXPECT_THROW(engine.run(), std::logic_error);
+}
+
+TEST(ShardedSimulatorTest, RunUntilAlignsEveryClock) {
+  sim::ShardedSimulator engine(2);
+  engine.set_lookahead(sim::micros(2));
+  int fired = 0;
+  engine.shard(0).schedule_at(sim::micros(5), [&] { ++fired; });
+  engine.shard(1).schedule_at(sim::micros(40), [&] { ++fired; });
+  engine.run_until(sim::micros(10));
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(engine.now(), sim::micros(10));
+  EXPECT_EQ(engine.shard(0).now(), sim::micros(10));
+  EXPECT_EQ(engine.shard(1).now(), sim::micros(10));
+  // Resume: the shard-1 event is still pending and fires on the next leg.
+  EXPECT_TRUE(engine.pending());
+  engine.run_until(sim::micros(50));
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(engine.now(), sim::micros(50));
+}
+
+// --- golden half -----------------------------------------------------------
+
+// Strips the bytes that legitimately differ between serial and sharded runs:
+//  * sweep_runs wall_ms cells (nondeterministic wall time);
+//  * perf rows named shard*_ (only emitted when sharded) and allocs_*
+//    (per-shard containers grow independently of the serial ones);
+//  * events_per_sec / wall_ms / solver_wall_us scalars (wall clock).
+// Everything else — all behavioral counters and result tables — is kept.
+std::string normalize(const MetricWriter& metrics) {
+  std::ostringstream raw;
+  metrics.write_csv(raw);
+  std::istringstream in(raw.str());
+  std::ostringstream cleaned;
+  std::string line;
+  bool in_sweep_runs = false;
+  bool in_perf = false;
+  // The perf section is buffered so it can be dropped wholesale when every
+  // data row was filtered out (a serial ctx run emits no perf table at all;
+  // a sharded one would otherwise leave an empty header behind).
+  std::vector<std::string> perf_block;
+  bool perf_has_rows = false;
+  const auto flush_perf = [&] {
+    if (perf_has_rows) {
+      for (const std::string& kept : perf_block) cleaned << kept << "\n";
+    }
+    perf_block.clear();
+    perf_has_rows = false;
+  };
+  while (std::getline(in, line)) {
+    if (line.rfind("# table,", 0) == 0) {
+      flush_perf();
+      in_sweep_runs = line == "# table,sweep_runs";
+      in_perf = line == "# table,perf";
+      if (in_perf) {
+        perf_block.push_back(line);
+        continue;
+      }
+    } else if (line.rfind("# scalar,", 0) == 0) {
+      const bool wall_scalar =
+          line.rfind("# scalar,wall_ms,", 0) == 0 ||
+          line.rfind("# scalar,events_per_sec,", 0) == 0 ||
+          line.rfind("# scalar,solver_wall_us,", 0) == 0;
+      if (wall_scalar) continue;
+    } else if (in_sweep_runs && line.find("wall_ms") == std::string::npos) {
+      line = line.substr(0, line.rfind(',') + 1) + "<wall>";
+    } else if (in_perf) {
+      if (perf_block.size() == 1) {
+        perf_block.push_back(line);  // column header row
+        continue;
+      }
+      // The perf table's leading columns may be swept keys; match the
+      // counter name anywhere in the row.
+      if (line.find("shard") != std::string::npos ||
+          line.find("allocs_") != std::string::npos ||
+          line.find("solver_wall_us") != std::string::npos) {
+        continue;
+      }
+      perf_block.push_back(line);
+      perf_has_rows = true;
+      continue;
+    }
+    cleaned << line << "\n";
+  }
+  flush_perf();
+  return cleaned.str();
+}
+
+std::string run_convergence(int shards) {
+  app::register_builtin_scenarios();
+  const app::Scenario* scenario =
+      ScenarioRegistry::global().find("convergence");
+  EXPECT_NE(scenario, nullptr);
+  Options options;
+  MetricWriter metrics;
+  RunContext ctx{options,
+                 transport::Scheme::kNumFabric,
+                 metrics,
+                 false,
+                 /*solver_threads=*/1,
+                 /*control_threads=*/1,
+                 shards};
+  scenario->run(ctx);
+  return normalize(metrics);
+}
+
+TEST(ShardedGoldenTest, ConvergenceIsShardCountInvariant) {
+  const std::string serial = run_convergence(1);
+  const std::string sharded = run_convergence(4);
+  EXPECT_EQ(serial, sharded)
+      << "fig4a output differs between --shards=1 and --shards=4";
+}
+
+std::string run_incast_sweep(int shards) {
+  app::register_builtin_scenarios();
+  const app::Scenario* scenario = ScenarioRegistry::global().find("incast");
+  EXPECT_NE(scenario, nullptr);
+  SweepRequest request;
+  request.scenario = scenario;
+  Options options;
+  options.set("hosts_per_leaf", "2");
+  options.set("leaves", "2");
+  options.set("spines", "1");
+  options.set("fanin", "3");
+  options.set("flow_kb", "32");
+  request.base_options = options;
+  request.plan = app::RunPlan::expand({app::parse_sweep_spec("seed=1,2")});
+  request.jobs = 1;
+  request.shards = shards;
+  MetricWriter merged;
+  const SweepResult result = run_sweep(request, merged);
+  EXPECT_EQ(result.failed, 0) << "golden sweep runs must succeed";
+  return normalize(merged);
+}
+
+TEST(ShardedGoldenTest, IncastSweepIsShardCountInvariant) {
+  const std::string serial = run_incast_sweep(1);
+  const std::string sharded = run_incast_sweep(2);  // 2 leaves cap shards
+  EXPECT_EQ(serial, sharded)
+      << "incast sweep output differs between --shards=1 and --shards=2";
+}
+
+std::string run_oversub_sweep(int shards) {
+  app::register_builtin_scenarios();
+  const app::Scenario* scenario =
+      ScenarioRegistry::global().find("oversub-fabric");
+  EXPECT_NE(scenario, nullptr);
+  SweepRequest request;
+  request.scenario = scenario;
+  Options options;
+  options.set("topology", "2x2x2");
+  options.set("shuffle_kb", "20");
+  options.set("warmup_ms", "1");
+  options.set("measure_ms", "2");
+  options.set("horizon_ms", "100");
+  request.base_options = options;
+  request.plan = app::RunPlan::expand({app::parse_sweep_spec("oversub=1,4")});
+  request.jobs = 1;
+  request.shards = shards;
+  MetricWriter merged;
+  const SweepResult result = run_sweep(request, merged);
+  EXPECT_EQ(result.failed, 0) << "golden sweep runs must succeed";
+  return normalize(merged);
+}
+
+TEST(ShardedGoldenTest, OversubSweepIsShardCountInvariant) {
+  const std::string serial = run_oversub_sweep(1);
+  const std::string sharded = run_oversub_sweep(2);
+  EXPECT_EQ(serial, sharded)
+      << "oversub-fabric sweep output differs between --shards=1 and "
+         "--shards=2";
+}
+
+}  // namespace
+}  // namespace numfabric
