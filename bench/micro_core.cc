@@ -14,8 +14,10 @@
 #include "flowsim/flow_sim_engine.h"
 #include "flowsim/virtual_fabric.h"
 #include "net/drop_tail_queue.h"
+#include "net/fabric_graph.h"
 #include "net/link.h"
 #include "net/node.h"
+#include "net/routing.h"
 #include "net/topology.h"
 #include "net/wfq_queue.h"
 #include "num/num_solver.h"
@@ -360,6 +362,66 @@ void BM_FlowSimEpoch(benchmark::State& state) {
   state.SetItemsProcessed(epochs);  // epochs/sec
 }
 BENCHMARK(BM_FlowSimEpoch)->Arg(1000)->Arg(100000);
+
+// Same steady-state epoch cost on a jellyfish: the path table comes from
+// k-shortest-paths over the random regular graph (VirtualFabric::from_graph)
+// instead of the closed-form leaf-spine enumeration, but the per-epoch work
+// must stay the same shape — warm re-solve + O(active) advance.
+void BM_FlowSimEpochJellyfish(benchmark::State& state) {
+  const int num_flows = static_cast<int>(state.range(0));
+  net::JellyfishOptions jf;
+  jf.switches = 64;
+  jf.ports = 8;
+  jf.hosts = 1024;
+  jf.seed = 5;
+  jf.host_rate_bps = 10e9;
+  jf.switch_rate_bps = 40e9;
+  const flowsim::VirtualFabric fabric =
+      flowsim::VirtualFabric::from_graph(net::make_jellyfish(jf), 8);
+  static num::AlphaFairUtility utility(1.0);
+  sim::Rng rng(11);
+  const auto draws = workload::batch_index_flows(
+      fabric.hosts(), num_flows, workload::websearch_distribution(), rng);
+  std::vector<flowsim::FlowSimFlow> flows(draws.size());
+  for (std::size_t i = 0; i < draws.size(); ++i) {
+    flows[i] = {0.0, static_cast<double>(draws[i].size_bytes),
+                fabric.path(draws[i].src, draws[i].dst, i + 1), &utility};
+  }
+  flowsim::FlowSimOptions options;
+  options.resolve_interval_seconds = 1e-3;
+  options.solver.tolerance = 1e-5;
+  flowsim::FlowSimEngine engine(std::move(flows), fabric.capacities(),
+                                options);
+  std::int64_t epochs = 0;
+  for (auto _ : state) {
+    if (engine.finished()) engine.reset();
+    engine.step();
+    ++epochs;
+  }
+  state.SetItemsProcessed(epochs);  // epochs/sec
+}
+BENCHMARK(BM_FlowSimEpochJellyfish)->Arg(1000)->Arg(100000);
+
+// Yen's k-shortest-paths over a jellyfish, the routing cost the fabric zoo
+// adds: one ordered host pair per iteration, cycling sources so the metered
+// mix covers distinct pair distances rather than one cached pair.
+void BM_KShortestPaths(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  const net::FabricGraph graph = net::make_jellyfish(
+      {.switches = 64, .ports = 8, .hosts = 128, .seed = 5});
+  const int first_host = 64;  // switches precede hosts
+  const int dst = first_host + 127;
+  int src = first_host;
+  std::int64_t pairs = 0;
+  for (auto _ : state) {
+    const auto paths = net::k_shortest_paths(graph, src, dst, k);
+    benchmark::DoNotOptimize(paths.size());
+    if (++src == dst) src = first_host;
+    ++pairs;
+  }
+  state.SetItemsProcessed(pairs);  // pairs/sec
+}
+BENCHMARK(BM_KShortestPaths)->Arg(4)->Arg(16);
 
 // The sharded parallel engine end to end: one permutation rate-mode
 // experiment (4-leaf/16-host fabric, 3 ms simulated) per iteration at

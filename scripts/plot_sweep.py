@@ -16,6 +16,15 @@ plots are just projections of those tables:
                     numfabric_run --scenario=websearch-fct \\
                         --sweep load=0.2:0.8:0.2 --sweep transport=numfabric,pfabric
 
+    topology <csv>  fct table of a traffic-family FCT run swept across
+                  fabrics: mean and p99 FCT (us) per topology, one bar group
+                  per swept topology value (split per fidelity when the sweep
+                  crossed fidelity=...), replicate sweeps (seed / jf_seed)
+                  averaged.  Produce the CSV with e.g.
+                    numfabric_run --scenario=permutation flow_kb=64 \\
+                        --sweep "topology=16x8x4, jellyfish:12,4,32" \\
+                        --sweep fidelity=packet,flow
+
 Headless by construction (matplotlib Agg backend); --check parses and
 validates the CSV without rendering, so CI can gate the data shape even
 where matplotlib is absent.  Exit codes: 0 ok, 2 bad input, 3 matplotlib
@@ -259,12 +268,79 @@ def plot_fig7(path, out, check_only):
     finish(plt, fig, out)
 
 
+def topology_color(label):
+    """Hue follows the fabric family, not the grid position: all jellyfish
+    bars share one color, all Clos (HxLxS) bars another."""
+    return "#4a3aa7" if label.startswith("jellyfish") else "#2a78d6"
+
+
+def plot_topology(path, out, check_only):
+    _, tables = parse_tables(path)
+    rows = require_table(tables, "fct", path)
+    if "topology" not in rows[0]:
+        print(
+            f"error: 'fct' table in {path} has no 'topology' column — sweep "
+            f"the run across topology=... so the comparison has groups",
+            file=sys.stderr,
+        )
+        sys.exit(2)
+    # One bar group per (topology, fidelity); fidelity folds into the label
+    # only when the sweep actually crossed it.  Everything else that varied
+    # (seed, jf_seed, ...) is a replicate and averages.
+    split_fidelity = (
+        "fidelity" in rows[0] and len({r["fidelity"] for r in rows}) > 1
+    )
+    groups = {}
+    for r in rows:
+        mean_us, p99_us = to_float(r["mean_us"]), to_float(r["p99_us"])
+        if mean_us is None or p99_us is None:
+            print(
+                f"error: non-numeric mean_us/p99_us in {path} (incomplete "
+                f"run?)",
+                file=sys.stderr,
+            )
+            sys.exit(2)
+        label = r["topology"]
+        if split_fidelity:
+            label += f" [{r['fidelity']}]"
+        groups.setdefault(label, []).append((mean_us, p99_us))
+    labels = sorted(groups)
+    means = [sum(g[0] for g in groups[l]) / len(groups[l]) for l in labels]
+    p99s = [sum(g[1] for g in groups[l]) / len(groups[l]) for l in labels]
+    for label, mean_us, p99_us in zip(labels, means, p99s):
+        print(
+            f"topology: {label}: {len(groups[label])} run(s), "
+            f"mean_us={mean_us:.6g}, p99_us={p99_us:.6g}"
+        )
+    plt = load_matplotlib(check_only)
+    if plt is None:
+        return
+    fig, ax = plt.subplots(figsize=(1.2 + 1.6 * len(labels), 3.6))
+    xs = range(len(labels))
+    width = 0.38
+    ax.bar([x - width / 2 for x in xs], means, width,
+           color=[topology_color(l) for l in labels], label="mean")
+    ax.bar([x + width / 2 for x in xs], p99s, width,
+           color=[topology_color(l) for l in labels], alpha=0.45,
+           hatch="//", label="p99")
+    style_axes(ax)
+    ax.set_xticks(list(xs))
+    ax.set_xticklabels(labels, fontsize=8, color=TEXT_SECONDARY,
+                       rotation=15, ha="right")
+    ax.set_ylabel("FCT (us)", color=TEXT_SECONDARY, fontsize=10)
+    ax.set_ylim(bottom=0)
+    ax.set_title("FCT by topology (mean solid, p99 hatched)",
+                 color=TEXT_PRIMARY, fontsize=11, loc="left")
+    ax.legend(frameon=False, fontsize=9, labelcolor=TEXT_SECONDARY)
+    finish(plt, fig, out)
+
+
 def main():
     parser = argparse.ArgumentParser(
         description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter
     )
-    parser.add_argument("figure", choices=["fig6", "fig7"],
-                        help="which paper figure to render")
+    parser.add_argument("figure", choices=["fig6", "fig7", "topology"],
+                        help="which figure to render")
     parser.add_argument("csv", help="merged sweep CSV from numfabric_run")
     parser.add_argument("-o", "--out", default=None,
                         help="output image (default <figure>.png)")
@@ -274,8 +350,10 @@ def main():
     out = args.out or f"{args.figure}.png"
     if args.figure == "fig6":
         plot_fig6(args.csv, out, args.check)
-    else:
+    elif args.figure == "fig7":
         plot_fig7(args.csv, out, args.check)
+    else:
+        plot_topology(args.csv, out, args.check)
 
 
 if __name__ == "__main__":

@@ -15,6 +15,7 @@
 #include <cstdint>
 #include <cstdio>
 #include <limits>
+#include <optional>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -45,6 +46,52 @@ exp::Scale scale_for(const RunContext& ctx) {
   return ctx.full_scale ? exp::full_scale() : exp::quick_scale();
 }
 
+// ---------------------------------------------------------------------------
+// Parameter presets (`preset=classic|modern`).
+//
+// classic is the paper's 2016 testbed: 10G hosts, 40G spines, 2 us hops,
+// 1500 B packets.  modern is a 2020s fabric: 400G hosts, 1600G spines,
+// 50 ns hops (sub-us RTTs) and 4 KB jumbo-ish packets.  The preset only
+// moves *defaults* — any explicit knob (host_gbps=, core_delay_us=, ...)
+// still wins — so classic runs are byte-identical to pre-preset output.
+// ---------------------------------------------------------------------------
+
+enum class Preset { kClassic, kModern };
+
+struct PresetDefaults {
+  double host_gbps;
+  double spine_gbps;
+  double delay_us;
+  std::uint32_t packet_bytes;
+};
+
+Preset preset_param(const RunContext& ctx) {
+  const std::string token = ctx.options.get("preset", "classic");
+  if (token == "classic") return Preset::kClassic;
+  if (token == "modern") return Preset::kModern;
+  throw std::invalid_argument("unknown preset '" + token +
+                              "' (expected classic or modern)");
+}
+
+PresetDefaults preset_defaults(Preset preset) {
+  if (preset == Preset::kModern) return {400.0, 1600.0, 0.05, 4096};
+  return {10.0, 40.0, 2.0, 1500};
+}
+
+/// Pushes the preset's packet size into every scheme config (and scales the
+/// DCTCP marking threshold with it, keeping the paper's 65-packet K).  No-op
+/// for classic: 1500 B is already every config's default.
+void apply_preset_packets(Preset preset, transport::FabricOptions& fabric) {
+  if (preset == Preset::kClassic) return;
+  const std::uint32_t bytes = preset_defaults(preset).packet_bytes;
+  fabric.numfabric.packet_bytes = bytes;
+  fabric.dgd.packet_bytes = bytes;
+  fabric.rcp.packet_bytes = bytes;
+  fabric.dctcp.packet_bytes = bytes;
+  fabric.dctcp.ecn_threshold_bytes = 65 * static_cast<std::size_t>(bytes);
+  fabric.pfabric.packet_bytes = bytes;
+}
+
 /// Applies the cross-cutting --control-threads / --solver-threads knobs to an
 /// experiment options struct.  Every fabric-backed struct embeds a
 /// FabricOptions; the ones that run the NUM oracle also take solver_threads.
@@ -53,6 +100,7 @@ exp::Scale scale_for(const RunContext& ctx) {
 template <typename ExpOptions>
 void apply_thread_context(const RunContext& ctx, ExpOptions& options) {
   options.fabric.control_threads = ctx.control_threads;
+  apply_preset_packets(preset_param(ctx), options.fabric);
   if constexpr (requires { options.solver_threads; }) {
     options.solver_threads = ctx.solver_threads;
   }
@@ -88,6 +136,7 @@ void emit_shard_perf(RunContext& ctx,
 /// (which derives the spine rate from host demand, overriding spine_gbps).
 net::LeafSpineOptions leaf_spine_options(const RunContext& ctx,
                                          const exp::Scale& scale) {
+  const PresetDefaults preset = preset_defaults(preset_param(ctx));
   int hosts_per_leaf = scale.hosts_per_leaf;
   int leaves = scale.leaves;
   int spines = scale.spines;
@@ -112,8 +161,12 @@ net::LeafSpineOptions leaf_spine_options(const RunContext& ctx,
       ctx.options.get_int("hosts_per_leaf", hosts_per_leaf));
   topo.num_leaves = static_cast<int>(ctx.options.get_int("leaves", leaves));
   topo.num_spines = static_cast<int>(ctx.options.get_int("spines", spines));
-  topo.host_rate_bps = ctx.options.get_double("host_gbps", 10.0) * 1e9;
-  topo.spine_rate_bps = ctx.options.get_double("spine_gbps", 40.0) * 1e9;
+  topo.host_rate_bps =
+      ctx.options.get_double("host_gbps", preset.host_gbps) * 1e9;
+  topo.spine_rate_bps =
+      ctx.options.get_double("spine_gbps", preset.spine_gbps) * 1e9;
+  topo.link_delay =
+      static_cast<sim::TimeNs>(preset.delay_us * sim::kMicrosecond);
   topo.core_link_delay = static_cast<sim::TimeNs>(
       ctx.options.get_double("core_delay_us", sim::to_micros(topo.link_delay)) *
       sim::kMicrosecond);
@@ -125,22 +178,97 @@ net::LeafSpineOptions leaf_spine_options(const RunContext& ctx,
   return topo;
 }
 
-std::vector<ParamSpec> topology_params() {
-  return {
+// ---------------------------------------------------------------------------
+// Fabric choice: leaf-spine (the default) or jellyfish.
+//
+// `topology=jellyfish:S,r,H` — S switches of port-count r wired as a random
+// regular graph (deterministic from jf_seed), H hosts round-robined across
+// the switches, routed over the k_paths shortest paths per switch pair.
+// Shape grammar is one sweepable token so `--sweep "topology=16x8x4,
+// jellyfish:12,4,32"` fans a scenario across both fabric families.
+// ---------------------------------------------------------------------------
+
+struct FabricChoice {
+  net::LeafSpineOptions leaf_spine;
+  std::optional<net::JellyfishOptions> jellyfish;
+  int k_paths = 8;
+  int hosts = 0;  // total hosts on either fabric
+};
+
+FabricChoice fabric_choice(const RunContext& ctx, const exp::Scale& scale) {
+  FabricChoice choice;
+  const std::string shape = ctx.options.get("topology", "");
+  if (shape.rfind("jellyfish:", 0) == 0) {
+    const PresetDefaults preset = preset_defaults(preset_param(ctx));
+    for (const char* key : {"hosts_per_leaf", "leaves", "spines", "oversub"}) {
+      if (ctx.options.has(key)) {
+        throw std::invalid_argument("topology=jellyfish:... has no " +
+                                    std::string(key) + "; drop it");
+      }
+    }
+    net::JellyfishOptions jf;
+    char trailing = 0;
+    if (std::sscanf(shape.c_str(), "jellyfish:%d,%d,%d%c", &jf.switches,
+                    &jf.ports, &jf.hosts, &trailing) != 3 ||
+        jf.switches < 1 || jf.ports < 1 || jf.hosts < 1) {
+      throw std::invalid_argument(
+          "bad topology '" + shape +
+          "' (expected jellyfish:switches,ports,hosts, e.g. jellyfish:12,4,24)");
+    }
+    jf.seed = static_cast<std::uint64_t>(ctx.options.get_int("jf_seed", 1));
+    jf.host_rate_bps =
+        ctx.options.get_double("host_gbps", preset.host_gbps) * 1e9;
+    jf.switch_rate_bps =
+        ctx.options.get_double("spine_gbps", preset.spine_gbps) * 1e9;
+    jf.link_delay = static_cast<sim::TimeNs>(
+        ctx.options.get_double("core_delay_us", preset.delay_us) *
+        sim::kMicrosecond);
+    const std::int64_t k = ctx.options.get_int("k_paths", 8);
+    if (k < 1) throw std::invalid_argument("k_paths must be >= 1");
+    choice.k_paths = static_cast<int>(k);
+    choice.hosts = jf.hosts;
+    choice.jellyfish = jf;
+    return choice;
+  }
+  choice.leaf_spine = leaf_spine_options(ctx, scale);
+  choice.hosts = choice.leaf_spine.hosts_per_leaf * choice.leaf_spine.num_leaves;
+  return choice;
+}
+
+std::vector<ParamSpec> topology_params(bool with_jellyfish = false) {
+  std::vector<ParamSpec> params = {
       {"topology", "",
        "fabric shape HxLxS (hosts_per_leaf x leaves x spines), e.g. 16x8x4; "
        "one sweepable token, conflicts with the three explicit keys"},
       {"hosts_per_leaf", "8", "hosts per leaf switch (full scale: 16)"},
       {"leaves", "4", "number of leaf switches (full scale: 8)"},
       {"spines", "2", "number of spine switches (full scale: 4)"},
-      {"host_gbps", "10", "host NIC rate"},
-      {"spine_gbps", "40", "leaf-to-spine link rate"},
+      {"host_gbps", "10", "host NIC rate (preset=modern default: 400)"},
+      {"spine_gbps", "40",
+       "leaf-to-spine / switch-to-switch link rate (preset=modern: 1600)"},
       {"oversub", "0",
        "core oversubscription ratio; > 0 re-rates spine links to "
        "hosts_per_leaf*host_gbps/(spines*oversub), overriding spine_gbps"},
       {"core_delay_us", "2",
-       "leaf-spine propagation delay (edge links stay at 2 us)"},
+       "leaf-spine propagation delay (edge links track the preset; "
+       "preset=modern: 0.05)"},
+      {"preset", "classic",
+       "parameter preset: classic (10G/40G, 2 us hops, 1500 B packets) or "
+       "modern (400G/1600G, 50 ns hops, 4 KB packets); explicit knobs win"},
   };
+  if (with_jellyfish) {
+    params[0] = {
+        "topology", "",
+        "fabric shape: HxLxS leaf-spine (e.g. 16x8x4) or "
+        "jellyfish:switches,ports,hosts (random regular graph, e.g. "
+        "jellyfish:12,4,24); one sweepable token; jellyfish has no "
+        "leaf/spine cut, so it runs serial only (--shards=1)"};
+    params.push_back({"jf_seed", "1",
+                      "jellyfish only: random-regular-graph wiring seed"});
+    params.push_back({"k_paths", "8",
+                      "jellyfish only: k-shortest paths per switch pair"});
+  }
+  return params;
 }
 
 std::vector<ParamSpec> merge_params(std::vector<ParamSpec> a,
@@ -592,14 +720,15 @@ void run_traffic(RunContext& ctx, exp::TrafficPattern pattern,
   exp::TrafficOptions options;
   apply_thread_context(ctx, options);
   options.scheme = scheme_for(ctx);
-  options.topology = leaf_spine_options(ctx, scale);
+  const FabricChoice fab = fabric_choice(ctx, scale);
+  options.topology = fab.leaf_spine;
+  options.jellyfish = fab.jellyfish;
+  options.k_paths = fab.k_paths;
   options.core_buffer_bytes =
       static_cast<std::size_t>(kb_to_bytes(ctx, "core_buffer_kb", 0));
   options.pattern = pattern;
-  const int host_count =
-      options.topology.hosts_per_leaf * options.topology.num_leaves;
   options.incast_fanin = static_cast<int>(
-      ctx.options.get_int("fanin", std::min(16, host_count - 1)));
+      ctx.options.get_int("fanin", std::min(16, fab.hosts - 1)));
   options.flow_size_bytes = kb_to_bytes(ctx, "flow_kb", default_flow_kb);
   options.alpha = ctx.options.get_double("alpha", 1.0);
   options.warmup = ms_time(ctx.options.get_double(
@@ -638,7 +767,10 @@ void run_fct_sweep(RunContext& ctx, const std::string& default_workload) {
     exp::DynamicWorkloadOptions options;
     apply_thread_context(ctx, options);
     options.scheme = scheme_for(ctx);
-    options.topology = leaf_spine_options(ctx, scale);
+    const FabricChoice fab = fabric_choice(ctx, scale);
+    options.topology = fab.leaf_spine;
+    options.jellyfish = fab.jellyfish;
+    options.k_paths = fab.k_paths;
     options.sizes = &distribution_param(ctx, default_workload);
     options.load = load;
     options.flow_count = static_cast<int>(
@@ -922,20 +1054,43 @@ void run_mega_fct_scenario(RunContext& ctx) {
   require_flow_capable_scheme(scheme_for(ctx));
 
   exp::MegaFctOptions options;
+  const PresetDefaults preset = preset_defaults(preset_param(ctx));
   const std::string shape = ctx.options.get("topology", "32x32x8");
-  char trailing = 0;
-  if (std::sscanf(shape.c_str(), "%dx%dx%d%c", &options.fabric.hosts_per_leaf,
-                  &options.fabric.leaves, &options.fabric.spines,
-                  &trailing) != 3 ||
-      options.fabric.hosts_per_leaf < 1 || options.fabric.leaves < 1 ||
-      options.fabric.spines < 1) {
-    throw std::invalid_argument("bad topology '" + shape +
-                                "' (expected HxLxS, e.g. 32x32x8)");
+  if (shape.rfind("jellyfish:", 0) == 0) {
+    net::JellyfishOptions jf;
+    char trailing = 0;
+    if (std::sscanf(shape.c_str(), "jellyfish:%d,%d,%d%c", &jf.switches,
+                    &jf.ports, &jf.hosts, &trailing) != 3 ||
+        jf.switches < 1 || jf.ports < 1 || jf.hosts < 1) {
+      throw std::invalid_argument(
+          "bad topology '" + shape +
+          "' (expected jellyfish:switches,ports,hosts or HxLxS)");
+    }
+    jf.seed = static_cast<std::uint64_t>(ctx.options.get_int("jf_seed", 1));
+    jf.host_rate_bps =
+        ctx.options.get_double("host_gbps", preset.host_gbps) * 1e9;
+    jf.switch_rate_bps =
+        ctx.options.get_double("spine_gbps", preset.spine_gbps) * 1e9;
+    options.jellyfish = jf;
+    const std::int64_t k = ctx.options.get_int("k_paths", 8);
+    if (k < 1) throw std::invalid_argument("k_paths must be >= 1");
+    options.k_paths = static_cast<int>(k);
+  } else {
+    char trailing = 0;
+    if (std::sscanf(shape.c_str(), "%dx%dx%d%c", &options.fabric.hosts_per_leaf,
+                    &options.fabric.leaves, &options.fabric.spines,
+                    &trailing) != 3 ||
+        options.fabric.hosts_per_leaf < 1 || options.fabric.leaves < 1 ||
+        options.fabric.spines < 1) {
+      throw std::invalid_argument("bad topology '" + shape +
+                                  "' (expected HxLxS, e.g. 32x32x8)");
+    }
   }
   // Gbps knobs -> the engine's Mbps rate units.
-  options.fabric.host_rate = ctx.options.get_double("host_gbps", 10.0) * 1e3;
+  options.fabric.host_rate =
+      ctx.options.get_double("host_gbps", preset.host_gbps) * 1e3;
   options.fabric.leaf_spine_rate =
-      ctx.options.get_double("spine_gbps", 40.0) * 1e3;
+      ctx.options.get_double("spine_gbps", preset.spine_gbps) * 1e3;
   options.concurrent =
       static_cast<int>(ctx.options.get_int("concurrent", 100'000));
   options.sizes = &distribution_param(ctx, "websearch");
@@ -948,8 +1103,8 @@ void run_mega_fct_scenario(RunContext& ctx) {
   const exp::MegaFctResult result = exp::run_mega_fct(options);
 
   ctx.metrics.scalar("transport", scheme_token(scheme_for(ctx)));
-  ctx.metrics.scalar("hosts", options.fabric.hosts());
-  ctx.metrics.scalar("links", options.fabric.links());
+  ctx.metrics.scalar("hosts", result.hosts);
+  ctx.metrics.scalar("links", result.links);
   ctx.metrics.scalar("flow_count", options.concurrent);
   ctx.metrics.scalar("peak_active",
                      static_cast<std::int64_t>(result.sim.peak_active));
@@ -1108,7 +1263,7 @@ void register_builtin_scenarios() {
           "(FCT mode; flow_kb=0 for long-running rate mode)",
       .figure = "",
       .params = merge_params(
-          merge_params(topology_params(), fidelity_params()),
+          merge_params(topology_params(true), fidelity_params()),
           {transport_param(),
            {"core_buffer_kb", "0", "core per-port buffer KB (0 = edge buffer)"},
            {"fanin", "16", "concurrent senders"},
@@ -1130,7 +1285,7 @@ void register_builtin_scenarios() {
           "fraction and Jain fairness",
       .figure = "",
       .params = merge_params(
-          merge_params(topology_params(), fidelity_params()),
+          merge_params(topology_params(true), fidelity_params()),
           {transport_param(),
            {"core_buffer_kb", "0", "core per-port buffer KB (0 = edge buffer)"},
            {"flow_kb", "0", "KB per flow (0 = long-running)"},
@@ -1151,7 +1306,7 @@ void register_builtin_scenarios() {
           "completion times reported",
       .figure = "",
       .params = merge_params(
-          merge_params(topology_params(), fidelity_params()),
+          merge_params(topology_params(true), fidelity_params()),
           {transport_param(),
            {"core_buffer_kb", "0", "core per-port buffer KB (0 = edge buffer)"},
            {"flow_kb", "250", "KB per host pair (0 = long-running)"},
@@ -1172,7 +1327,7 @@ void register_builtin_scenarios() {
           "transport",
       .figure = "",
       .params = merge_params(
-          merge_params(topology_params(), fidelity_params()),
+          merge_params(topology_params(true), fidelity_params()),
           {transport_param(),
            {"workload", "websearch", "websearch | enterprise | datamining"},
            {"loads", "0.2,0.4,0.6,0.8", "offered loads to sweep"},
@@ -1190,7 +1345,7 @@ void register_builtin_scenarios() {
           "sizes, any transport",
       .figure = "",
       .params = merge_params(
-          merge_params(topology_params(), fidelity_params()),
+          merge_params(topology_params(true), fidelity_params()),
           {transport_param(),
            {"workload", "datamining", "websearch | enterprise | datamining"},
            {"loads", "0.2,0.4,0.6,0.8", "offered loads to sweep"},
@@ -1297,10 +1452,20 @@ void register_builtin_scenarios() {
                   "epoch-grid re-solve period in us (must be > 0 at this "
                   "scale)"},
                  {"topology", "32x32x8",
-                  "virtual fabric shape HxLxS (hosts_per_leaf x leaves x "
-                  "spines)"},
-                 {"host_gbps", "10", "host NIC rate"},
-                 {"spine_gbps", "40", "leaf-to-spine link rate"},
+                  "virtual fabric shape: HxLxS (hosts_per_leaf x leaves x "
+                  "spines) or jellyfish:switches,ports,hosts"},
+                 {"host_gbps", "10",
+                  "host NIC rate (preset=modern default: 400)"},
+                 {"spine_gbps", "40",
+                  "leaf-to-spine / switch-to-switch link rate "
+                  "(preset=modern: 1600)"},
+                 {"preset", "classic",
+                  "parameter preset: classic or modern (see topology "
+                  "scenarios)"},
+                 {"jf_seed", "1",
+                  "jellyfish only: random-regular-graph wiring seed"},
+                 {"k_paths", "8",
+                  "jellyfish only: k-shortest paths per switch pair"},
                  {"concurrent", "100000", "concurrent flows, all at t = 0"},
                  {"workload", "websearch",
                   "websearch | enterprise | datamining"},

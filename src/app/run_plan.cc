@@ -35,6 +35,26 @@ std::string format_value(double value) {
   return out.str();
 }
 
+bool is_number(const std::string& token) {
+  if (token.empty()) return false;
+  std::istringstream in(token);
+  double parsed = 0;
+  in >> parsed;
+  return !in.fail() && in.eof();
+}
+
+/// True when every ':'-separated part is numeric — the only shape that is a
+/// range request.  Values whose parts carry text (`jellyfish:8,3,16`) are
+/// list items that happen to contain a colon, not malformed ranges.
+bool is_numeric_range(const std::string& value) {
+  std::istringstream in(value);
+  std::string part;
+  while (std::getline(in, part, ':')) {
+    if (!is_number(trim(part))) return false;
+  }
+  return true;
+}
+
 std::vector<std::string> expand_range(const std::string& spec,
                                       const std::string& key) {
   std::vector<std::string> parts;
@@ -82,7 +102,7 @@ SweepSpec parse_sweep_spec(const std::string& token) {
     throw std::invalid_argument("sweep spec '" + token + "': empty key");
   }
   const std::string value = trim(token.substr(eq + 1));
-  if (value.find(':') != std::string::npos) {
+  if (value.find(':') != std::string::npos && is_numeric_range(value)) {
     spec.values = expand_range(value, spec.key);
     return spec;
   }
@@ -90,7 +110,18 @@ SweepSpec parse_sweep_spec(const std::string& token) {
   std::string item;
   while (std::getline(in, item, ',')) {
     item = trim(item);
-    if (!item.empty()) spec.values.push_back(item);
+    if (item.empty()) continue;
+    // Tagged tokens like `jellyfish:8,3,16` carry their own commas: a
+    // purely numeric item continues the preceding tagged value rather than
+    // starting a new one, so `topology=4x2x2, jellyfish:8,3,16` is two
+    // values, not four.
+    if (!spec.values.empty() &&
+        spec.values.back().find(':') != std::string::npos &&
+        is_number(item)) {
+      spec.values.back() += "," + item;
+    } else {
+      spec.values.push_back(item);
+    }
   }
   if (spec.values.empty()) {
     throw std::invalid_argument("sweep " + spec.key + ": no values");

@@ -21,7 +21,11 @@ struct SweepSpec {
 };
 
 /// Parses a --sweep argument: `key=a,b,c` (comma list, values kept verbatim)
-/// or `key=lo:hi:step` (inclusive numeric range, step > 0).  Throws
+/// or `key=lo:hi:step` (inclusive numeric range, step > 0; a value is a
+/// range only when every ':'-part is numeric).  Tagged list values carry
+/// their own commas: after an item containing ':', purely numeric items
+/// extend it instead of starting a new one, so
+/// `topology=4x2x2, jellyfish:8,3,16` is two values.  Throws
 /// std::invalid_argument on a missing '=', empty key, empty value list or a
 /// malformed range.
 SweepSpec parse_sweep_spec(const std::string& token);

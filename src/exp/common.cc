@@ -3,9 +3,22 @@
 #include <cstdlib>
 #include <stdexcept>
 
+#include "net/routing.h"
 #include "num/utility.h"
 
 namespace numfabric::exp {
+
+namespace {
+
+void install_shard_plan(ShardSetup& setup, sim::ShardedSimulator& engine,
+                        net::Topology& topo, transport::Fabric& fabric) {
+  engine.set_lookahead(setup.plan.lookahead);
+  setup.router = std::make_unique<net::ShardRouter>(engine);
+  net::apply_shard_plan(topo, setup.plan, engine, *setup.router);
+  fabric.set_sharding(&setup.plan, &engine);
+}
+
+}  // namespace
 
 void apply_sharding(ShardSetup& setup, sim::ShardedSimulator& engine,
                     net::Topology& topo, transport::Fabric& fabric,
@@ -14,10 +27,87 @@ void apply_sharding(ShardSetup& setup, sim::ShardedSimulator& engine,
   if (!engine.sharded()) return;
   setup.plan =
       net::build_leaf_shard_plan(leaf_spine, topology, engine.num_shards());
-  engine.set_lookahead(setup.plan.lookahead);
-  setup.router = std::make_unique<net::ShardRouter>(engine);
-  net::apply_shard_plan(topo, setup.plan, engine, *setup.router);
-  fabric.set_sharding(&setup.plan, &engine);
+  install_shard_plan(setup, engine, topo, fabric);
+}
+
+void apply_sharding(ShardSetup& setup, sim::ShardedSimulator& engine,
+                    net::Topology& topo, transport::Fabric& fabric,
+                    const BuiltFabric& built) {
+  if (!engine.sharded()) return;
+  setup.plan =
+      net::build_shard_plan(built.graph, built.mat, engine.num_shards());
+  install_shard_plan(setup, engine, topo, fabric);
+}
+
+BuiltFabric plan_fabric(const net::LeafSpineOptions& leaf_spine,
+                        const std::optional<net::JellyfishOptions>& jellyfish,
+                        int k_paths) {
+  BuiltFabric fabric;
+  fabric.k_paths = k_paths;
+  if (jellyfish.has_value()) {
+    fabric.jellyfish = true;
+    fabric.graph = net::make_jellyfish(*jellyfish);
+    fabric.base_rtt = net::base_rtt(fabric.graph);
+    fabric.host_rate_bps = jellyfish->host_rate_bps;
+    fabric.tier1_switches = jellyfish->switches;
+  } else {
+    fabric.graph = net::make_leaf_spine(leaf_spine);
+    fabric.base_rtt = net::leaf_spine_cross_rtt(leaf_spine);
+    fabric.host_rate_bps = leaf_spine.host_rate_bps;
+    fabric.tier1_switches = leaf_spine.num_leaves;
+  }
+  return fabric;
+}
+
+void materialize_fabric(BuiltFabric& fabric, net::Topology& topo,
+                        const net::QueueFactory& edge_queue,
+                        const net::QueueFactory& core_queue) {
+  fabric.mat = topo.materialize(fabric.graph, edge_queue, core_queue);
+  fabric.host_node.reserve(fabric.mat.hosts.size());
+  int host_index = 0;
+  for (int n = 0; n < fabric.graph.num_nodes(); ++n) {
+    if (fabric.graph.nodes()[static_cast<std::size_t>(n)].kind ==
+        net::GraphNodeKind::kHost) {
+      fabric.host_node[fabric.mat.hosts[static_cast<std::size_t>(host_index++)]] = n;
+    }
+  }
+}
+
+const std::vector<std::vector<int>>& pair_paths(BuiltFabric& fabric,
+                                                int src_node, int dst_node) {
+  auto [it, fresh] = fabric.path_cache.try_emplace({src_node, dst_node});
+  if (fresh) {
+    it->second = fabric.jellyfish
+                     ? net::k_shortest_paths(
+                           fabric.graph, src_node, dst_node,
+                           static_cast<std::size_t>(fabric.k_paths))
+                     : net::all_shortest_paths(fabric.graph, src_node, dst_node);
+    if (it->second.empty()) {
+      throw std::runtime_error(
+          "pair_paths: no route between graph nodes " +
+          std::to_string(src_node) + " and " + std::to_string(dst_node));
+    }
+  }
+  return it->second;
+}
+
+net::Path to_packet_path(const BuiltFabric& fabric,
+                         const std::vector<int>& links) {
+  net::Path path;
+  path.links.reserve(links.size());
+  for (const int link : links) {
+    path.links.push_back(fabric.mat.links[static_cast<std::size_t>(link)]);
+  }
+  return path;
+}
+
+std::vector<double> graph_capacities(const net::FabricGraph& graph) {
+  std::vector<double> caps;
+  caps.reserve(static_cast<std::size_t>(graph.num_links()));
+  for (int link = 0; link < graph.num_links(); ++link) {
+    caps.push_back(num::to_rate_units(graph.link_rate_bps(link)));
+  }
+  return caps;
 }
 
 LinkIndexer::LinkIndexer(const net::Topology& topo) {

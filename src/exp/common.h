@@ -3,9 +3,12 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <memory>
+#include <optional>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "net/shard_plan.h"
@@ -36,6 +39,65 @@ void apply_sharding(ShardSetup& setup, sim::ShardedSimulator& engine,
                     net::Topology& topo, transport::Fabric& fabric,
                     const net::LeafSpine& leaf_spine,
                     const net::LeafSpineOptions& topology);
+
+/// One evaluation fabric — leaf-spine or jellyfish — as every experiment
+/// runner consumes it: the FabricGraph plus, after materialize_fabric(), the
+/// object view.  Paths are computed on the graph (link ids double as dense
+/// LinkIndexer indices), so the packet and flow engines select identical
+/// routes.
+struct BuiltFabric {
+  net::FabricGraph graph;
+  net::MaterializedFabric mat;
+  /// Leaf-spine: the classic cross-leaf RTT formula; jellyfish:
+  /// net::base_rtt(graph) (longest shortest host-pair route).
+  sim::TimeNs base_rtt = 0;
+  double host_rate_bps = 0;
+  bool jellyfish = false;
+  int k_paths = 8;
+  /// Tier-1 switch count — the shard-count clamp basis (= num_leaves on a
+  /// leaf-spine).
+  int tier1_switches = 0;
+  /// Host object -> graph node id (filled by materialize_fabric).
+  std::unordered_map<const net::Host*, int> host_node;
+  /// Memoized per-ordered-pair jellyfish path sets (Yen is deterministic, so
+  /// caching cannot change results).
+  std::map<std::pair<int, int>, std::vector<std::vector<int>>> path_cache;
+};
+
+/// Builds the graph + metadata for either fabric kind.  No Topology needed
+/// yet — callers size the shard engine off the plan before materializing.
+BuiltFabric plan_fabric(const net::LeafSpineOptions& leaf_spine,
+                        const std::optional<net::JellyfishOptions>& jellyfish,
+                        int k_paths);
+
+/// Materializes the planned graph into `topo` and fills the object-side
+/// fields (mat, host_node).
+void materialize_fabric(BuiltFabric& fabric, net::Topology& topo,
+                        const net::QueueFactory& edge_queue,
+                        const net::QueueFactory& core_queue = nullptr);
+
+/// Path set (graph link ids) for one host pair: the COMPLETE shortest-path
+/// set on leaf-spine (classic ECMP, no-silent-caps contract) or the
+/// fabric's k-shortest table entry on jellyfish.  Deterministic order; pick
+/// with net::ecmp_index.
+const std::vector<std::vector<int>>& pair_paths(BuiltFabric& fabric,
+                                                int src_node, int dst_node);
+
+/// A link-id path as the packet engine's object path.
+net::Path to_packet_path(const BuiltFabric& fabric,
+                         const std::vector<int>& links);
+
+/// Per-link capacities of a graph in NUM rate units, in graph link order —
+/// equal to LinkIndexer::capacities() for the materialized topology.
+std::vector<double> graph_capacities(const net::FabricGraph& graph);
+
+/// Graph-view sharding: same contract as the LeafSpine overload, but the
+/// plan is derived from graph structure.  Throws std::invalid_argument with
+/// the shard-partition obstacle when the engine is sharded and the graph
+/// has no leaf/spine cut (jellyfish).
+void apply_sharding(ShardSetup& setup, sim::ShardedSimulator& engine,
+                    net::Topology& topo, transport::Fabric& fabric,
+                    const BuiltFabric& built);
 
 /// Maps every link of a topology to a dense index and exposes capacities in
 /// NUM rate units — the glue between the packet world and the fluid oracles.

@@ -30,14 +30,15 @@ DynamicWorkloadResult run_dynamic_workload(const DynamicWorkloadOptions& options
   fabric_options.scheme = options.scheme;
   transport::Fabric fabric(sim, fabric_options);
   net::Topology topo(sim);
-  const net::LeafSpine leaf_spine =
-      net::build_leaf_spine(topo, options.topology, fabric.queue_factory());
+  BuiltFabric built =
+      plan_fabric(options.topology, options.jellyfish, options.k_paths);
+  materialize_fabric(built, topo, fabric.queue_factory());
   fabric.attach_agents(topo);
   const LinkIndexer indexer(topo);
 
   sim::Rng rng(options.seed);
   const auto arrivals =
-      workload::poisson_flows(leaf_spine.hosts, options.topology.host_rate_bps,
+      workload::poisson_flows(built.mat.hosts, built.host_rate_bps,
                               options.load, *options.sizes, options.flow_count, rng);
 
   const num::AlphaFairUtility utility(options.alpha);
@@ -59,14 +60,16 @@ DynamicWorkloadResult run_dynamic_workload(const DynamicWorkloadOptions& options
     spec.size_bytes = arrival.size_bytes;
     spec.start_time = arrival.arrival;
     spec.utility = &utility;
-    const auto paths =
-        net::all_shortest_paths(topo, arrival.pair.src, arrival.pair.dst);
-    spec.path = net::ecmp_pick(paths, static_cast<net::FlowId>(i + 1));
+    const auto& paths = pair_paths(built, built.host_node.at(arrival.pair.src),
+                                   built.host_node.at(arrival.pair.dst));
+    const auto& picked =
+        paths[net::ecmp_index(paths.size(), static_cast<net::FlowId>(i + 1))];
+    spec.path = to_packet_path(built, picked);
 
     num::FluidFlow fluid;
     fluid.arrival_seconds = sim::to_seconds(arrival.arrival);
     fluid.size_bytes = static_cast<double>(arrival.size_bytes);
-    fluid.links = indexer.path_indices(spec.path);
+    fluid.links = picked;  // graph link ids == LinkIndexer indices
     fluid.utility = &utility;
     fluid_flows.push_back(std::move(fluid));
 
@@ -87,14 +90,14 @@ DynamicWorkloadResult run_dynamic_workload(const DynamicWorkloadOptions& options
       num::fluid_fct_oracle(fluid_flows, indexer.capacities(), solver_options);
 
   DynamicWorkloadResult result;
-  result.bdp_bytes = options.topology.host_rate_bps *
-                     sim::to_seconds(leaf_spine.cross_leaf_rtt) / 8.0;
+  result.bdp_bytes =
+      built.host_rate_bps * sim::to_seconds(built.base_rtt) / 8.0;
   result.sim_events = sim.events_executed();
   // The fluid oracle has no propagation delay; every real flow pays at
   // least one fabric traversal.  Charging the oracle the base RTT keeps the
   // "ideal rate" meaningful for flows of a few packets (otherwise the
   // smallest bin shows every scheme at deviation ~ -1 regardless of merit).
-  const double oracle_latency = sim::to_seconds(leaf_spine.cross_leaf_rtt);
+  const double oracle_latency = sim::to_seconds(built.base_rtt);
   for (std::size_t i = 0; i < flows.size(); ++i) {
     if (!flows[i]->completed()) {
       ++result.incomplete;

@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "net/topology.h"
@@ -18,6 +19,10 @@ namespace numfabric::exp {
 struct DynamicWorkloadOptions {
   transport::Scheme scheme = transport::Scheme::kNumFabric;
   net::LeafSpineOptions topology;
+  /// When set the workload runs on a jellyfish fabric (k-shortest routes)
+  /// instead of the leaf-spine in `topology`.
+  std::optional<net::JellyfishOptions> jellyfish;
+  int k_paths = 8;
   transport::FabricOptions fabric;
 
   const workload::SizeDistribution* sizes = &workload::websearch_distribution();

@@ -50,16 +50,17 @@ DynamicWorkloadResult run_dynamic_workload_flow(
     const DynamicWorkloadOptions& options, double resolve_interval_seconds) {
   sim::Simulator sim;
   net::Topology topo(sim);
-  const net::LeafSpine leaf_spine =
-      net::build_leaf_spine(topo, options.topology, net::drop_tail_factory());
-  const LinkIndexer indexer(topo);
+  BuiltFabric built =
+      plan_fabric(options.topology, options.jellyfish, options.k_paths);
+  materialize_fabric(built, topo, net::drop_tail_factory());
+  const std::vector<double> capacities = graph_capacities(built.graph);
 
   // Identical draw sequence to run_dynamic_workload: same seed, same
   // poisson_flows call, same per-flow ECMP pick — flow i is the same flow on
   // the same path at either fidelity.
   sim::Rng rng(options.seed);
   const auto arrivals =
-      workload::poisson_flows(leaf_spine.hosts, options.topology.host_rate_bps,
+      workload::poisson_flows(built.mat.hosts, built.host_rate_bps,
                               options.load, *options.sizes, options.flow_count,
                               rng);
 
@@ -70,14 +71,15 @@ DynamicWorkloadResult run_dynamic_workload_flow(
   fluid_flows.reserve(arrivals.size());
   for (std::size_t i = 0; i < arrivals.size(); ++i) {
     const auto& arrival = arrivals[i];
-    const auto paths =
-        net::all_shortest_paths(topo, arrival.pair.src, arrival.pair.dst);
-    const net::Path path = net::ecmp_pick(paths, static_cast<net::FlowId>(i + 1));
+    const auto& paths =
+        pair_paths(built, built.host_node.at(arrival.pair.src),
+                   built.host_node.at(arrival.pair.dst));
 
     flowsim::FlowSimFlow flow;
     flow.arrival_seconds = sim::to_seconds(arrival.arrival);
     flow.size_bytes = static_cast<double>(arrival.size_bytes);
-    flow.links = indexer.path_indices(path);
+    flow.links = paths[net::ecmp_index(paths.size(),
+                                       static_cast<net::FlowId>(i + 1))];
     flow.utility = &utility;
 
     num::FluidFlow fluid;
@@ -90,20 +92,20 @@ DynamicWorkloadResult run_dynamic_workload_flow(
   }
 
   const flowsim::FlowSimResult run = flowsim::run_flow_sim(
-      std::move(engine_flows), indexer.capacities(),
+      std::move(engine_flows), capacities,
       engine_options(resolve_interval_seconds, sim::to_seconds(options.horizon),
                      options.solver_threads));
   const std::vector<double> ideal =
-      exact_fcts(run, resolve_interval_seconds, fluid_flows,
-                 indexer.capacities(), options.solver_threads);
+      exact_fcts(run, resolve_interval_seconds, fluid_flows, capacities,
+                 options.solver_threads);
 
   DynamicWorkloadResult result;
-  result.bdp_bytes = options.topology.host_rate_bps *
-                     sim::to_seconds(leaf_spine.cross_leaf_rtt) / 8.0;
+  result.bdp_bytes =
+      built.host_rate_bps * sim::to_seconds(built.base_rtt) / 8.0;
   result.sim_events = 0;
   // Same base-RTT charge as the packet runner applies to its oracle rates —
   // here both the measured and the ideal side are fluid, so both get it.
-  const double latency = sim::to_seconds(leaf_spine.cross_leaf_rtt);
+  const double latency = sim::to_seconds(built.base_rtt);
   for (std::size_t i = 0; i < arrivals.size(); ++i) {
     if (run.fct_seconds[i] < 0) {
       ++result.incomplete;
@@ -125,21 +127,23 @@ TrafficResult run_traffic_experiment_flow(const TrafficOptions& options,
                                           int solver_threads) {
   sim::Simulator sim;
   net::Topology topo(sim);
-  const net::LeafSpine leaf_spine =
-      net::build_leaf_spine(topo, options.topology, net::drop_tail_factory());
-  const LinkIndexer indexer(topo);
+  BuiltFabric built =
+      plan_fabric(options.topology, options.jellyfish, options.k_paths);
+  materialize_fabric(built, topo, net::drop_tail_factory());
+  const std::vector<double> capacities = graph_capacities(built.graph);
+  const std::vector<net::Host*>& hosts = built.mat.hosts;
 
   sim::Rng rng(options.seed);
   std::vector<workload::HostPair> pairs;
   switch (options.pattern) {
     case TrafficPattern::kIncast:
-      pairs = workload::incast_pairs(leaf_spine.hosts, options.incast_fanin, rng);
+      pairs = workload::incast_pairs(hosts, options.incast_fanin, rng);
       break;
     case TrafficPattern::kPermutation:
-      pairs = workload::permutation_pairs(leaf_spine.hosts, rng);
+      pairs = workload::permutation_pairs(hosts, rng);
       break;
     case TrafficPattern::kAllToAll:
-      pairs = workload::all_to_all_pairs(leaf_spine.hosts);
+      pairs = workload::all_to_all_pairs(hosts);
       break;
   }
 
@@ -148,9 +152,10 @@ TrafficResult run_traffic_experiment_flow(const TrafficOptions& options,
   std::vector<std::vector<int>> flow_links;
   flow_links.reserve(pairs.size());
   for (std::size_t i = 0; i < pairs.size(); ++i) {
-    const auto paths = net::all_shortest_paths(topo, pairs[i].src, pairs[i].dst);
-    flow_links.push_back(indexer.path_indices(
-        net::ecmp_pick(paths, static_cast<net::FlowId>(i + 1))));
+    const auto& paths = pair_paths(built, built.host_node.at(pairs[i].src),
+                                   built.host_node.at(pairs[i].dst));
+    flow_links.push_back(
+        paths[net::ecmp_index(paths.size(), static_cast<net::FlowId>(i + 1))]);
   }
 
   TrafficResult result;
@@ -159,7 +164,7 @@ TrafficResult run_traffic_experiment_flow(const TrafficOptions& options,
   if (rate_mode) {
     // Long-running flows never depart: the steady state is one NUM solve.
     num::NumProblem problem;
-    problem.capacities = indexer.capacities();
+    problem.capacities = capacities;
     problem.utilities.assign(pairs.size(), &utility);
     problem.flow_links = std::move(flow_links);
     num::CsrProblem csr = num::CsrProblem::compile(problem);
@@ -186,10 +191,10 @@ TrafficResult run_traffic_experiment_flow(const TrafficOptions& options,
       engine_flows.push_back(std::move(flow));
     }
     const flowsim::FlowSimResult run = flowsim::run_flow_sim(
-        std::move(engine_flows), indexer.capacities(),
+        std::move(engine_flows), capacities,
         engine_options(resolve_interval_seconds,
                        sim::to_seconds(options.horizon), solver_threads));
-    const double latency_us = sim::to_seconds(leaf_spine.cross_leaf_rtt) * 1e6;
+    const double latency_us = sim::to_seconds(built.base_rtt) * 1e6;
     for (const double fct : run.fct_seconds) {
       if (fct < 0) {
         ++result.incomplete;
@@ -200,7 +205,7 @@ TrafficResult run_traffic_experiment_flow(const TrafficOptions& options,
     }
   }
 
-  const double nic = options.topology.host_rate_bps;
+  const double nic = built.host_rate_bps;
   switch (options.pattern) {
     case TrafficPattern::kIncast:
       result.optimal_bps = nic;
@@ -209,7 +214,7 @@ TrafficResult run_traffic_experiment_flow(const TrafficOptions& options,
       result.optimal_bps = nic * static_cast<double>(pairs.size());
       break;
     case TrafficPattern::kAllToAll:
-      result.optimal_bps = nic * static_cast<double>(leaf_spine.hosts.size());
+      result.optimal_bps = nic * static_cast<double>(hosts.size());
       break;
   }
   return result;
@@ -220,11 +225,11 @@ TraceReplayResult run_trace_replay_flow(const TraceReplayOptions& options,
                                         int solver_threads) {
   sim::Simulator sim;
   net::Topology topo(sim);
-  const net::LeafSpine leaf_spine =
-      net::build_leaf_spine(topo, options.topology, net::drop_tail_factory());
-  const LinkIndexer indexer(topo);
+  BuiltFabric built = plan_fabric(options.topology, std::nullopt, 8);
+  materialize_fabric(built, topo, net::drop_tail_factory());
+  const std::vector<double> capacities = graph_capacities(built.graph);
 
-  const int host_count = static_cast<int>(leaf_spine.hosts.size());
+  const int host_count = static_cast<int>(built.mat.hosts.size());
   for (std::size_t i = 0; i < options.trace.size(); ++i) {
     const workload::TraceFlow& flow = options.trace[i];
     if (flow.src >= host_count || flow.dst >= host_count) {
@@ -241,9 +246,10 @@ TraceReplayResult run_trace_replay_flow(const TraceReplayOptions& options,
   engine_flows.reserve(options.trace.size());
   for (std::size_t i = 0; i < options.trace.size(); ++i) {
     const workload::TraceFlow& entry = options.trace[i];
-    net::Host* src = leaf_spine.hosts[static_cast<std::size_t>(entry.src)];
-    net::Host* dst = leaf_spine.hosts[static_cast<std::size_t>(entry.dst)];
-    const auto paths = net::all_shortest_paths(topo, src, dst);
+    net::Host* src = built.mat.hosts[static_cast<std::size_t>(entry.src)];
+    net::Host* dst = built.mat.hosts[static_cast<std::size_t>(entry.dst)];
+    const auto& paths =
+        pair_paths(built, built.host_node.at(src), built.host_node.at(dst));
 
     flowsim::FlowSimFlow flow;
     // Round through TimeNs exactly like the packet runner's start_time so
@@ -251,20 +257,20 @@ TraceReplayResult run_trace_replay_flow(const TraceReplayOptions& options,
     flow.arrival_seconds = sim::to_seconds(static_cast<sim::TimeNs>(
         entry.arrival_seconds * sim::kSecond + 0.5));
     flow.size_bytes = static_cast<double>(entry.size_bytes);
-    flow.links = indexer.path_indices(
-        net::ecmp_pick(paths, static_cast<net::FlowId>(i + 1)));
+    flow.links =
+        paths[net::ecmp_index(paths.size(), static_cast<net::FlowId>(i + 1))];
     flow.utility = &utility;
     engine_flows.push_back(std::move(flow));
   }
 
   const flowsim::FlowSimResult run = flowsim::run_flow_sim(
-      std::move(engine_flows), indexer.capacities(),
+      std::move(engine_flows), capacities,
       engine_options(resolve_interval_seconds, sim::to_seconds(options.horizon),
                      solver_threads));
 
   TraceReplayResult result;
   result.sim_events = 0;
-  const double latency = sim::to_seconds(leaf_spine.cross_leaf_rtt);
+  const double latency = sim::to_seconds(built.base_rtt);
   for (std::size_t i = 0; i < options.trace.size(); ++i) {
     TraceReplayResult::PerFlow row;
     row.src = options.trace[i].src;
@@ -290,27 +296,45 @@ MegaFctResult run_mega_fct(const MegaFctOptions& options) {
         "departure — unusable at this scale)");
   }
   sim::Rng rng(options.seed);
+
+  // Route + capacity providers.  The leaf-spine fast path stays pure index
+  // arithmetic; a jellyfish fabric materializes its k-shortest-path table
+  // once and then serves the same interface.
+  std::optional<flowsim::VirtualFabric> graph_fabric;
+  if (options.jellyfish) {
+    graph_fabric = flowsim::VirtualFabric::from_graph(
+        net::make_jellyfish(*options.jellyfish), options.k_paths);
+  }
+  const int hosts =
+      graph_fabric ? graph_fabric->hosts() : options.fabric.hosts();
   const std::vector<workload::IndexFlow> batch = workload::batch_index_flows(
-      options.fabric.hosts(), options.concurrent, *options.sizes, rng);
+      hosts, options.concurrent, *options.sizes, rng);
 
   const num::AlphaFairUtility utility(options.alpha);
   std::vector<flowsim::FlowSimFlow> engine_flows;
   engine_flows.reserve(batch.size());
   MegaFctResult result;
+  result.hosts = hosts;
+  result.links =
+      graph_fabric ? graph_fabric->links() : options.fabric.links();
   result.size_bytes.reserve(batch.size());
   for (std::size_t i = 0; i < batch.size(); ++i) {
     flowsim::FlowSimFlow flow;
     flow.arrival_seconds = 0.0;
     flow.size_bytes = static_cast<double>(batch[i].size_bytes);
-    flow.links = options.fabric.path(batch[i].src, batch[i].dst,
-                                     static_cast<std::uint64_t>(i + 1));
+    flow.links = graph_fabric
+                     ? graph_fabric->path(batch[i].src, batch[i].dst,
+                                          static_cast<std::uint64_t>(i + 1))
+                     : options.fabric.path(batch[i].src, batch[i].dst,
+                                           static_cast<std::uint64_t>(i + 1));
     flow.utility = &utility;
     engine_flows.push_back(std::move(flow));
     result.size_bytes.push_back(batch[i].size_bytes);
   }
 
   result.sim = flowsim::run_flow_sim(
-      std::move(engine_flows), options.fabric.capacities(),
+      std::move(engine_flows),
+      graph_fabric ? graph_fabric->capacities() : options.fabric.capacities(),
       engine_options(options.resolve_interval_seconds, options.horizon_seconds,
                      options.solver_threads, options.solver_tolerance));
   return result;

@@ -16,6 +16,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "exp/dynamic_workload.h"
@@ -59,6 +60,11 @@ struct MegaFctOptions {
                                    .spines = 8,
                                    .host_rate = 10e3,          // 10G in Mbps
                                    .leaf_spine_rate = 40e3};   // 40G in Mbps
+  /// When set, the batch runs on flowsim::VirtualFabric::from_graph over a
+  /// jellyfish graph (k_paths shortest routes per switch pair) instead of
+  /// the index-arithmetic VirtualLeafSpine above.
+  std::optional<net::JellyfishOptions> jellyfish;
+  int k_paths = 8;
   /// Concurrent flows, all arriving at t = 0.
   int concurrent = 100000;
   const workload::SizeDistribution* sizes = &workload::websearch_distribution();
@@ -76,6 +82,8 @@ struct MegaFctOptions {
 };
 
 struct MegaFctResult {
+  int hosts = 0;  // fabric shape actually run (jellyfish or leaf-spine)
+  int links = 0;
   flowsim::FlowSimResult sim;            // FCTs, epoch/resolve counters
   std::vector<std::uint64_t> size_bytes;  // per flow, engine order
 };

@@ -31,8 +31,17 @@ TrafficPattern parse_traffic_pattern(const std::string& name) {
 }
 
 TrafficResult run_traffic_experiment(const TrafficOptions& options) {
+  BuiltFabric built = plan_fabric(options.topology, options.jellyfish,
+                                  options.k_paths);
+  if (options.shards != 1) {
+    const std::string obstacle = net::shard_partition_obstacle(built.graph);
+    if (!obstacle.empty()) {
+      throw std::invalid_argument("--shards=" + std::to_string(options.shards) +
+                                  " is not available on this fabric: " + obstacle);
+    }
+  }
   sim::ShardedSimulator engine(
-      net::resolve_shard_count(options.shards, options.topology.num_leaves));
+      net::resolve_shard_count(options.shards, built.tier1_switches));
   sim::Simulator& sim = engine.global();
   transport::FabricOptions fabric_options = options.fabric;
   fabric_options.scheme = options.scheme;
@@ -40,25 +49,25 @@ TrafficResult run_traffic_experiment(const TrafficOptions& options) {
   net::Topology topo(sim);
   // queue_factory(0) falls back to the scheme's edge capacity, so an unset
   // core buffer just mirrors the edge tier.
-  const net::LeafSpine leaf_spine = net::build_leaf_spine(
-      topo, options.topology, fabric.queue_factory(),
-      fabric.queue_factory(options.core_buffer_bytes));
+  materialize_fabric(built, topo, fabric.queue_factory(),
+                     fabric.queue_factory(options.core_buffer_bytes));
   fabric.attach_agents(topo);
 
   ShardSetup sharding;
-  apply_sharding(sharding, engine, topo, fabric, leaf_spine, options.topology);
+  apply_sharding(sharding, engine, topo, fabric, built);
 
+  const std::vector<net::Host*>& hosts = built.mat.hosts;
   sim::Rng rng(options.seed);
   std::vector<workload::HostPair> pairs;
   switch (options.pattern) {
     case TrafficPattern::kIncast:
-      pairs = workload::incast_pairs(leaf_spine.hosts, options.incast_fanin, rng);
+      pairs = workload::incast_pairs(hosts, options.incast_fanin, rng);
       break;
     case TrafficPattern::kPermutation:
-      pairs = workload::permutation_pairs(leaf_spine.hosts, rng);
+      pairs = workload::permutation_pairs(hosts, rng);
       break;
     case TrafficPattern::kAllToAll:
-      pairs = workload::all_to_all_pairs(leaf_spine.hosts);
+      pairs = workload::all_to_all_pairs(hosts);
       break;
   }
 
@@ -80,8 +89,11 @@ TrafficResult run_traffic_experiment(const TrafficOptions& options) {
     spec.size_bytes = options.flow_size_bytes;
     spec.start_time = 0;
     spec.utility = &utility;
-    const auto paths = net::all_shortest_paths(topo, pairs[i].src, pairs[i].dst);
-    spec.path = net::ecmp_pick(paths, static_cast<net::FlowId>(i + 1));
+    const auto& paths = pair_paths(built, built.host_node.at(pairs[i].src),
+                                   built.host_node.at(pairs[i].dst));
+    spec.path = to_packet_path(
+        built, paths[net::ecmp_index(paths.size(),
+                                     static_cast<net::FlowId>(i + 1))]);
     flows.push_back(fabric.add_flow(std::move(spec)));
   }
 
@@ -120,7 +132,7 @@ TrafficResult run_traffic_experiment(const TrafficOptions& options) {
     }
   }
 
-  const double nic = options.topology.host_rate_bps;
+  const double nic = built.host_rate_bps;
   switch (options.pattern) {
     case TrafficPattern::kIncast:
       result.optimal_bps = nic;
@@ -129,7 +141,7 @@ TrafficResult run_traffic_experiment(const TrafficOptions& options) {
       result.optimal_bps = nic * static_cast<double>(pairs.size());
       break;
     case TrafficPattern::kAllToAll:
-      result.optimal_bps = nic * static_cast<double>(leaf_spine.hosts.size());
+      result.optimal_bps = nic * static_cast<double>(hosts.size());
       break;
   }
 

@@ -17,6 +17,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -40,6 +41,12 @@ TrafficPattern parse_traffic_pattern(const std::string& name);
 struct TrafficOptions {
   transport::Scheme scheme = transport::Scheme::kNumFabric;
   net::LeafSpineOptions topology;
+  /// When set, the run uses a jellyfish random-regular fabric instead of the
+  /// leaf-spine in `topology`; routes come from the k-shortest-path table
+  /// (k_paths per switch pair).  Jellyfish has no leaf/spine cut, so
+  /// shards != 1 is rejected with the shard planner's explanation.
+  std::optional<net::JellyfishOptions> jellyfish;
+  int k_paths = 8;
   transport::FabricOptions fabric;
 
   TrafficPattern pattern = TrafficPattern::kPermutation;

@@ -64,4 +64,33 @@ Path reverse_path(const Path& path);
 /// flow ids spread evenly and no path set size suffers modulo bias.
 const Path& ecmp_pick(const std::vector<Path>& paths, FlowId flow);
 
+/// The index ecmp_pick() would choose among `count` alternatives — exposed so
+/// link-id path sets (graph routing, flow fidelity) select the same path for
+/// a flow as the object-path overload.  Throws on count == 0.
+std::size_t ecmp_index(std::size_t count, FlowId flow);
+
+// ---------------------------------------------------------------------------
+// Graph routing: path sets as directed-link-id sequences over a FabricGraph.
+// A graph link id is also the dense Topology::links() index after
+// materialize(), so these paths serve both fidelities without translation.
+// ---------------------------------------------------------------------------
+
+/// All shortest paths from graph node `src` to `dst`, in the same
+/// deterministic (cable-insertion) order as the Topology overload; the same
+/// no-silent-caps contract applies (std::length_error past
+/// kMaxEnumeratedPaths).
+std::vector<std::vector<int>> all_shortest_paths(const FabricGraph& graph,
+                                                 int src, int dst);
+
+/// Yen-style k shortest loop-free paths by hop count, for fabrics without
+/// equal-cost path classes (jellyfish).  Deterministic: the first path is the
+/// lexicographically smallest (by link id) shortest path and candidates are
+/// ordered by (length, link sequence).  Returns fewer than k when the graph
+/// has no more loop-free paths.  The no-silent-caps contract applies to the
+/// *request*: asking for k > kMaxEnumeratedPaths throws std::length_error
+/// instead of quietly clamping.  Throws std::invalid_argument on src == dst
+/// or k == 0.
+std::vector<std::vector<int>> k_shortest_paths(const FabricGraph& graph,
+                                               int src, int dst, std::size_t k);
+
 }  // namespace numfabric::net

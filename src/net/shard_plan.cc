@@ -27,27 +27,112 @@ int resolve_shard_count(int requested, int num_leaves) {
   return std::clamp(requested, 1, std::max(1, num_leaves));
 }
 
-ShardPlan build_leaf_shard_plan(const LeafSpine& fabric,
-                                const LeafSpineOptions& options, int shards) {
-  const int num_leaves = static_cast<int>(fabric.leaves.size());
-  if (shards < 1 || shards > num_leaves) {
-    throw std::invalid_argument("build_leaf_shard_plan: shards out of range");
+std::string shard_partition_obstacle(const FabricGraph& graph) {
+  bool has_tier2 = false;
+  bool has_switch_cable = false;
+  for (const GraphNode& node : graph.nodes()) {
+    if (node.kind == GraphNodeKind::kSwitch && node.tier >= 2) {
+      has_tier2 = true;
+    }
   }
+  for (const GraphCable& cable : graph.cables()) {
+    const GraphNode& a = graph.nodes()[static_cast<std::size_t>(cable.a)];
+    const GraphNode& b = graph.nodes()[static_cast<std::size_t>(cable.b)];
+    if (a.kind == GraphNodeKind::kHost && b.kind == GraphNodeKind::kHost) {
+      return "hosts '" + a.name + "' and '" + b.name +
+             "' are cabled directly; the planner partitions hosts by their "
+             "leaf switch";
+    }
+    if (a.kind == GraphNodeKind::kSwitch && b.kind == GraphNodeKind::kSwitch) {
+      has_switch_cable = true;
+      if (a.tier == b.tier) {
+        return "switches '" + a.name + "' and '" + b.name +
+               "' are cabled inside tier " + std::to_string(a.tier) +
+               "; there is no leaf/spine cut to place shard boundaries on "
+               "(random-graph fabrics like jellyfish run on the serial "
+               "engine only — use --shards=1)";
+      }
+    }
+    if ((a.kind == GraphNodeKind::kHost && b.tier >= 2) ||
+        (b.kind == GraphNodeKind::kHost && a.tier >= 2)) {
+      const GraphNode& host = a.kind == GraphNodeKind::kHost ? a : b;
+      return "host '" + host.name +
+             "' attaches to a tier-2 (spine) switch; hosts must hang off "
+             "tier-1 leaves for a leaf partition to exist";
+    }
+  }
+  for (int n = 0; n < graph.num_nodes(); ++n) {
+    const GraphNode& node = graph.nodes()[static_cast<std::size_t>(n)];
+    if (node.kind != GraphNodeKind::kHost) continue;
+    if (graph.outgoing(n).size() != 1) {
+      return "host '" + node.name + "' has " +
+             std::to_string(graph.outgoing(n).size()) +
+             " cables; the planner needs single-homed hosts";
+    }
+  }
+  if (has_switch_cable && !has_tier2) {
+    return "every switch sits in one tier; there is no leaf/spine cut to "
+           "place shard boundaries on (use --shards=1)";
+  }
+  return {};
+}
+
+ShardPlan build_shard_plan(const FabricGraph& graph,
+                           const MaterializedFabric& mat, int shards) {
+  const std::string obstacle = shard_partition_obstacle(graph);
+  if (!obstacle.empty()) {
+    throw std::invalid_argument("build_shard_plan: " + obstacle);
+  }
+  // Leaf index of every tier-1 switch, in insertion order — the same
+  // leaf-major blocks the serial setup enumerates.
+  std::vector<int> leaf_index(static_cast<std::size_t>(graph.num_nodes()), -1);
+  int num_leaves = 0;
+  int num_spines = 0;
   ShardPlan plan;
   plan.shards = shards;
-  plan.lookahead = options.effective_core_delay();
-  for (int l = 0; l < num_leaves; ++l) {
-    plan.node_shard[fabric.leaves[static_cast<std::size_t>(l)]] =
-        l * shards / num_leaves;
+  for (int n = 0; n < graph.num_nodes(); ++n) {
+    const GraphNode& node = graph.nodes()[static_cast<std::size_t>(n)];
+    if (node.kind == GraphNodeKind::kSwitch && node.tier == 1) {
+      leaf_index[static_cast<std::size_t>(n)] = num_leaves++;
+    }
   }
-  for (std::size_t h = 0; h < fabric.hosts.size(); ++h) {
-    const int leaf = static_cast<int>(h) / options.hosts_per_leaf;
-    plan.node_shard[fabric.hosts[h]] = leaf * shards / num_leaves;
+  if (shards < 1 || shards > num_leaves) {
+    throw std::invalid_argument("build_shard_plan: shards out of range");
   }
-  for (std::size_t s = 0; s < fabric.spines.size(); ++s) {
-    plan.node_shard[fabric.spines[s]] = static_cast<int>(s) % shards;
+  plan.lookahead = 0;
+  bool saw_cut_cable = false;
+  for (const GraphCable& cable : graph.cables()) {
+    const GraphNode& a = graph.nodes()[static_cast<std::size_t>(cable.a)];
+    const GraphNode& b = graph.nodes()[static_cast<std::size_t>(cable.b)];
+    if (a.kind != GraphNodeKind::kSwitch || b.kind != GraphNodeKind::kSwitch) {
+      continue;
+    }
+    if (!saw_cut_cable || cable.delay < plan.lookahead) {
+      plan.lookahead = cable.delay;
+    }
+    saw_cut_cable = true;
+  }
+  for (int n = 0; n < graph.num_nodes(); ++n) {
+    const GraphNode& node = graph.nodes()[static_cast<std::size_t>(n)];
+    Node* obj = mat.nodes[static_cast<std::size_t>(n)];
+    if (node.kind == GraphNodeKind::kHost) {
+      const int leaf_node = graph.link_dst(graph.host_uplink(n));
+      plan.node_shard[obj] =
+          leaf_index[static_cast<std::size_t>(leaf_node)] * shards / num_leaves;
+    } else if (node.tier == 1) {
+      plan.node_shard[obj] =
+          leaf_index[static_cast<std::size_t>(n)] * shards / num_leaves;
+    } else {
+      plan.node_shard[obj] = num_spines++ % shards;
+    }
   }
   return plan;
+}
+
+ShardPlan build_leaf_shard_plan(const LeafSpine& fabric,
+                                const LeafSpineOptions& options, int shards) {
+  (void)options;
+  return build_shard_plan(fabric.graph, fabric.mat, shards);
 }
 
 ShardRouter::ShardRouter(sim::ShardedSimulator& engine)

@@ -25,6 +25,7 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -48,8 +49,27 @@ struct ShardPlan {
 /// machine's core count"; any request is clamped to [1, num_leaves].
 int resolve_shard_count(int requested, int num_leaves);
 
+/// Why the planner cannot derive a partition from `graph` — empty when it
+/// can.  A partition needs a leaf/spine cut: hosts single-homed to tier-1
+/// switches, a non-empty tier-2, and no cables inside either switch tier.
+/// Non-Clos fabrics (jellyfish) fail with an explanation naming the obstacle
+/// so drivers can reject --shards=N loudly instead of assuming leaf-spine
+/// structure.
+std::string shard_partition_obstacle(const FabricGraph& graph);
+
+/// Derives the shard plan from graph structure: tier-1 switches in insertion
+/// order form leaf-major blocks (switch l on shard l * shards / num_tier1),
+/// their hosts follow them, tier-2 switches go round-robin, and the
+/// lookahead is the minimum tier-1<->tier-2 cable delay (the cut the
+/// conservative engine synchronizes across).  Throws std::invalid_argument
+/// with the shard_partition_obstacle() text when no partition exists, or
+/// when shards is outside [1, num_tier1].
+ShardPlan build_shard_plan(const FabricGraph& graph,
+                           const MaterializedFabric& mat, int shards);
+
 /// Assigns every node of `fabric` to a shard (leaf-major blocks; spines
 /// round-robin) and derives the lookahead from the core-link delay.
+/// Equivalent to build_shard_plan on the fabric's graph.
 ShardPlan build_leaf_shard_plan(const LeafSpine& fabric,
                                 const LeafSpineOptions& options, int shards);
 

@@ -58,70 +58,61 @@ const std::vector<Link*>& Topology::outgoing(const Node* node) const {
   return it->second;
 }
 
-LeafSpineOptions LeafSpineOptions::with_oversubscription(double ratio) const {
-  if (!(ratio > 0)) {
-    throw std::invalid_argument(
-        "with_oversubscription: ratio must be positive");
+MaterializedFabric Topology::materialize(const FabricGraph& graph,
+                                         const QueueFactory& make_queue,
+                                         const QueueFactory& make_core_queue) {
+  const QueueFactory& core_queue = make_core_queue ? make_core_queue : make_queue;
+  MaterializedFabric mat;
+  mat.nodes.reserve(static_cast<std::size_t>(graph.num_nodes()));
+  for (const GraphNode& node : graph.nodes()) {
+    if (node.kind == GraphNodeKind::kHost) {
+      Host* host = add_host(node.name);
+      mat.nodes.push_back(host);
+      mat.hosts.push_back(host);
+    } else {
+      Switch* sw = add_switch(node.name);
+      mat.nodes.push_back(sw);
+      mat.switches.push_back(sw);
+    }
   }
-  LeafSpineOptions derived = *this;
-  derived.spine_rate_bps =
-      (hosts_per_leaf * host_rate_bps) / (num_spines * ratio);
-  return derived;
+  mat.links.reserve(static_cast<std::size_t>(graph.num_links()));
+  for (const GraphCable& cable : graph.cables()) {
+    const bool edge =
+        graph.nodes()[static_cast<std::size_t>(cable.a)].kind == GraphNodeKind::kHost ||
+        graph.nodes()[static_cast<std::size_t>(cable.b)].kind == GraphNodeKind::kHost;
+    auto [fwd, back] = connect(mat.nodes[static_cast<std::size_t>(cable.a)],
+                               mat.nodes[static_cast<std::size_t>(cable.b)],
+                               cable.rate_bps, cable.delay,
+                               edge ? make_queue : core_queue);
+    mat.links.push_back(fwd);
+    mat.links.push_back(back);
+  }
+  return mat;
 }
 
 LeafSpine build_leaf_spine(Topology& topo, const LeafSpineOptions& options,
                            const QueueFactory& make_queue,
                            const QueueFactory& make_core_queue) {
-  if (options.hosts_per_leaf < 1 || options.num_leaves < 1 ||
-      options.num_spines < 1) {
-    throw std::invalid_argument(
-        "build_leaf_spine: hosts_per_leaf, num_leaves and num_spines must "
-        "all be >= 1");
-  }
-  if (!(options.host_rate_bps > 0) || !(options.spine_rate_bps > 0)) {
-    throw std::invalid_argument(
-        "build_leaf_spine: link rates must be positive");
-  }
-  const QueueFactory& core_queue = make_core_queue ? make_core_queue : make_queue;
-  const sim::TimeNs core_delay = options.effective_core_delay();
   LeafSpine result;
-  for (int l = 0; l < options.num_leaves; ++l) {
-    result.leaves.push_back(topo.add_switch("leaf" + std::to_string(l)));
-  }
-  for (int s = 0; s < options.num_spines; ++s) {
-    result.spines.push_back(topo.add_switch("spine" + std::to_string(s)));
-  }
-  for (int l = 0; l < options.num_leaves; ++l) {
-    for (int h = 0; h < options.hosts_per_leaf; ++h) {
-      Host* host = topo.add_host("h" + std::to_string(l * options.hosts_per_leaf + h));
-      result.hosts.push_back(host);
-      topo.connect(host, result.leaves[static_cast<std::size_t>(l)],
-                   options.host_rate_bps, options.link_delay, make_queue);
+  result.graph = make_leaf_spine(options);  // validates the options
+  result.mat = topo.materialize(result.graph, make_queue, make_core_queue);
+  result.hosts = result.mat.hosts;
+  result.leaves.assign(
+      result.mat.switches.begin(),
+      result.mat.switches.begin() + options.num_leaves);
+  result.spines.assign(
+      result.mat.switches.begin() + options.num_leaves,
+      result.mat.switches.end());
+  for (int link = 0; link < result.graph.num_links(); ++link) {
+    const GraphNodeKind src_kind =
+        result.graph.nodes()[static_cast<std::size_t>(result.graph.link_src(link))].kind;
+    const GraphNodeKind dst_kind =
+        result.graph.nodes()[static_cast<std::size_t>(result.graph.link_dst(link))].kind;
+    if (src_kind == GraphNodeKind::kSwitch && dst_kind == GraphNodeKind::kSwitch) {
+      result.core_links.push_back(result.mat.links[static_cast<std::size_t>(link)]);
     }
   }
-  for (Switch* leaf : result.leaves) {
-    for (Switch* spine : result.spines) {
-      auto [up, down] = topo.connect(leaf, spine, options.spine_rate_bps,
-                                     core_delay, core_queue);
-      result.core_links.push_back(up);
-      result.core_links.push_back(down);
-    }
-  }
-  // A cross-leaf data packet crosses 4 links each way: two edge hops at the
-  // host rate and two core hops at the spine rate.  Each store-and-forward
-  // hop pays its own serialization, so asymmetric tiers (40 G core over a
-  // 10 G edge) reproduce the paper's base RTT exactly instead of
-  // over-charging the core hops at the slower edge rate.
-  const auto hop = [](sim::TimeNs delay, std::uint32_t bytes, double rate_bps) {
-    return delay + sim::transmission_time(bytes, rate_bps);
-  };
-  const sim::TimeNs edge_one_way =
-      hop(options.link_delay, kDataPacketBytes, options.host_rate_bps) +
-      hop(options.link_delay, kAckPacketBytes, options.host_rate_bps);
-  const sim::TimeNs core_one_way =
-      hop(core_delay, kDataPacketBytes, options.spine_rate_bps) +
-      hop(core_delay, kAckPacketBytes, options.spine_rate_bps);
-  result.cross_leaf_rtt = 2 * (edge_one_way + core_one_way);
+  result.cross_leaf_rtt = leaf_spine_cross_rtt(options);
   return result;
 }
 

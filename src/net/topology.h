@@ -15,6 +15,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "net/fabric_graph.h"
 #include "net/link.h"
 #include "net/node.h"
 #include "sim/simulator.h"
@@ -28,6 +29,16 @@ using QueueFactory = std::function<std::unique_ptr<Queue>()>;
 /// A convenient default: FIFO with the paper's 1 MB per-port buffer.
 QueueFactory drop_tail_factory(std::size_t capacity_bytes = 1'000'000);
 
+/// The object view of a FabricGraph after Topology::materialize: every vector
+/// is indexed by the *graph's* numbering (`links[l]` is graph link l, which is
+/// also its dense position in Topology::links()).
+struct MaterializedFabric {
+  std::vector<Node*> nodes;
+  std::vector<Link*> links;
+  std::vector<Host*> hosts;        // graph host order
+  std::vector<Switch*> switches;   // graph switch order
+};
+
 class Topology {
  public:
   explicit Topology(sim::Simulator& sim) : sim_(sim) {}
@@ -39,6 +50,15 @@ class Topology {
   /// know each other as twins).  Returns {a->b, b->a}.
   std::pair<Link*, Link*> connect(Node* a, Node* b, double rate_bps,
                                   sim::TimeNs delay, const QueueFactory& make_queue);
+
+  /// Instantiates Node/Link/Queue objects for `graph`: nodes in graph order,
+  /// then one connect() per cable in cable order (graph link id == index in
+  /// links()).  `make_queue` builds queues for edge cables (those touching a
+  /// host); `make_core_queue`, when non-null, builds switch-switch queues
+  /// instead — per-tier buffer sizing.
+  MaterializedFabric materialize(const FabricGraph& graph,
+                                 const QueueFactory& make_queue,
+                                 const QueueFactory& make_core_queue = nullptr);
 
   sim::Simulator& sim() { return sim_; }
 
@@ -63,40 +83,15 @@ class Topology {
 // Builders
 // ---------------------------------------------------------------------------
 
-/// Parameterized leaf-spine fabric.  Host and core tiers are independent
-/// (counts, rates, propagation delays), so the same builder covers the
-/// paper's non-blocking 4:1-core fabric, all-10G symmetric fabrics (Fig. 8)
-/// and deliberately oversubscribed cores (the contended-fabric scenario
-/// family).
-struct LeafSpineOptions {
-  int hosts_per_leaf = 16;
-  int num_leaves = 8;
-  int num_spines = 4;
-  double host_rate_bps = 10e9;
-  double spine_rate_bps = 40e9;
-  // 2 us per hop * 8 hops on a cross-leaf round trip = the paper's 16 us RTT.
-  sim::TimeNs link_delay = sim::micros(2);
-  /// Leaf-spine propagation delay; < 0 means "same as link_delay".  Longer
-  /// core runs (asymmetric fabrics) set this explicitly.
-  sim::TimeNs core_link_delay = -1;
-
-  sim::TimeNs effective_core_delay() const {
-    return core_link_delay < 0 ? link_delay : core_link_delay;
-  }
-
-  /// Core oversubscription ratio: per-leaf host demand over per-leaf core
-  /// capacity.  1.0 = non-blocking (the paper's evaluation fabric); 4.0 = a
-  /// 4:1 contended core.
-  double oversubscription() const {
-    return (hosts_per_leaf * host_rate_bps) / (num_spines * spine_rate_bps);
-  }
-
-  /// Copy with the spine rate re-derived so oversubscription() == ratio,
-  /// keeping host rate and switch counts fixed.
-  LeafSpineOptions with_oversubscription(double ratio) const;
-};
+// LeafSpineOptions (and the other graph builders) live in net/fabric_graph.h;
+// this header re-exports them via its include for the object-topology layer.
 
 struct LeafSpine {
+  /// The data-first description the fabric was materialized from, and the
+  /// graph-indexed object view (shard planning, path tables).
+  FabricGraph graph;
+  MaterializedFabric mat;
+
   std::vector<Host*> hosts;
   std::vector<Switch*> leaves;
   std::vector<Switch*> spines;
@@ -110,10 +105,10 @@ struct LeafSpine {
   sim::TimeNs cross_leaf_rtt = 0;
 };
 
-/// Builds the fabric.  `make_queue` creates edge (host-leaf) queues;
-/// `make_core_queue`, when non-null, creates the leaf-spine queues instead —
-/// per-tier buffer sizing for contended cores.  Throws std::invalid_argument
-/// on non-positive counts or rates.
+/// Builds the fabric: make_leaf_spine(options) + materialize.  `make_queue`
+/// creates edge (host-leaf) queues; `make_core_queue`, when non-null, creates
+/// the leaf-spine queues instead — per-tier buffer sizing for contended
+/// cores.  Throws std::invalid_argument on non-positive counts or rates.
 LeafSpine build_leaf_spine(Topology& topo, const LeafSpineOptions& options,
                            const QueueFactory& make_queue,
                            const QueueFactory& make_core_queue = nullptr);

@@ -228,6 +228,39 @@ TEST(FlowFidelityCrossValidation, LeafSpineFlowVsPacketMeanFct) {
                         << mean(flow_fct);
 }
 
+// The same cross-validation on a small jellyfish fabric: both fidelities
+// build the identical graph (same jf seed), draw the identical workload and
+// pick the same k-shortest route per flow, so the only difference is the
+// substrate.  Same band as the leaf-spine test: mean FCT ratio in [0.5, 2.0].
+TEST(FlowFidelityCrossValidation, JellyfishFlowVsPacketMeanFct) {
+  exp::DynamicWorkloadOptions options;
+  options.jellyfish = net::JellyfishOptions{
+      .switches = 4, .ports = 2, .hosts = 8, .seed = 3};
+  options.k_paths = 4;
+  options.flow_count = 40;
+  options.load = 0.3;
+  options.seed = 5;
+  options.horizon = sim::seconds(2);
+
+  const exp::DynamicWorkloadResult packet = exp::run_dynamic_workload(options);
+  const exp::DynamicWorkloadResult flow =
+      exp::run_dynamic_workload_flow(options, /*resolve_interval_seconds=*/0);
+
+  ASSERT_FALSE(packet.flows.empty());
+  ASSERT_FALSE(flow.flows.empty());
+  ASSERT_EQ(flow.flows.size() + static_cast<std::size_t>(flow.incomplete),
+            packet.flows.size() + static_cast<std::size_t>(packet.incomplete));
+
+  std::vector<double> packet_fct, flow_fct;
+  for (const auto& f : packet.flows) packet_fct.push_back(f.fct_seconds);
+  for (const auto& f : flow.flows) flow_fct.push_back(f.fct_seconds);
+  const double ratio = mean(packet_fct) / mean(flow_fct);
+  EXPECT_GT(ratio, 0.5) << "packet mean " << mean(packet_fct) << " flow mean "
+                        << mean(flow_fct);
+  EXPECT_LT(ratio, 2.0) << "packet mean " << mean(packet_fct) << " flow mean "
+                        << mean(flow_fct);
+}
+
 // ---------------------------------------------------------------------------
 // VirtualLeafSpine arithmetic.
 // ---------------------------------------------------------------------------
@@ -313,6 +346,30 @@ TEST(MegaFctTest, MiniRunCompletesWithGridCounters) {
   // Exact mode at this scale is refused by construction.
   options.resolve_interval_seconds = 0;
   EXPECT_THROW(exp::run_mega_fct(options), std::invalid_argument);
+}
+
+TEST(MegaFctTest, JellyfishGraphFabricRuns) {
+  exp::MegaFctOptions options;
+  options.jellyfish = net::JellyfishOptions{
+      .switches = 8, .ports = 3, .hosts = 16, .seed = 2};
+  options.k_paths = 4;
+  options.concurrent = 1000;
+  options.resolve_interval_seconds = 5e-4;
+  options.horizon_seconds = 10.0;
+  options.seed = 9;
+  const exp::MegaFctResult result = exp::run_mega_fct(options);
+
+  EXPECT_EQ(result.hosts, 16);
+  // 16 edge cables + 8 * 3 / 2 core cables, two directed links each.
+  EXPECT_EQ(result.links, 2 * (16 + 8 * 3 / 2));
+  EXPECT_EQ(result.sim.completed + result.sim.incomplete, options.concurrent);
+  EXPECT_GT(result.sim.completed, options.concurrent * 9 / 10);
+  EXPECT_GT(result.sim.resolves, 0);
+
+  // Same options -> bit-identical FCTs (graph wiring and path table are
+  // deterministic in the seed).
+  const exp::MegaFctResult again = exp::run_mega_fct(options);
+  EXPECT_EQ(result.sim.fct_seconds, again.sim.fct_seconds);
 }
 
 }  // namespace

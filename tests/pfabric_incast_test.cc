@@ -1,0 +1,72 @@
+// pFabric under synchronized incast: qualitative reproduction of the
+// shallow-queue drop behaviour from the pFabric paper (Alizadeh et al.,
+// SIGCOMM 2013).  pFabric runs near-line-rate windows into very shallow
+// priority queues and relies on drops + aggressive retransmission instead of
+// congestion avoidance, so a synchronized fan-in burst must (a) drop packets
+// at the receiver's edge port, (b) drop more as the fan-in grows, and (c)
+// still complete every flow — goodput recovers because retransmissions
+// resend exactly the dropped remainder.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "exp/traffic_experiment.h"
+#include "transport/fabric.h"
+
+namespace numfabric {
+namespace {
+
+exp::TrafficResult run_incast(int fanin) {
+  exp::TrafficOptions options;
+  options.scheme = transport::Scheme::kPFabric;
+  options.topology.hosts_per_leaf = 17;
+  options.topology.num_leaves = 2;
+  options.topology.num_spines = 2;
+  options.pattern = exp::TrafficPattern::kIncast;
+  options.incast_fanin = fanin;
+  options.flow_size_bytes = 64'000;
+  options.horizon = sim::seconds(5);
+  options.seed = 3;
+  return exp::run_traffic_experiment(options);
+}
+
+TEST(PFabricIncastTest, ShallowQueuesDropMoreAsFaninGrowsButFlowsComplete) {
+  std::map<int, exp::TrafficResult> results;
+  for (const int fanin : {4, 16, 32}) {
+    results.emplace(fanin, run_incast(fanin));
+  }
+
+  // (a) + (b): the synchronized burst overruns pFabric's shallow queues and
+  // the overrun grows with the fan-in (4 senders fit comfortably; 32 do not).
+  EXPECT_GT(results.at(32).queue_drops, 0u);
+  EXPECT_GT(results.at(32).queue_drops, results.at(4).queue_drops);
+  EXPECT_GE(results.at(32).queue_drops, results.at(16).queue_drops);
+
+  // (c): goodput collapse is transient — priority-based retransmission
+  // finishes every flow well inside the horizon.
+  for (const int fanin : {4, 16, 32}) {
+    const exp::TrafficResult& result = results.at(fanin);
+    EXPECT_EQ(result.flow_count, fanin) << fanin;
+    EXPECT_EQ(result.completed, fanin) << fanin;
+    EXPECT_EQ(result.incomplete, 0) << fanin;
+  }
+
+  // Sanity on ordering, not exact values: a larger fan-in shares one
+  // receiver NIC, so the slowest completion degrades monotonically.
+  const auto max_fct = [](const exp::TrafficResult& result) {
+    double worst = 0;
+    for (const double fct : result.fct_us) worst = std::max(worst, fct);
+    return worst;
+  };
+  EXPECT_GT(max_fct(results.at(32)), max_fct(results.at(4)));
+}
+
+TEST(PFabricIncastTest, DropCountsAreDeterministicAtFixedSeed) {
+  const exp::TrafficResult first = run_incast(16);
+  const exp::TrafficResult second = run_incast(16);
+  EXPECT_EQ(first.queue_drops, second.queue_drops);
+  EXPECT_EQ(first.fct_us, second.fct_us);
+}
+
+}  // namespace
+}  // namespace numfabric

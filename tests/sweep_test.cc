@@ -55,12 +55,27 @@ TEST(SweepSpecTest, RejectsMalformedSpecs) {
   EXPECT_THROW(parse_sweep_spec("=0.2"), std::invalid_argument);
   EXPECT_THROW(parse_sweep_spec("k="), std::invalid_argument);
   EXPECT_THROW(parse_sweep_spec("k=,,"), std::invalid_argument);
-  // lo:hi without a step, zero/negative steps, empty and textual ranges.
+  // lo:hi without a step, zero/negative steps, empty ranges.
   EXPECT_THROW(parse_sweep_spec("k=1:2"), std::invalid_argument);
   EXPECT_THROW(parse_sweep_spec("k=1:2:0"), std::invalid_argument);
   EXPECT_THROW(parse_sweep_spec("k=1:2:-1"), std::invalid_argument);
   EXPECT_THROW(parse_sweep_spec("k=2:1:1"), std::invalid_argument);
-  EXPECT_THROW(parse_sweep_spec("k=a:b:c"), std::invalid_argument);
+}
+
+TEST(SweepSpecTest, TaggedValuesKeepTheirCommasAndColons) {
+  // Only an all-numeric ':' value is a range; a text-bearing one is a list
+  // item, and numeric items after it extend it (`jellyfish:S,r,H` sweeps as
+  // one token next to plain shapes).
+  EXPECT_EQ(parse_sweep_spec("topology=jellyfish:8,3,16").values,
+            (std::vector<std::string>{"jellyfish:8,3,16"}));
+  EXPECT_EQ(
+      parse_sweep_spec("topology=4x2x2, jellyfish:8,3,16, 16x8x4").values,
+      (std::vector<std::string>{"4x2x2", "jellyfish:8,3,16", "16x8x4"}));
+  EXPECT_EQ(
+      parse_sweep_spec("topology=jellyfish:8,3,16,jellyfish:12,4,24").values,
+      (std::vector<std::string>{"jellyfish:8,3,16", "jellyfish:12,4,24"}));
+  EXPECT_EQ(parse_sweep_spec("k=a:b:c").values,
+            (std::vector<std::string>{"a:b:c"}));
 }
 
 // --- plan expansion --------------------------------------------------------
