@@ -352,6 +352,7 @@ void BM_FlowSimEpoch(benchmark::State& state) {
   // Match the mega-fct scenario's solver configuration (grid-quantized FCTs
   // don't benefit from tighter prices — see MegaFctOptions::solver_tolerance).
   options.solver.tolerance = 1e-5;
+  options.solver.incremental = true;
   flowsim::FlowSimEngine engine(std::move(flows), fabric.capacities(), options);
   std::int64_t epochs = 0;
   for (auto _ : state) {
@@ -390,6 +391,7 @@ void BM_FlowSimEpochJellyfish(benchmark::State& state) {
   flowsim::FlowSimOptions options;
   options.resolve_interval_seconds = 1e-3;
   options.solver.tolerance = 1e-5;
+  options.solver.incremental = true;
   flowsim::FlowSimEngine engine(std::move(flows), fabric.capacities(),
                                 options);
   std::int64_t epochs = 0;
@@ -401,6 +403,53 @@ void BM_FlowSimEpochJellyfish(benchmark::State& state) {
   state.SetItemsProcessed(epochs);  // epochs/sec
 }
 BENCHMARK(BM_FlowSimEpochJellyfish)->Arg(1000)->Arg(100000);
+
+// Churn-shaped epoch: a steady ~2k-flow active sliver drawn from a much
+// larger compiled flow set (10^5 / 10^6 flows), with ~8 arrivals and ~8
+// departures per 1 ms epoch.  This is the mega-fct steady state: per-epoch
+// cost should track the churn (the handful of flows entering and leaving),
+// not the compiled history sitting inactive in the CSR rows.
+void BM_FlowSimChurnEpoch(benchmark::State& state) {
+  const int num_flows = static_cast<int>(state.range(0));
+  const flowsim::VirtualLeafSpine fabric{.hosts_per_leaf = 32,
+                                         .leaves = 32,
+                                         .spines = 8,
+                                         .host_rate = 10e3,
+                                         .leaf_spine_rate = 40e3};
+  static num::AlphaFairUtility utility(1.0);
+  const int kSliver = 2048;    // concurrently-active steady state
+  const double kGap = 125e-6;  // one arrival per 125 us ~ 8 per epoch
+  const double kBytes = 1.5e8;  // ~250 epochs of life at fair share
+  sim::Rng rng(13);
+  std::vector<flowsim::FlowSimFlow> flows(num_flows);
+  for (int i = 0; i < num_flows; ++i) {
+    const int src = static_cast<int>(rng.uniform_int(0, fabric.hosts() - 1));
+    int dst = static_cast<int>(rng.uniform_int(0, fabric.hosts() - 2));
+    if (dst >= src) ++dst;
+    // The initial sliver arrives at t=0 with sizes staggered so departures
+    // trickle from the first epoch on; later flows arrive one per 125 us at
+    // full size, replacing the departed.
+    const bool initial = i < kSliver;
+    const double arrival = initial ? 0.0 : kGap * (i - kSliver + 1);
+    const double bytes = initial ? kBytes * (i + 1) / kSliver : kBytes;
+    flows[i] = {arrival, bytes, fabric.path(src, dst, i + 1), &utility};
+  }
+  flowsim::FlowSimOptions options;
+  options.resolve_interval_seconds = 1e-3;
+  options.solver.tolerance = 1e-5;
+  options.solver.incremental = true;  // the mega-fct default at this scale
+  flowsim::FlowSimEngine engine(std::move(flows), fabric.capacities(),
+                                options);
+  for (int i = 0; i < 16; ++i) engine.step();  // establish the sliver, warm
+  std::int64_t epochs = 0;
+  for (auto _ : state) {
+    if (engine.finished()) engine.reset();
+    engine.step();
+    ++epochs;
+  }
+  state.SetItemsProcessed(epochs);  // epochs/sec
+}
+BENCHMARK(BM_FlowSimChurnEpoch)->Arg(100000)->Arg(1000000);
 
 // Yen's k-shortest-paths over a jellyfish, the routing cost the fabric zoo
 // adds: one ordered host pair per iteration, cycling sources so the metered

@@ -344,6 +344,18 @@ double resolve_interval_param(const RunContext& ctx, double default_us) {
   return us * 1e-6;
 }
 
+/// `incremental=on|off`: the solver's worklist re-solve path.  ON by default
+/// for flow fidelity (per-epoch cost tracks churn, not compiled history);
+/// anything that golden-hashes output must pass off — incremental solves
+/// converge to the same tolerance but are not bit-identical to full ones.
+bool incremental_param(const RunContext& ctx) {
+  const std::string token = ctx.options.get("incremental", "on");
+  if (token == "on") return true;
+  if (token == "off") return false;
+  throw std::invalid_argument("unknown incremental '" + token +
+                              "' (expected on or off)");
+}
+
 /// The flow-fluid engine assigns every flow its NUM-optimal rate, which
 /// models the NUM-solving transports.  Window/loss protocols (DCTCP,
 /// pFabric) have no flow-fluid model — running them would silently report
@@ -364,7 +376,10 @@ std::vector<ParamSpec> fidelity_params() {
            "(NUM-optimal rates, no queueing; see src/flowsim/README.md)"},
           {"resolve_us", "0",
            "fidelity=flow: epoch-grid re-solve period in us (0 = exact "
-           "event-driven re-solve at every arrival/departure)"}};
+           "event-driven re-solve at every arrival/departure)"},
+          {"incremental", "on",
+           "fidelity=flow: on | off — incremental (worklist) NUM re-solves; "
+           "same tolerance as full solves but not bit-identical"}};
 }
 
 // ---------------------------------------------------------------------------
@@ -743,7 +758,8 @@ void run_traffic(RunContext& ctx, exp::TrafficPattern pattern,
         ctx, options.scheme,
         exp::run_traffic_experiment_flow(options,
                                          resolve_interval_param(ctx, 0),
-                                         ctx.solver_threads));
+                                         ctx.solver_threads,
+                                         incremental_param(ctx)));
     return;
   }
   emit_traffic_result(ctx, options.scheme, exp::run_traffic_experiment(options));
@@ -782,7 +798,8 @@ void run_fct_sweep(RunContext& ctx, const std::string& default_workload) {
     const exp::DynamicWorkloadResult result =
         fidelity == Fidelity::kFlow
             ? exp::run_dynamic_workload_flow(options,
-                                             resolve_interval_param(ctx, 0))
+                                             resolve_interval_param(ctx, 0),
+                                             incremental_param(ctx))
             : exp::run_dynamic_workload(options);
 
     // Normalized FCT = measured FCT / oracle-ideal FCT = ideal_rate / rate.
@@ -999,7 +1016,8 @@ void run_trace_replay_scenario(RunContext& ctx) {
   const exp::TraceReplayResult result =
       fidelity == Fidelity::kFlow
           ? exp::run_trace_replay_flow(options, resolve_interval_param(ctx, 0),
-                                       ctx.solver_threads)
+                                       ctx.solver_threads,
+                                       incremental_param(ctx))
           : exp::run_trace_replay(options);
 
   ctx.metrics.scalar("transport", scheme_token(ctx.scheme));
@@ -1099,6 +1117,7 @@ void run_mega_fct_scenario(RunContext& ctx) {
   options.horizon_seconds = ctx.options.get_double("horizon_s", 30.0);
   options.solver_tolerance = ctx.options.get_double("tolerance", 1e-5);
   options.solver_threads = ctx.solver_threads;
+  options.incremental = incremental_param(ctx);
   options.seed = static_cast<std::uint64_t>(ctx.options.get_int("seed", 1));
   const exp::MegaFctResult result = exp::run_mega_fct(options);
 
@@ -1111,6 +1130,7 @@ void run_mega_fct_scenario(RunContext& ctx) {
   ctx.metrics.scalar("epochs", result.sim.epochs);
   ctx.metrics.scalar("resolves", result.sim.resolves);
   ctx.metrics.scalar("solver_sweeps", result.sim.solver_sweeps);
+  ctx.metrics.scalar("solver_relaxations", result.sim.solver_relaxations);
   ctx.metrics.scalar("end_ms", result.sim.end_seconds * 1e3);
 
   std::vector<double> fct_us;
@@ -1451,6 +1471,9 @@ void register_builtin_scenarios() {
                  {"resolve_us", "1000",
                   "epoch-grid re-solve period in us (must be > 0 at this "
                   "scale)"},
+                 {"incremental", "on",
+                  "on | off — incremental (worklist) NUM re-solves; same "
+                  "tolerance as full solves but not bit-identical"},
                  {"topology", "32x32x8",
                   "virtual fabric shape: HxLxS (hosts_per_leaf x leaves x "
                   "spines) or jellyfish:switches,ports,hosts"},

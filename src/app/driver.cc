@@ -49,7 +49,8 @@ void print_usage(std::FILE* out) {
       "                        per leaf, capped at cores; output is\n"
       "                        bit-identical for any N)\n"
       "  --solver-stats        add per-run oracle cost scalars to sweep\n"
-      "                        output (solver_solves/sweeps/wall_us)\n"
+      "                        output (solver_solves/sweeps/relaxations/\n"
+      "                        wall_us)\n"
       "  --vary-seed           per-run seed = base seed + run index\n"
       "  --full                paper-scale runs (same as NUMFABRIC_FULL=1)\n"
       "  --list                list registered scenarios (the fidelity column\n"
@@ -345,6 +346,7 @@ int run_cli(const std::vector<std::string>& args) {
       metrics.scalar("solver_threads", ctx.solver_threads);
       metrics.scalar("solver_solves", delta.solver_solves);
       metrics.scalar("solver_sweeps", delta.solver_sweeps);
+      metrics.scalar("solver_relaxations", delta.solver_relaxations);
       metrics.scalar("solver_wall_us",
                      static_cast<double>(delta.solver_wall_ns) / 1000.0);
     } else {

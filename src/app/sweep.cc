@@ -90,6 +90,7 @@ SweepResult run_sweep(const SweepRequest& request, MetricWriter& merged) {
         buffer.scalar("solver_threads", request.solver_threads);
         buffer.scalar("solver_solves", delta.solver_solves);
         buffer.scalar("solver_sweeps", delta.solver_sweeps);
+        buffer.scalar("solver_relaxations", delta.solver_relaxations);
         buffer.scalar("solver_wall_us",
                       static_cast<double>(delta.solver_wall_ns) / 1000.0);
       }

@@ -17,7 +17,7 @@ namespace {
 
 flowsim::FlowSimOptions engine_options(double resolve_interval_seconds,
                                        double horizon_seconds,
-                                       int solver_threads,
+                                       int solver_threads, bool incremental,
                                        double tolerance = 1e-8) {
   flowsim::FlowSimOptions fs;
   fs.resolve_interval_seconds = resolve_interval_seconds;
@@ -25,6 +25,7 @@ flowsim::FlowSimOptions engine_options(double resolve_interval_seconds,
   // Default matches the packet experiments' fluid oracle; mega-fct loosens it.
   fs.solver.tolerance = tolerance;
   fs.solver.policy = num::ExecutionPolicy::parallel(solver_threads);
+  fs.solver.incremental = incremental;
   return fs;
 }
 
@@ -47,7 +48,8 @@ std::vector<double> exact_fcts(const flowsim::FlowSimResult& run,
 }  // namespace
 
 DynamicWorkloadResult run_dynamic_workload_flow(
-    const DynamicWorkloadOptions& options, double resolve_interval_seconds) {
+    const DynamicWorkloadOptions& options, double resolve_interval_seconds,
+    bool incremental) {
   sim::Simulator sim;
   net::Topology topo(sim);
   BuiltFabric built =
@@ -94,7 +96,7 @@ DynamicWorkloadResult run_dynamic_workload_flow(
   const flowsim::FlowSimResult run = flowsim::run_flow_sim(
       std::move(engine_flows), capacities,
       engine_options(resolve_interval_seconds, sim::to_seconds(options.horizon),
-                     options.solver_threads));
+                     options.solver_threads, incremental));
   const std::vector<double> ideal =
       exact_fcts(run, resolve_interval_seconds, fluid_flows, capacities,
                  options.solver_threads);
@@ -124,7 +126,8 @@ DynamicWorkloadResult run_dynamic_workload_flow(
 
 TrafficResult run_traffic_experiment_flow(const TrafficOptions& options,
                                           double resolve_interval_seconds,
-                                          int solver_threads) {
+                                          int solver_threads,
+                                          bool incremental) {
   sim::Simulator sim;
   net::Topology topo(sim);
   BuiltFabric built =
@@ -193,7 +196,8 @@ TrafficResult run_traffic_experiment_flow(const TrafficOptions& options,
     const flowsim::FlowSimResult run = flowsim::run_flow_sim(
         std::move(engine_flows), capacities,
         engine_options(resolve_interval_seconds,
-                       sim::to_seconds(options.horizon), solver_threads));
+                       sim::to_seconds(options.horizon), solver_threads,
+                       incremental));
     const double latency_us = sim::to_seconds(built.base_rtt) * 1e6;
     for (const double fct : run.fct_seconds) {
       if (fct < 0) {
@@ -222,7 +226,8 @@ TrafficResult run_traffic_experiment_flow(const TrafficOptions& options,
 
 TraceReplayResult run_trace_replay_flow(const TraceReplayOptions& options,
                                         double resolve_interval_seconds,
-                                        int solver_threads) {
+                                        int solver_threads,
+                                        bool incremental) {
   sim::Simulator sim;
   net::Topology topo(sim);
   BuiltFabric built = plan_fabric(options.topology, std::nullopt, 8);
@@ -266,7 +271,7 @@ TraceReplayResult run_trace_replay_flow(const TraceReplayOptions& options,
   const flowsim::FlowSimResult run = flowsim::run_flow_sim(
       std::move(engine_flows), capacities,
       engine_options(resolve_interval_seconds, sim::to_seconds(options.horizon),
-                     solver_threads));
+                     solver_threads, incremental));
 
   TraceReplayResult result;
   result.sim_events = 0;
@@ -336,7 +341,8 @@ MegaFctResult run_mega_fct(const MegaFctOptions& options) {
       std::move(engine_flows),
       graph_fabric ? graph_fabric->capacities() : options.fabric.capacities(),
       engine_options(options.resolve_interval_seconds, options.horizon_seconds,
-                     options.solver_threads, options.solver_tolerance));
+                     options.solver_threads, options.incremental,
+                     options.solver_tolerance));
   return result;
 }
 

@@ -32,8 +32,12 @@ namespace numfabric::exp {
 /// replays the exact fluid system (normalized FCT == 1 by construction);
 /// > 0 uses the epoch grid.  options.scheme is ignored — flow fidelity
 /// models NUM-optimal rates; callers gate schemes (see scenario layer).
+/// `incremental` enables the solver's worklist re-solve path
+/// (NumSolverOptions::incremental): same tolerance, not bit-identical to a
+/// full solve — scenario layers that golden-hash output pass false.
 DynamicWorkloadResult run_dynamic_workload_flow(
-    const DynamicWorkloadOptions& options, double resolve_interval_seconds);
+    const DynamicWorkloadOptions& options, double resolve_interval_seconds,
+    bool incremental = true);
 
 /// run_traffic_experiment at flow fidelity.  Rate mode (flow_size_bytes ==
 /// 0) is a single NUM solve — the steady-state allocation without the
@@ -41,12 +45,14 @@ DynamicWorkloadResult run_dynamic_workload_flow(
 /// at t = 0.
 TrafficResult run_traffic_experiment_flow(const TrafficOptions& options,
                                           double resolve_interval_seconds,
-                                          int solver_threads);
+                                          int solver_threads,
+                                          bool incremental = true);
 
 /// run_trace_replay at flow fidelity.
 TraceReplayResult run_trace_replay_flow(const TraceReplayOptions& options,
                                         double resolve_interval_seconds,
-                                        int solver_threads);
+                                        int solver_threads,
+                                        bool incremental = true);
 
 // ---------------------------------------------------------------------------
 // mega-fct: the 10^5-10^6 concurrent-flow regime.  No net::Topology at all —
@@ -78,6 +84,11 @@ struct MegaFctOptions {
   double solver_tolerance = 1e-5;
   double horizon_seconds = 30.0;
   int solver_threads = 1;
+  /// Incremental (worklist) re-solves: ON by default at this scale — per-tick
+  /// cost tracks churn, not the 10^5-10^6 compiled flows.  FCTs stay within
+  /// the solver-tolerance band of a full-solve run (property-tested) but are
+  /// not bit-identical to one.
+  bool incremental = true;
   std::uint64_t seed = 1;
 };
 

@@ -54,15 +54,20 @@ FlowSimEngine::FlowSimEngine(std::vector<FlowSimFlow> flows,
 
   order_.resize(flows_.size());
   std::iota(order_.begin(), order_.end(), std::size_t{0});
-  std::sort(order_.begin(), order_.end(), [this](std::size_t a, std::size_t b) {
-    return flows_[a].arrival_seconds < flows_[b].arrival_seconds;
-  });
+  // Stable: simultaneous arrivals admit in increasing flow id, so their
+  // set_active calls append to the compacted active rows instead of
+  // shifting them.  (Admission order within an epoch cannot affect results:
+  // the row patch commutes and every per-flow pass writes disjoint slots.)
+  std::stable_sort(
+      order_.begin(), order_.end(), [this](std::size_t a, std::size_t b) {
+        return flows_[a].arrival_seconds < flows_[b].arrival_seconds;
+      });
   remaining_bits_.assign(flows_.size(), 0.0);
   reset();
 }
 
 void FlowSimEngine::reset() {
-  for (std::size_t i = 0; i < flows_.size(); ++i) csr_.set_active(i, false);
+  csr_.deactivate_all();
   workspace_.reset();
   solver_options_ = options_.solver;
   active_.clear();
@@ -98,6 +103,7 @@ void FlowSimEngine::resolve() {
   solver_options_.initial_prices.clear();
   ++result_.resolves;
   result_.solver_sweeps += stats.sweeps;
+  result_.solver_relaxations += stats.relaxations;
 }
 
 void FlowSimEngine::retire(std::size_t id, double at_seconds) {

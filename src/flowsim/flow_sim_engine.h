@@ -70,6 +70,9 @@ struct FlowSimResult {
   std::int64_t resolves = 0;
   /// Total Gauss-Seidel sweeps across all re-solves.
   std::int64_t solver_sweeps = 0;
+  /// Total incremental worklist relaxations (0 unless
+  /// FlowSimOptions::solver.incremental).
+  std::int64_t solver_relaxations = 0;
   /// Largest concurrently-active flow count observed.
   std::size_t peak_active = 0;
   /// Simulated time when the run ended.

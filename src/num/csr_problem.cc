@@ -85,6 +85,7 @@ CsrProblem CsrProblem::compile(const NumProblem& problem) {
   csr.weight_.assign(num_flows, 1.0);
   csr.neg_inv_alpha_.assign(num_flows, 0.0);
   csr.generic_.assign(num_flows, nullptr);
+  csr.utilities_ = problem.utilities;
   csr.kind_.assign(num_flows, kGeneric);
   for (std::size_t i = 0; i < num_flows; ++i) {
     const auto* alpha_fair =
@@ -98,8 +99,27 @@ CsrProblem CsrProblem::compile(const NumProblem& problem) {
     }
   }
 
+  // All flows start active: the compacted rows are the full rows (already in
+  // increasing flow id from the counting sort) and the active list is the
+  // identity.
   csr.active_.assign(num_flows, 1);
-  csr.active_count_ = num_flows;
+  csr.link_active_ = csr.link_flows_;
+  csr.link_active_count_.resize(num_links);
+  for (std::size_t l = 0; l < num_links; ++l) {
+    csr.link_active_count_[l] =
+        csr.link_offsets_[l + 1] - csr.link_offsets_[l];
+  }
+  csr.active_list_.resize(num_flows);
+  csr.active_pos_.resize(num_flows);
+  for (std::size_t i = 0; i < num_flows; ++i) {
+    csr.active_list_[i] = static_cast<std::int32_t>(i);
+    csr.active_pos_[i] = static_cast<std::int32_t>(i);
+  }
+
+  csr.link_dirty_.assign(num_links, 0);
+  csr.flow_touched_.assign(num_flows, 0);
+  csr.all_dirty_ = true;  // nothing solved yet: the first solve must be full
+
   csr.build_waves();
   return csr;
 }
@@ -144,17 +164,82 @@ void CsrProblem::build_waves() {
   }
 }
 
+void CsrProblem::mark_flow_touched(std::size_t flow) const {
+  if (flow_touched_[flow] == 0) {
+    flow_touched_[flow] = 1;
+    touched_flows_.push_back(static_cast<std::int32_t>(flow));
+  }
+}
+
+void CsrProblem::mark_link_dirty(std::int32_t link) const {
+  const auto l = static_cast<std::size_t>(link);
+  if (link_dirty_[l] == 0) {
+    link_dirty_[l] = 1;
+    dirty_links_.push_back(link);
+  }
+}
+
 void CsrProblem::set_active(std::size_t flow, bool active) {
   if (flow >= active_.size()) {
     throw std::invalid_argument("CsrProblem::set_active: bad flow index");
   }
   if ((active_[flow] != 0) == active) return;
   active_[flow] = active ? 1 : 0;
-  if (active) {
-    ++active_count_;
-  } else {
-    --active_count_;
+  const auto id = static_cast<std::int32_t>(flow);
+
+  // Patch each compacted row on the flow's path, keeping it sorted by flow
+  // id (the legacy summation order).  Arrivals admitted in increasing flow
+  // id append in O(1); a general toggle shifts the row's active tail.
+  for (const std::int32_t link : flow_links(flow)) {
+    const auto l = static_cast<std::size_t>(link);
+    std::int32_t* row = link_active_.data() + link_offsets_[l];
+    std::int32_t& count = link_active_count_[l];
+    std::int32_t* pos = std::lower_bound(row, row + count, id);
+    if (active) {
+      std::copy_backward(pos, row + count, row + count + 1);
+      *pos = id;
+      ++count;
+    } else {
+      std::copy(pos + 1, row + count, pos);
+      --count;
+    }
+    mark_link_dirty(link);
   }
+
+  if (active) {
+    active_pos_[flow] = static_cast<std::int32_t>(active_list_.size());
+    active_list_.push_back(id);
+  } else {
+    const auto at = static_cast<std::size_t>(active_pos_[flow]);
+    const std::int32_t moved = active_list_.back();
+    active_list_[at] = moved;
+    active_pos_[static_cast<std::size_t>(moved)] = static_cast<std::int32_t>(at);
+    active_list_.pop_back();
+    active_pos_[flow] = -1;
+  }
+  mark_flow_touched(flow);
+}
+
+void CsrProblem::deactivate_all() {
+  std::fill(active_.begin(), active_.end(), std::uint8_t{0});
+  std::fill(link_active_count_.begin(), link_active_count_.end(),
+            std::int32_t{0});
+  std::fill(active_pos_.begin(), active_pos_.end(), std::int32_t{-1});
+  active_list_.clear();
+  all_dirty_ = true;
+}
+
+void CsrProblem::mark_solved() const {
+  for (const std::int32_t l : dirty_links_) {
+    link_dirty_[static_cast<std::size_t>(l)] = 0;
+  }
+  dirty_links_.clear();
+  for (const std::int32_t i : touched_flows_) {
+    flow_touched_[static_cast<std::size_t>(i)] = 0;
+  }
+  touched_flows_.clear();
+  all_dirty_ = false;
+  ++epoch_;
 }
 
 }  // namespace numfabric::num

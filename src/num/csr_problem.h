@@ -29,10 +29,27 @@
 //    order or in parallel, is bit-identical to the natural-order serial
 //    sweep (non-conflicting per-link updates touch disjoint state).
 //
-// set_active() toggles a flow without recompiling: inactive flows are
-// skipped by the solver (their rate reports 0), which is exactly the
-// subproblem over the active rows.  The wave schedule is computed over the
-// full flow set and therefore stays valid for every active subset.
+// set_active() toggles a flow without recompiling: it is exactly the
+// subproblem over the active rows.  Two structures keep that patch O(path ×
+// row-active) instead of forcing the solver back to O(history):
+//  * per-link *compacted active rows*: alongside each full link->flow row,
+//    the prefix [link_offsets_[l], link_offsets_[l] + link_active_count_[l])
+//    of link_active_ lists only the link's active flows, maintained sorted
+//    by flow id — the legacy summation order — so iterating the compacted
+//    row yields the identical values in the identical order as scanning the
+//    full row and skipping inactives.  Every load sum therefore rounds
+//    bit-identically while costing O(active-on-link), not O(ever-compiled);
+//  * a global active-flow list (unsorted, swap-remove) for the solver's
+//    per-flow passes (path_price init, rate extraction) — those loops write
+//    disjoint per-flow slots, so iteration order cannot affect any bit.
+//
+// set_active() additionally records a *dirty set* for the incremental
+// re-solve path (NumSolverOptions::incremental): the links whose active rows
+// changed and the flows that were toggled since the last solve against this
+// problem.  The solver consumes the sets via dirty_links()/touched_flows()
+// and acknowledges them with mark_solved(); see src/num/README.md for the
+// contract.  The wave schedule is computed over the full flow set and stays
+// valid for every active subset.
 #pragma once
 
 #include <algorithm>
@@ -80,9 +97,17 @@ class CsrProblem {
   std::size_t num_waves() const { return wave_offsets_.size() - 1; }
 
   /// The CSR row patch: include/exclude one flow from subsequent solves.
+  /// Maintains the compacted active rows (sorted insert/remove on each link
+  /// of the flow's path) and records the flow + its links in the dirty set.
   void set_active(std::size_t flow, bool active);
   bool active(std::size_t flow) const { return active_[flow] != 0; }
-  std::size_t active_count() const { return active_count_; }
+  std::size_t active_count() const { return active_list_.size(); }
+
+  /// Deactivates every flow in O(flows + links) — the bulk form of
+  /// set_active(i, false) for engine resets, where per-flow removal from the
+  /// compacted rows would cost O(row²).  Leaves the dirty set in the
+  /// "everything changed" state (all_dirty), forcing the next solve full.
+  void deactivate_all();
 
   const std::vector<double>& capacities() const { return capacities_; }
 
@@ -95,10 +120,37 @@ class CsrProblem {
     return {link_flows_.data() + link_offsets_[link],
             link_flows_.data() + link_offsets_[link + 1]};
   }
+  /// The compacted row: the link's *active* flows, sorted by flow id — the
+  /// same values in the same order as link_flows(link) filtered by active().
+  std::span<const std::int32_t> link_active_flows(std::size_t link) const {
+    return {link_active_.data() + link_offsets_[link],
+            link_active_.data() + link_offsets_[link] +
+                link_active_count_[link]};
+  }
+  /// All active flows, unsorted (swap-remove order).  Safe wherever the
+  /// consumer writes disjoint per-flow slots; use link_active_flows for any
+  /// order-sensitive summation.
+  std::span<const std::int32_t> active_flows() const { return active_list_; }
   std::span<const std::int32_t> wave_links(std::size_t wave) const {
     return {wave_links_.data() + wave_offsets_[wave],
             wave_links_.data() + wave_offsets_[wave + 1]};
   }
+
+  // --- dirty set (incremental re-solve contract) --------------------------
+  // set_active accumulates changes; num::solve consumes them and calls
+  // mark_solved() to start the next accumulation window.  The sets are
+  // observer state, not part of the problem's mathematical value, hence
+  // mutable/const.  `epoch()` counts mark_solved calls so a workspace can
+  // prove the accumulated sets describe changes since *its* last solve (a
+  // second workspace interleaving solves bumps the epoch and falls back to
+  // a full solve).
+  bool all_dirty() const { return all_dirty_; }
+  std::span<const std::int32_t> dirty_links() const { return dirty_links_; }
+  std::span<const std::int32_t> touched_flows() const {
+    return touched_flows_;
+  }
+  std::uint64_t epoch() const { return epoch_; }
+  void mark_solved() const;
 
   /// U'^{-1}(price) for one flow — bitwise the utility's marginal_inverse,
   /// devirtualized for alpha-fair flows (reciprocal for alpha == 1, one
@@ -124,12 +176,20 @@ class CsrProblem {
     }
   }
 
+  /// U'(rate) for one flow (the compiled twin of marginal_inverse, used by
+  /// the CSR kkt_residual overload).
+  double marginal(std::size_t flow, double rate) const {
+    return utilities_[flow]->marginal(rate);
+  }
+
  private:
   enum Kind : std::uint8_t { kReciprocal, kPow, kGeneric };
 
   CsrProblem() = default;
 
   void build_waves();
+  void mark_flow_touched(std::size_t flow) const;
+  void mark_link_dirty(std::int32_t link) const;
 
   std::vector<std::int32_t> flow_offsets_;  // num_flows + 1
   std::vector<std::int32_t> flow_links_;    // flat, path order
@@ -138,14 +198,30 @@ class CsrProblem {
   std::vector<std::int32_t> wave_offsets_;  // num_waves + 1
   std::vector<std::int32_t> wave_links_;    // flat, increasing link id per wave
 
+  // Compacted active rows: same offsets as link_flows_, first
+  // link_active_count_[l] entries of each row are the link's active flows in
+  // increasing flow id.
+  std::vector<std::int32_t> link_active_;
+  std::vector<std::int32_t> link_active_count_;  // num_links
+
   std::vector<double> capacities_;
   std::vector<double> weight_;         // alpha-fair weight (1.0 for generic)
   std::vector<double> neg_inv_alpha_;  // -1/alpha (0.0 for generic)
   std::vector<const UtilityFunction*> generic_;  // non-null iff kind kGeneric
+  std::vector<const UtilityFunction*> utilities_;  // all, for marginal()
   std::vector<std::uint8_t> kind_;
 
   std::vector<std::uint8_t> active_;
-  std::size_t active_count_ = 0;
+  std::vector<std::int32_t> active_list_;  // active flows, swap-remove order
+  std::vector<std::int32_t> active_pos_;   // flow -> index in active_list_
+
+  // Dirty-set accumulation (see mark_solved).
+  mutable std::vector<std::uint8_t> link_dirty_;
+  mutable std::vector<std::int32_t> dirty_links_;
+  mutable std::vector<std::uint8_t> flow_touched_;
+  mutable std::vector<std::int32_t> touched_flows_;
+  mutable bool all_dirty_ = true;
+  mutable std::uint64_t epoch_ = 0;
 };
 
 /// Caller-owned solver state: prices, per-flow path prices, scratch, rates,
@@ -165,7 +241,10 @@ class NumWorkspace {
   /// Forgets the warm-start state: the next solve starts cold (prices 1.0)
   /// unless the options carry explicit initial_prices.  Buffers keep their
   /// capacity, so the next solve stays allocation-free.
-  void reset() { warm_ = false; }
+  void reset() {
+    warm_ = false;
+    bound_problem_ = nullptr;
+  }
 
  private:
   friend struct SolverAccess;
@@ -176,6 +255,14 @@ class NumWorkspace {
   std::vector<double> change_;  // per-link |new - old| for the wave path
   std::vector<double> rates_;
   bool warm_ = false;
+
+  // Incremental re-solve state: the problem/epoch the stored path_price and
+  // rates correspond to (see CsrProblem::epoch), a fixed-capacity FIFO ring
+  // of links to relax and its membership bitmap.
+  const CsrProblem* bound_problem_ = nullptr;
+  std::uint64_t bound_epoch_ = 0;
+  std::vector<std::int32_t> worklist_;   // ring buffer, capacity num_links
+  std::vector<std::uint8_t> in_queue_;   // per-link membership
 
   std::unique_ptr<util::WorkerPool> pool_;
 };

@@ -20,6 +20,18 @@ struct SolverAccess {
   static std::vector<double>& change(NumWorkspace& ws) { return ws.change_; }
   static std::vector<double>& rates(NumWorkspace& ws) { return ws.rates_; }
   static bool& warm(NumWorkspace& ws) { return ws.warm_; }
+  static const CsrProblem*& bound_problem(NumWorkspace& ws) {
+    return ws.bound_problem_;
+  }
+  static std::uint64_t& bound_epoch(NumWorkspace& ws) {
+    return ws.bound_epoch_;
+  }
+  static std::vector<std::int32_t>& worklist(NumWorkspace& ws) {
+    return ws.worklist_;
+  }
+  static std::vector<std::uint8_t>& in_queue(NumWorkspace& ws) {
+    return ws.in_queue_;
+  }
   static std::unique_ptr<util::WorkerPool>& pool(NumWorkspace& ws) {
     return ws.pool_;
   }
@@ -38,6 +50,11 @@ void sized(std::vector<double>& v, std::size_t n) {
 /// path_price of the link's active flows only — state disjoint from every
 /// other link in the same wave — and returns |new_price - old_price|.
 ///
+/// Iteration runs over the compacted active row (link_active_flows): the
+/// same flow ids, in the same increasing order, as scanning the full
+/// compiled row and skipping inactives — so every partial sum rounds
+/// bit-identically while the cost is O(active-on-link), not O(history).
+///
 /// Arithmetic is line-for-line the legacy solve_num bisection; the three
 /// differences are bit-exact accelerations:
 ///  * load sums early-exit once the partial sum exceeds capacity (terms are
@@ -54,7 +71,11 @@ double update_link(const CsrProblem& problem, std::size_t l,
                    std::vector<double>& prices,
                    std::vector<double>& path_price, std::vector<double>& base,
                    double price_resolution) {
-  const auto flows = problem.link_flows(l);
+  const auto flows = problem.link_active_flows(l);
+  if (flows.empty()) {
+    prices[l] = 0.0;  // same as the legacy empty-link skip: no change recorded
+    return 0.0;
+  }
 
   // Does the load at `candidate` exceed capacity?  (The bisection only ever
   // needs this predicate, never the load value itself.)
@@ -63,23 +84,15 @@ double update_link(const CsrProblem& problem, std::size_t l,
     double load = 0.0;
     for (const std::int32_t i : flows) {
       const auto fi = static_cast<std::size_t>(i);
-      if (!problem.active(fi)) continue;
       load += problem.marginal_inverse(fi, base[fi] + candidate);
       if (load > capacity) return true;
     }
     return false;
   };
 
-  bool any_active = false;
   for (const std::int32_t i : flows) {
     const auto fi = static_cast<std::size_t>(i);
-    if (!problem.active(fi)) continue;
-    any_active = true;
     base[fi] = path_price[fi] - prices[l];
-  }
-  if (!any_active) {
-    prices[l] = 0.0;  // same as the legacy empty-link skip: no change recorded
-    return 0.0;
   }
 
   double new_price;
@@ -112,7 +125,6 @@ double update_link(const CsrProblem& problem, std::size_t l,
   const double change = std::abs(new_price - prices[l]);
   for (const std::int32_t i : flows) {
     const auto fi = static_cast<std::size_t>(i);
-    if (!problem.active(fi)) continue;
     path_price[fi] = base[fi] + new_price;
   }
   prices[l] = new_price;
@@ -157,15 +169,49 @@ SolveStats solve(const CsrProblem& problem, NumWorkspace& workspace,
   // bit-identical to the legacy solver.
   const double price_resolution = warm ? options.tolerance * 1e-2 : 0.0;
 
+  // Incremental re-solve is sound only when the workspace's stored
+  // path_price/rates describe this exact problem as of the last mark_solved
+  // epoch — i.e. the dirty sets are precisely what changed since the state
+  // we are patching.  Anything else (cold start, explicit prices, another
+  // workspace interleaved, fresh compile, deactivate_all) falls back to the
+  // full solve, which re-derives everything.
+  const bool incremental =
+      options.incremental && options.initial_prices.empty() && warm &&
+      !problem.all_dirty() &&
+      SolverAccess::bound_problem(workspace) == &problem &&
+      SolverAccess::bound_epoch(workspace) == problem.epoch() &&
+      path_price.size() == num_flows && rates.size() == num_flows;
+
   sized(path_price, num_flows);
   sized(base, num_flows);
-  for (std::size_t i = 0; i < num_flows; ++i) {
-    if (!problem.active(i)) continue;
-    double sum = 0.0;
-    for (const std::int32_t l : problem.flow_links(i)) {
-      sum += prices[static_cast<std::size_t>(l)];
+  if (incremental) {
+    // Patch only the toggled flows: a newly (re)activated flow needs a fresh
+    // path-price sum (its stored slot is stale); a deactivated flow just
+    // stops reporting rate.  Untouched actives keep their stored path_price,
+    // which the relaxations below correct exactly as a sweep would.
+    for (const std::int32_t f : problem.touched_flows()) {
+      const auto fi = static_cast<std::size_t>(f);
+      if (problem.active(fi)) {
+        double sum = 0.0;
+        for (const std::int32_t l : problem.flow_links(fi)) {
+          sum += prices[static_cast<std::size_t>(l)];
+        }
+        path_price[fi] = sum;
+      } else {
+        rates[fi] = 0.0;
+      }
     }
-    path_price[i] = sum;
+  } else {
+    // Per-flow init over the active list; each slot is written once, so the
+    // unsorted order cannot affect any bit.
+    for (const std::int32_t f : problem.active_flows()) {
+      const auto fi = static_cast<std::size_t>(f);
+      double sum = 0.0;
+      for (const std::int32_t l : problem.flow_links(fi)) {
+        sum += prices[static_cast<std::size_t>(l)];
+      }
+      path_price[fi] = sum;
+    }
   }
 
   const int threads = std::max(options.policy.threads, 1);
@@ -179,8 +225,10 @@ SolveStats solve(const CsrProblem& problem, NumWorkspace& workspace,
     sized(change, num_links);
   }
 
-  SolveStats stats;
-  for (int sweep = 0; sweep < options.max_sweeps; ++sweep) {
+  // One full sweep over every link; returns the max price change.  Serial
+  // natural order and wave-parallel execution compute the same bits (see
+  // csr_problem.h).
+  const auto full_sweep = [&]() {
     double max_price_change = 0.0;
     if (pool == nullptr) {
       // Reference spec: natural link order.
@@ -218,23 +266,101 @@ SolveStats solve(const CsrProblem& problem, NumWorkspace& workspace,
         max_price_change = std::max(max_price_change, change[l]);
       }
     }
-    stats.sweeps = sweep + 1;
-    if (max_price_change < options.tolerance) {
-      stats.converged = true;
-      break;
+    return max_price_change;
+  };
+
+  SolveStats stats;
+  if (incremental) {
+    // Worklist relaxation, seeded from the dirty links in increasing id.
+    // Serial by construction — the order links come off the queue is a
+    // function of the dirty set alone, so results are identical for every
+    // --solver-threads value.
+    std::vector<std::int32_t>& ring = SolverAccess::worklist(workspace);
+    std::vector<std::uint8_t>& in_queue = SolverAccess::in_queue(workspace);
+    if (ring.size() < num_links) ring.resize(num_links);
+    if (in_queue.size() < num_links) in_queue.assign(num_links, 0);
+    // The membership bitmap caps the queue at num_links entries, so a ring
+    // of that capacity never overflows.
+    std::size_t head = 0, queued = 0;
+    const auto push = [&](std::int32_t l) {
+      if (in_queue[static_cast<std::size_t>(l)] != 0) return;
+      in_queue[static_cast<std::size_t>(l)] = 1;
+      ring[(head + queued) % num_links] = l;
+      ++queued;
+    };
+    {
+      // dirty_links() is in first-dirtied order; seed ascending so the
+      // relaxation order is independent of the set_active call order.
+      std::vector<std::int32_t> seed(problem.dirty_links().begin(),
+                                     problem.dirty_links().end());
+      std::sort(seed.begin(), seed.end());
+      for (const std::int32_t l : seed) push(l);
+    }
+    const std::int64_t relaxation_cap =
+        static_cast<std::int64_t>(options.max_sweeps) *
+        static_cast<std::int64_t>(num_links == 0 ? 1 : num_links);
+    while (queued > 0 && stats.relaxations < relaxation_cap) {
+      const std::int32_t l = ring[head % num_links];
+      head = (head + 1) % num_links;
+      --queued;
+      in_queue[static_cast<std::size_t>(l)] = 0;
+      const double delta =
+          update_link(problem, static_cast<std::size_t>(l), prices,
+                      path_price, base, price_resolution);
+      ++stats.relaxations;
+      if (delta >= options.tolerance) {
+        // The move perturbed the path price of every active flow through l;
+        // their other links may now violate complementary slackness.
+        for (const std::int32_t f :
+             problem.link_active_flows(static_cast<std::size_t>(l))) {
+          for (const std::int32_t k :
+               problem.flow_links(static_cast<std::size_t>(f))) {
+            if (k != l) push(k);
+          }
+        }
+      }
+    }
+    // Verification: full sweeps until quiescent.  Normally the first sweep
+    // confirms convergence; if the worklist missed coupling (or hit the
+    // cap), these sweeps are the correctness backstop.
+    for (int sweep = 0; sweep < options.max_sweeps; ++sweep) {
+      const double max_price_change = full_sweep();
+      stats.sweeps = sweep + 1;
+      if (max_price_change < options.tolerance) {
+        stats.converged = true;
+        break;
+      }
+    }
+  } else {
+    for (int sweep = 0; sweep < options.max_sweeps; ++sweep) {
+      const double max_price_change = full_sweep();
+      stats.sweeps = sweep + 1;
+      if (max_price_change < options.tolerance) {
+        stats.converged = true;
+        break;
+      }
     }
   }
 
   sized(rates, num_flows);
-  for (std::size_t i = 0; i < num_flows; ++i) {
-    rates[i] = problem.active(i) ? problem.marginal_inverse(i, path_price[i])
-                                 : 0.0;
+  if (incremental) {
+    // Touched-inactive flows were zeroed above; untouched inactives are 0
+    // from the solve this state was patched from.  Only actives move.
+    for (const std::int32_t f : problem.active_flows()) {
+      const auto fi = static_cast<std::size_t>(f);
+      rates[fi] = problem.marginal_inverse(fi, path_price[fi]);
+    }
+  } else {
+    std::fill(rates.begin(), rates.end(), 0.0);
+    for (const std::int32_t f : problem.active_flows()) {
+      const auto fi = static_cast<std::size_t>(f);
+      rates[fi] = problem.marginal_inverse(fi, path_price[fi]);
+    }
   }
   for (std::size_t l = 0; l < num_links; ++l) {
     double load = 0.0;
-    for (const std::int32_t i : problem.link_flows(l)) {
-      const auto fi = static_cast<std::size_t>(i);
-      if (problem.active(fi)) load += rates[fi];
+    for (const std::int32_t i : problem.link_active_flows(l)) {
+      load += rates[static_cast<std::size_t>(i)];
     }
     const double violation =
         (load - problem.capacities()[l]) / problem.capacities()[l];
@@ -242,10 +368,14 @@ SolveStats solve(const CsrProblem& problem, NumWorkspace& workspace,
   }
 
   SolverAccess::warm(workspace) = true;
+  problem.mark_solved();
+  SolverAccess::bound_problem(workspace) = &problem;
+  SolverAccess::bound_epoch(workspace) = problem.epoch();
 
   auto& counters = sim::substrate_stats();
   ++counters.solver_solves;
   counters.solver_sweeps += static_cast<std::uint64_t>(stats.sweeps);
+  counters.solver_relaxations += static_cast<std::uint64_t>(stats.relaxations);
   counters.solver_wall_ns += static_cast<std::uint64_t>(
       std::chrono::duration_cast<std::chrono::nanoseconds>(
           std::chrono::steady_clock::now() - wall_start)
@@ -277,19 +407,49 @@ double kkt_residual(const NumProblem& problem, const std::vector<double>& rates,
     residual = std::max(residual, std::abs(marginal - path_price) /
                                       std::max(marginal, kMinPrice));
   }
-  for (std::size_t l = 0; l < problem.capacities.size(); ++l) {
-    double load = 0.0;
-    for (std::size_t i = 0; i < problem.flow_links.size(); ++i) {
-      for (int k : problem.flow_links[i]) {
-        if (static_cast<std::size_t>(k) == l) load += rates[i];
-      }
+  // Link loads, flow-major in one O(nnz) pass.  Each link's row is listed in
+  // increasing flow id, and this walk adds flow i's rate to its links in
+  // exactly that order, so every per-link sum rounds bit-identically to the
+  // former per-link rescan of all flows.
+  std::vector<double> load(problem.capacities.size(), 0.0);
+  for (std::size_t i = 0; i < problem.flow_links.size(); ++i) {
+    for (int k : problem.flow_links[i]) {
+      load[static_cast<std::size_t>(k)] += rates[i];
     }
-    const double slack = problem.capacities[l] - load;
+  }
+  for (std::size_t l = 0; l < problem.capacities.size(); ++l) {
+    const double slack = problem.capacities[l] - load[l];
     // Complementary slackness: p_l * slack ~ 0 (normalized).
     residual = std::max(residual, prices[l] * std::max(slack, 0.0) /
                                       problem.capacities[l]);
     // Feasibility.
     residual = std::max(residual, -slack / problem.capacities[l]);
+  }
+  return residual;
+}
+
+double kkt_residual(const CsrProblem& problem, std::span<const double> rates,
+                    std::span<const double> prices) {
+  double residual = 0.0;
+  for (const std::int32_t f : problem.active_flows()) {
+    const auto i = static_cast<std::size_t>(f);
+    double path_price = 0.0;
+    for (const std::int32_t l : problem.flow_links(i)) {
+      path_price += prices[static_cast<std::size_t>(l)];
+    }
+    const double marginal = problem.marginal(i, rates[i]);
+    residual = std::max(residual, std::abs(marginal - path_price) /
+                                      std::max(marginal, kMinPrice));
+  }
+  for (std::size_t l = 0; l < problem.num_links(); ++l) {
+    double load = 0.0;
+    for (const std::int32_t i : problem.link_active_flows(l)) {
+      load += rates[static_cast<std::size_t>(i)];
+    }
+    const double slack = problem.capacities()[l] - load;
+    residual = std::max(residual, prices[l] * std::max(slack, 0.0) /
+                                      problem.capacities()[l]);
+    residual = std::max(residual, -slack / problem.capacities()[l]);
   }
   return residual;
 }

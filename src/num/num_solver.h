@@ -37,6 +37,19 @@ struct NumSolverOptions {
   std::vector<double> initial_prices;
   /// serial (default) or parallel(n); results are identical either way.
   ExecutionPolicy policy;
+  /// Incremental re-solve: seed a worklist from the links dirtied by
+  /// set_active since the last solve, patch path_price only for toggled
+  /// flows, relax links off the worklist (re-enqueueing neighbors that share
+  /// an active flow when a price moves >= tolerance), then run full
+  /// verification sweeps to convergence.  Converges to the same tolerance as
+  /// a full solve but is NOT bit-identical to it (stored path_price carries
+  /// prior-solve rounding) — keep it off wherever golden hashes apply.  It
+  /// IS deterministic and thread-count invariant: the worklist phase is
+  /// serial, the verification sweeps use the wave schedule.  Falls back to a
+  /// full solve when the workspace is cold, initial_prices are set, the
+  /// workspace last solved a different problem/epoch, or the problem is
+  /// all-dirty (fresh compile / deactivate_all).
+  bool incremental = false;
 };
 
 struct SolveStats {
@@ -44,6 +57,8 @@ struct SolveStats {
   bool converged = false;
   /// max_l (sum_{i on l} x_i - c_l) / c_l over links.
   double max_violation = 0.0;
+  /// Worklist pops performed by the incremental path (0 for full solves).
+  std::int64_t relaxations = 0;
 };
 
 /// Runs Gauss-Seidel dual sweeps on the compiled problem.  Results land in
@@ -79,7 +94,16 @@ NumSolution solve_num(const NumProblem& problem,
 /// KKT residual check used by tests: returns the maximum over flows of
 /// |U'(x_i) - sum prices| / U'(x_i) plus the maximum complementary slackness
 /// violation.  Near zero iff (rates, prices) solve the NUM problem.
+/// Link loads accumulate flow-major into a per-link vector — O(nnz) instead
+/// of the former O(links x flows x path) rescan — in increasing flow id per
+/// link, i.e. bitwise the legacy summation order.
 double kkt_residual(const NumProblem& problem, const std::vector<double>& rates,
                     const std::vector<double>& prices);
+
+/// CSR overload: the same residual over the compiled problem's *active*
+/// flows and compacted rows in O(active nnz) — usable at mega scale
+/// (inactive flows have rate 0 and contribute nothing).
+double kkt_residual(const CsrProblem& problem, std::span<const double> rates,
+                    std::span<const double> prices);
 
 }  // namespace numfabric::num

@@ -19,6 +19,7 @@ SubstrateStats SubstrateStats::operator-(const SubstrateStats& rhs) const {
   out.allocs_queue = allocs_queue - rhs.allocs_queue;
   out.solver_solves = solver_solves - rhs.solver_solves;
   out.solver_sweeps = solver_sweeps - rhs.solver_sweeps;
+  out.solver_relaxations = solver_relaxations - rhs.solver_relaxations;
   out.solver_wall_ns = solver_wall_ns - rhs.solver_wall_ns;
   out.allocs_solver_workspace =
       allocs_solver_workspace - rhs.allocs_solver_workspace;
@@ -43,6 +44,7 @@ SubstrateStats& SubstrateStats::operator+=(const SubstrateStats& rhs) {
   allocs_queue += rhs.allocs_queue;
   solver_solves += rhs.solver_solves;
   solver_sweeps += rhs.solver_sweeps;
+  solver_relaxations += rhs.solver_relaxations;
   solver_wall_ns += rhs.solver_wall_ns;
   allocs_solver_workspace += rhs.allocs_solver_workspace;
   flowsim_epochs += rhs.flowsim_epochs;

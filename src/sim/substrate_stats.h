@@ -53,6 +53,11 @@ struct SubstrateStats {
   // oracle.
   std::uint64_t solver_solves = 0;
   std::uint64_t solver_sweeps = 0;
+  /// Worklist pops by the incremental path (NumSolverOptions::incremental);
+  /// stays 0 for full solves, so the perf table only grows a row when the
+  /// incremental path actually ran (golden hashes with incremental OFF are
+  /// untouched).
+  std::uint64_t solver_relaxations = 0;
   std::uint64_t solver_wall_ns = 0;
   std::uint64_t allocs_solver_workspace = 0;
 

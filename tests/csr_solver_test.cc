@@ -10,6 +10,14 @@
 //  * warm re-solves against a reused workspace are allocation-free
 //    (measured by the allocs_solver_workspace substrate counter);
 //  * a set_active row patch solves exactly the freshly compiled subproblem;
+//  * compacted active rows match a full-row scan value-for-value, and
+//    randomized activation patterns solve bit-identically to recompiled
+//    subproblems across warm/cold x serial/parallel(2/4/8) (tier 1);
+//  * incremental (worklist) re-solves satisfy KKT to the same tolerance,
+//    stay within a tolerance band of full solves, are thread-count
+//    invariant, and fall back to full solves when the workspace binding is
+//    stale (tier 2);
+//  * kkt_residual's flow-major load pass is bitwise the legacy nested scan;
 //  * the deprecated solve_num wrapper reproduces the new API bit-for-bit.
 #include <gtest/gtest.h>
 
@@ -154,6 +162,321 @@ INSTANTIATE_TEST_SUITE_P(
                       CsrCase{2.0, 10, 4, 13}, CsrCase{1.0, 50, 10, 14},
                       CsrCase{4.0, 30, 8, 15}, CsrCase{0.125, 20, 6, 16},
                       CsrCase{1.0, 200, 30, 17}));
+
+// Tier-1 structural invariant behind the compacted rows: after any sequence
+// of set_active toggles, every link's compacted row holds exactly the values
+// a full-row scan that skips inactives would visit, in the same order.  This
+// is the literal "identical values in identical order" claim the solver's
+// bit-exactness rests on.
+TEST_P(CsrSolverRandom, CompactedRowsMatchFullRowScan) {
+  const CsrCase param = GetParam();
+  const RandomInstance instance =
+      make_random(param.alpha, param.flows, param.links, param.seed);
+  CsrProblem csr = CsrProblem::compile(instance.problem);
+
+  sim::Rng rng(param.seed * 1000 + 7);
+  const auto check_rows = [&csr]() {
+    std::size_t active_total = 0;
+    for (std::size_t l = 0; l < csr.num_links(); ++l) {
+      std::vector<std::int32_t> reference;
+      for (const std::int32_t i : csr.link_flows(l)) {
+        if (csr.active(static_cast<std::size_t>(i))) reference.push_back(i);
+      }
+      const auto compacted = csr.link_active_flows(l);
+      ASSERT_EQ(compacted.size(), reference.size()) << "link " << l;
+      for (std::size_t k = 0; k < reference.size(); ++k) {
+        ASSERT_EQ(compacted[k], reference[k]) << "link " << l << " slot " << k;
+      }
+    }
+    for (std::size_t i = 0; i < csr.num_flows(); ++i) {
+      if (csr.active(i)) ++active_total;
+    }
+    ASSERT_EQ(csr.active_count(), active_total);
+  };
+
+  check_rows();
+  for (int step = 0; step < 200; ++step) {
+    const auto flow = rng.index(csr.num_flows());
+    csr.set_active(flow, !csr.active(flow));
+  }
+  check_rows();
+  csr.deactivate_all();
+  check_rows();
+  for (int step = 0; step < 100; ++step) {
+    const auto flow = rng.index(csr.num_flows());
+    csr.set_active(flow, !csr.active(flow));
+  }
+  check_rows();
+}
+
+// Randomized-pattern bitwise parity (the tier-1 acceptance property): after
+// a random activation pattern, solving the patched problem — cold and warm,
+// serial and parallel(2/4/8) — is bit-identical to solving the freshly
+// compiled subproblem that contains only the active rows, i.e. the
+// compaction is invisible to every load sum, path_price update and
+// rate/violation loop.
+TEST_P(CsrSolverRandom, RandomActivePatternMatchesRecompiledBitwise) {
+  const CsrCase param = GetParam();
+  const RandomInstance instance =
+      make_random(param.alpha, param.flows, param.links, param.seed);
+  sim::Rng rng(param.seed * 7919 + 3);
+
+  // Random pattern via a toggle walk (exercises insert AND remove, including
+  // re-activation), keeping at least one flow active.
+  CsrProblem patched = CsrProblem::compile(instance.problem);
+  for (int step = 0; step < 3 * param.flows; ++step) {
+    const auto flow = rng.index(patched.num_flows());
+    patched.set_active(flow, !patched.active(flow));
+  }
+  if (patched.active_count() == 0) patched.set_active(0, true);
+
+  NumProblem sub;
+  sub.capacities = instance.problem.capacities;
+  std::vector<std::size_t> kept;
+  for (std::size_t i = 0; i < patched.num_flows(); ++i) {
+    if (!patched.active(i)) continue;
+    kept.push_back(i);
+    sub.utilities.push_back(instance.problem.utilities[i]);
+    sub.flow_links.push_back(instance.problem.flow_links[i]);
+  }
+  const CsrProblem sub_csr = CsrProblem::compile(sub);
+
+  for (const int threads : {1, 2, 4, 8}) {
+    NumSolverOptions options;
+    options.policy = threads == 1 ? ExecutionPolicy::serial()
+                                  : ExecutionPolicy::parallel(threads);
+    // Cold.
+    NumWorkspace patched_ws;
+    NumWorkspace sub_ws;
+    const SolveStats patched_cold = solve(patched, patched_ws, options);
+    const SolveStats sub_cold = solve(sub_csr, sub_ws, options);
+    EXPECT_EQ(patched_cold.sweeps, sub_cold.sweeps) << "threads=" << threads;
+    EXPECT_TRUE(bitwise_equal(patched_ws.prices(), sub_ws.prices()))
+        << "cold prices diverged at threads=" << threads;
+    for (std::size_t k = 0; k < kept.size(); ++k) {
+      const double a = patched_ws.rates()[kept[k]];
+      const double b = sub_ws.rates()[k];
+      ASSERT_EQ(std::memcmp(&a, &b, sizeof(double)), 0)
+          << "cold rate of flow " << kept[k] << " at threads=" << threads;
+    }
+    // Warm: drop one more active flow on both sides and re-solve from the
+    // previous prices.
+    const std::size_t drop = kept[rng.index(kept.size())];
+    if (kept.size() < 2) continue;
+    patched.set_active(drop, false);
+    NumProblem sub2;
+    sub2.capacities = sub.capacities;
+    std::vector<std::size_t> kept2;
+    for (std::size_t k = 0; k < kept.size(); ++k) {
+      if (kept[k] == drop) continue;
+      kept2.push_back(kept[k]);
+      sub2.utilities.push_back(sub.utilities[k]);
+      sub2.flow_links.push_back(sub.flow_links[k]);
+    }
+    const CsrProblem sub2_csr = CsrProblem::compile(sub2);
+    NumWorkspace sub2_ws;
+    NumSolverOptions warm_options = options;
+    warm_options.initial_prices.assign(sub_ws.prices().begin(),
+                                       sub_ws.prices().end());
+    const SolveStats patched_warm = solve(patched, patched_ws, options);
+    const SolveStats sub_warm = solve(sub2_csr, sub2_ws, warm_options);
+    EXPECT_EQ(patched_warm.sweeps, sub_warm.sweeps) << "threads=" << threads;
+    EXPECT_TRUE(bitwise_equal(patched_ws.prices(), sub2_ws.prices()))
+        << "warm prices diverged at threads=" << threads;
+    for (std::size_t k = 0; k < kept2.size(); ++k) {
+      const double a = patched_ws.rates()[kept2[k]];
+      const double b = sub2_ws.rates()[k];
+      ASSERT_EQ(std::memcmp(&a, &b, sizeof(double)), 0)
+          << "warm rate of flow " << kept2[k] << " at threads=" << threads;
+    }
+    patched.set_active(drop, true);  // restore for the next thread count
+  }
+}
+
+// Tier-2 property: incremental re-solves reach the same KKT tolerance as
+// full re-solves on every churn step, and their rates stay within a
+// solver-tolerance band of the full solution.  Also pins the fallback
+// contract on the cold solve (no warm workspace -> full solve, bitwise
+// identical, zero relaxations).
+TEST_P(CsrSolverRandom, IncrementalChurnSatisfiesKktAndMatchesFull) {
+  const CsrCase param = GetParam();
+  const RandomInstance instance =
+      make_random(param.alpha, param.flows, param.links, param.seed);
+  CsrProblem csr_inc = CsrProblem::compile(instance.problem);
+  CsrProblem csr_full = CsrProblem::compile(instance.problem);
+  NumWorkspace ws_inc;
+  NumWorkspace ws_full;
+  NumSolverOptions opt_inc;
+  opt_inc.incremental = true;
+  const NumSolverOptions opt_full;
+
+  // Cold: the incremental option must fall back to the full path bitwise.
+  const SolveStats cold_inc = solve(csr_inc, ws_inc, opt_inc);
+  const SolveStats cold_full = solve(csr_full, ws_full, opt_full);
+  ASSERT_TRUE(cold_inc.converged);
+  EXPECT_EQ(cold_inc.relaxations, 0);
+  EXPECT_TRUE(bitwise_equal(ws_inc.prices(), ws_full.prices()));
+  EXPECT_TRUE(bitwise_equal(ws_inc.rates(), ws_full.rates()));
+  EXPECT_EQ(cold_inc.sweeps, cold_full.sweeps);
+
+  sim::Rng rng(param.seed * 31 + 5);
+  std::int64_t total_relaxations = 0;
+  for (int step = 0; step < 8; ++step) {
+    for (int t = 0; t < 3; ++t) {
+      const auto flow = rng.index(csr_inc.num_flows());
+      const bool next = !csr_inc.active(flow);
+      csr_inc.set_active(flow, next);
+      csr_full.set_active(flow, next);
+    }
+    if (csr_inc.active_count() == 0) {
+      csr_inc.set_active(0, true);
+      csr_full.set_active(0, true);
+    }
+    const SolveStats inc = solve(csr_inc, ws_inc, opt_inc);
+    const SolveStats full = solve(csr_full, ws_full, opt_full);
+    ASSERT_TRUE(inc.converged) << "step " << step;
+    ASSERT_TRUE(full.converged) << "step " << step;
+    total_relaxations += inc.relaxations;
+    EXPECT_EQ(full.relaxations, 0);
+    // Same convergence contract as the full path.
+    EXPECT_LT(kkt_residual(csr_inc, ws_inc.rates(), ws_inc.prices()), 1e-5)
+        << "step " << step;
+    EXPECT_LT(inc.max_violation, 1e-5) << "step " << step;
+    // Not bit-identical to the full solve, but within a tolerance band.
+    for (const std::int32_t f : csr_inc.active_flows()) {
+      const auto i = static_cast<std::size_t>(f);
+      const double a = ws_inc.rates()[i];
+      const double b = ws_full.rates()[i];
+      EXPECT_LE(std::abs(a - b), 1e-5 * std::max(1.0, std::abs(b)))
+          << "step " << step << " flow " << i;
+    }
+  }
+  // Churn-shaped epochs must actually take the worklist path.
+  EXPECT_GT(total_relaxations, 0);
+}
+
+// Tier-2 determinism: the incremental path is serial (worklist) plus
+// wave-deterministic verification sweeps, so its output cannot depend on the
+// solver thread count.
+TEST_P(CsrSolverRandom, IncrementalIsThreadCountInvariant) {
+  const CsrCase param = GetParam();
+  const RandomInstance instance =
+      make_random(param.alpha, param.flows, param.links, param.seed);
+  CsrProblem serial_csr = CsrProblem::compile(instance.problem);
+  CsrProblem parallel_csr = CsrProblem::compile(instance.problem);
+  NumWorkspace serial_ws;
+  NumWorkspace parallel_ws;
+  NumSolverOptions serial_options;
+  serial_options.incremental = true;
+  NumSolverOptions parallel_options = serial_options;
+  parallel_options.policy = ExecutionPolicy::parallel(4);
+
+  solve(serial_csr, serial_ws, serial_options);
+  solve(parallel_csr, parallel_ws, parallel_options);
+  sim::Rng rng(param.seed * 131 + 1);
+  for (int step = 0; step < 6; ++step) {
+    for (int t = 0; t < 2; ++t) {
+      const auto flow = rng.index(serial_csr.num_flows());
+      const bool next = !serial_csr.active(flow);
+      serial_csr.set_active(flow, next);
+      parallel_csr.set_active(flow, next);
+    }
+    if (serial_csr.active_count() == 0) {
+      serial_csr.set_active(0, true);
+      parallel_csr.set_active(0, true);
+    }
+    const SolveStats serial_stats = solve(serial_csr, serial_ws, serial_options);
+    const SolveStats parallel_stats =
+        solve(parallel_csr, parallel_ws, parallel_options);
+    EXPECT_EQ(serial_stats.relaxations, parallel_stats.relaxations)
+        << "step " << step;
+    EXPECT_EQ(serial_stats.sweeps, parallel_stats.sweeps) << "step " << step;
+    EXPECT_TRUE(bitwise_equal(serial_ws.prices(), parallel_ws.prices()))
+        << "incremental prices depend on thread count at step " << step;
+    EXPECT_TRUE(bitwise_equal(serial_ws.rates(), parallel_ws.rates()))
+        << "incremental rates depend on thread count at step " << step;
+  }
+}
+
+// A workspace whose binding is stale (another workspace solved the problem
+// since, consuming the dirty set) must fall back to a full solve rather than
+// patch from prices that never saw the missed churn.
+TEST(CsrSolverTest, IncrementalFallsBackWhenWorkspaceIsStale) {
+  const RandomInstance instance = make_random(1.0, 40, 8, 21);
+  CsrProblem csr = CsrProblem::compile(instance.problem);
+  NumWorkspace ws_a;
+  NumWorkspace ws_b;
+  NumSolverOptions options;
+  options.incremental = true;
+
+  ASSERT_TRUE(solve(csr, ws_a, options).converged);  // cold, binds ws_a
+  csr.set_active(3, false);
+  const SolveStats warm_a = solve(csr, ws_a, options);
+  ASSERT_TRUE(warm_a.converged);
+  EXPECT_GT(warm_a.relaxations, 0) << "warm bound workspace should go incremental";
+
+  csr.set_active(5, false);
+  ASSERT_TRUE(solve(csr, ws_b, options).converged);  // cold ws_b consumes dirty set
+
+  csr.set_active(3, true);
+  // ws_a's epoch is stale: ws_b's solve advanced it.  The only safe move is a
+  // full solve — observable as zero relaxations — and the result must still
+  // satisfy KKT.
+  const SolveStats stale = solve(csr, ws_a, options);
+  ASSERT_TRUE(stale.converged);
+  EXPECT_EQ(stale.relaxations, 0);
+  EXPECT_LT(kkt_residual(csr, ws_a.rates(), ws_a.prices()), 1e-5);
+}
+
+// Satellite: the O(nnz) flow-major link-load pass in kkt_residual must be
+// bit-identical to the legacy O(links x flows x path) nested rescan it
+// replaced (per-link sums add the same rates in the same increasing-flow-id
+// order).
+TEST(CsrSolverTest, KktResidualMatchesLegacyNestedScanBitwise) {
+  const auto legacy_kkt = [](const NumProblem& problem,
+                             const std::vector<double>& rates,
+                             const std::vector<double>& prices) {
+    double residual = 0.0;
+    for (std::size_t i = 0; i < problem.utilities.size(); ++i) {
+      double path_price = 0.0;
+      for (int l : problem.flow_links[i]) {
+        path_price += prices[static_cast<std::size_t>(l)];
+      }
+      const double marginal = problem.utilities[i]->marginal(rates[i]);
+      residual = std::max(residual, std::abs(marginal - path_price) /
+                                        std::max(marginal, kMinPrice));
+    }
+    for (std::size_t l = 0; l < problem.capacities.size(); ++l) {
+      double load = 0.0;
+      for (std::size_t i = 0; i < problem.flow_links.size(); ++i) {
+        for (int k : problem.flow_links[i]) {
+          if (static_cast<std::size_t>(k) == l) load += rates[i];
+        }
+      }
+      const double slack = problem.capacities[l] - load;
+      residual = std::max(residual, prices[l] * std::max(slack, 0.0) /
+                                        problem.capacities[l]);
+      residual = std::max(residual, -slack / problem.capacities[l]);
+    }
+    return residual;
+  };
+
+  for (const std::uint64_t seed : {41ull, 42ull, 43ull}) {
+    const RandomInstance instance = make_random(1.0, 60, 12, seed);
+    const CsrProblem csr = CsrProblem::compile(instance.problem);
+    NumWorkspace ws;
+    ASSERT_TRUE(solve(csr, ws).converged);
+    const std::vector<double> rates(ws.rates().begin(), ws.rates().end());
+    const std::vector<double> prices(ws.prices().begin(), ws.prices().end());
+    const double fast = kkt_residual(instance.problem, rates, prices);
+    const double slow = legacy_kkt(instance.problem, rates, prices);
+    ASSERT_EQ(std::memcmp(&fast, &slow, sizeof(double)), 0)
+        << "seed " << seed << ": fast=" << fast << " legacy=" << slow;
+    // And the CSR overload agrees when every flow is active.
+    const double csr_residual = kkt_residual(csr, ws.rates(), ws.prices());
+    EXPECT_EQ(csr_residual, fast) << "seed " << seed;
+  }
+}
 
 // The alpha == 1 fast path replaces pow(x, -1.0) with 1/x.  They are the
 // same bit pattern on every x the solver can produce (IEEE-754 pow is exact

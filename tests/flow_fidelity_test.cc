@@ -6,7 +6,10 @@
 //    (tolerance bands documented inline — the fluid model omits queueing
 //    delay and convergence transients, so packet FCTs sit slightly above);
 //  * VirtualLeafSpine path/capacity arithmetic;
-//  * mega-fct mini-run sanity and the scenario layer's scheme gating.
+//  * mega-fct mini-run sanity and the scenario layer's scheme gating;
+//  * incremental (tier-2) re-solves vs full re-solves: FCTs within one grid
+//    interval and a solver-tolerance mean band, bit-identical across solver
+//    thread counts.
 #include <gtest/gtest.h>
 
 #include <cmath>
@@ -346,6 +349,88 @@ TEST(MegaFctTest, MiniRunCompletesWithGridCounters) {
   // Exact mode at this scale is refused by construction.
   options.resolve_interval_seconds = 0;
   EXPECT_THROW(exp::run_mega_fct(options), std::invalid_argument);
+}
+
+// Incremental (tier-2) property at the experiment level: the same mini
+// mega-fct batch with incremental ON converges to the same answers as full
+// re-solves — every FCT within one resolve interval (grid slack) and the
+// mean within a solver-tolerance band — and the incremental run is
+// bit-identical across solver thread counts.  Mirrors the CI sweep-smoke
+// leg.
+TEST(MegaFctTest, IncrementalMatchesFullWithinToleranceBand) {
+  exp::MegaFctOptions options;
+  options.fabric = {.hosts_per_leaf = 4,
+                    .leaves = 2,
+                    .spines = 2,
+                    .host_rate = 10e3,
+                    .leaf_spine_rate = 40e3};
+  options.concurrent = 1000;
+  options.resolve_interval_seconds = 5e-4;
+  options.horizon_seconds = 10.0;
+  options.seed = 9;
+
+  options.incremental = false;
+  const exp::MegaFctResult full = exp::run_mega_fct(options);
+  options.incremental = true;
+  const exp::MegaFctResult inc = exp::run_mega_fct(options);
+  options.solver_threads = 4;
+  const exp::MegaFctResult inc4 = exp::run_mega_fct(options);
+
+  // Full solves never take the worklist path; incremental ones must.
+  EXPECT_EQ(full.sim.solver_relaxations, 0);
+  EXPECT_GT(inc.sim.solver_relaxations, 0);
+
+  ASSERT_EQ(inc.sim.fct_seconds.size(), full.sim.fct_seconds.size());
+  EXPECT_EQ(inc.sim.completed, full.sim.completed);
+  double full_sum = 0.0;
+  double inc_sum = 0.0;
+  for (std::size_t i = 0; i < full.sim.fct_seconds.size(); ++i) {
+    const double a = inc.sim.fct_seconds[i];
+    const double b = full.sim.fct_seconds[i];
+    if (a < 0.0 || b < 0.0) {
+      EXPECT_EQ(a < 0.0, b < 0.0) << "completion status diverged, flow " << i;
+      continue;
+    }
+    // Rates agree to the solver tolerance, so a completion can slip by at
+    // most one grid point at a knife-edge.
+    EXPECT_LE(std::abs(a - b), options.resolve_interval_seconds + 1e-9)
+        << "flow " << i;
+    full_sum += b;
+    inc_sum += a;
+  }
+  EXPECT_NEAR(inc_sum / full_sum, 1.0, 1e-3);
+
+  // The worklist is serial and verification sweeps are wave-deterministic:
+  // thread count changes wall time, never bytes.
+  EXPECT_EQ(inc4.sim.fct_seconds, inc.sim.fct_seconds);
+  EXPECT_EQ(inc4.sim.solver_relaxations, inc.sim.solver_relaxations);
+}
+
+// The same ON-vs-OFF band through the dynamic-workload flow runner (grid
+// mode): identical seeded workload, FCTs within one grid interval per flow.
+TEST(FlowFidelityCrossValidation, DynamicWorkloadIncrementalMatchesFull) {
+  exp::DynamicWorkloadOptions options;
+  options.topology.hosts_per_leaf = 2;
+  options.topology.num_leaves = 2;
+  options.topology.num_spines = 1;
+  options.flow_count = 40;
+  options.load = 0.3;
+  options.seed = 5;
+  options.horizon = sim::seconds(2);
+  const double resolve = 5e-5;
+
+  const exp::DynamicWorkloadResult full =
+      exp::run_dynamic_workload_flow(options, resolve, /*incremental=*/false);
+  const exp::DynamicWorkloadResult inc =
+      exp::run_dynamic_workload_flow(options, resolve, /*incremental=*/true);
+
+  ASSERT_EQ(inc.flows.size(), full.flows.size());
+  EXPECT_EQ(inc.incomplete, full.incomplete);
+  for (std::size_t i = 0; i < full.flows.size(); ++i) {
+    EXPECT_LE(std::abs(inc.flows[i].fct_seconds - full.flows[i].fct_seconds),
+              resolve + 1e-9)
+        << "flow " << i;
+  }
 }
 
 TEST(MegaFctTest, JellyfishGraphFabricRuns) {

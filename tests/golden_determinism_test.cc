@@ -200,6 +200,9 @@ TEST(GoldenDeterminismTest, FlowFidelitySweepIsJobCountInvariant) {
     options.set("horizon_ms", "300");
     options.set("fidelity", "flow");
     options.set("resolve_us", "50");
+    // Golden-hashed: tier-1 active-row compaction must be bitwise invisible,
+    // which only holds with the incremental (tier-2) path off.
+    options.set("incremental", "off");
     request.base_options = options;
     request.plan = RunPlan::expand({parse_sweep_spec("loads=0.3,0.5")});
     request.jobs = jobs;
